@@ -1,0 +1,54 @@
+/// \file bench_cut_passes.cpp
+/// \brief Ablation for paper Table I: the three cut-selection passes.
+///
+/// Runs the engine with only the L phases enabled (P and G off, so local
+/// function checking does all the work) under four configurations: each
+/// Table I pass alone, and all three together. Reports proved pairs and
+/// miter reduction. The paper's claim: the passes prioritize different
+/// cut metrics (fanout / small level / large level) and their union
+/// proves more pairs than any single criterion.
+
+#include "bench_common.hpp"
+
+int main() {
+  std::setvbuf(stdout, nullptr, _IONBF, 0);  // rows appear as they finish
+  using namespace simsweep;
+  using namespace simsweep::benchcfg;
+
+  gen::SuiteParams sp;
+  sp.doublings = doublings();
+  std::printf("=== Table I ablation: cut-selection passes (doublings=%u) "
+              "===\n",
+              sp.doublings);
+  std::printf("%-16s | %10s %10s %10s %10s   (proved pairs / reduction)\n",
+              "Benchmark", "pass1", "pass2", "pass3", "all");
+
+  // A representative family subset keeps the 4-config sweep affordable;
+  // pass SIMSWEEP_ALL_FAMILIES=1 for the full suite.
+  std::vector<std::string> families = {"hyp", "multiplier", "sqrt", "voter",
+                                       "ac97_ctrl"};
+  if (env_unsigned("SIMSWEEP_ALL_FAMILIES", 0) != 0)
+    families = gen::table2_families();
+  for (const std::string& family : families) {
+    const gen::BenchCase c = gen::make_case(family, sp);
+    std::printf("%-16s |", c.name.c_str());
+    for (int config = 0; config < 4; ++config) {
+      engine::EngineParams p = engine_params();
+      p.time_limit = time_budget() / 2;  // ablation configs: half budget
+      p.enable_po_phase = false;
+      p.enable_global_phase = false;
+      p.local_passes = {config == 0 || config == 3,
+                        config == 1 || config == 3,
+                        config == 2 || config == 3};
+      const engine::SimCecEngine eng(p);
+      const engine::EngineResult r = eng.check(c.original, c.optimized);
+      std::printf(" %5zu/%3.0f%%", r.stats.pairs_proved_local,
+                  r.stats.reduction_percent());
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\n(expectation: the 'all' column dominates or matches the best\n"
+      " single pass on every family — cut diversity pays, paper §III-C1.)\n");
+  return 0;
+}

@@ -1,0 +1,113 @@
+/// \file bench_exhaustive.cpp
+/// \brief Microbenchmarks of the exhaustive simulator (paper Alg. 1):
+/// throughput versus support size, batch size, memory budget (round
+/// decomposition) and window merging.
+
+#include <benchmark/benchmark.h>
+
+#include "aig/aig_analysis.hpp"
+#include "aig/miter.hpp"
+#include "exhaustive/exhaustive_sim.hpp"
+#include "gen/arith.hpp"
+#include "window/window_merge.hpp"
+
+namespace {
+
+using namespace simsweep;
+
+/// Windows over an adder-vs-balanced-adder miter: every PO pair check.
+std::vector<window::Window> po_windows(const aig::Aig& miter,
+                                       unsigned max_support) {
+  const auto supports = aig::compute_supports(miter, max_support);
+  std::vector<window::Window> out;
+  for (std::size_t i = 0; i < miter.num_pos(); ++i) {
+    const aig::Var v = aig::lit_var(miter.po(i));
+    if (v == 0 || !supports.small(v)) continue;
+    auto w = window::build_window(
+        miter, supports.sets[v],
+        {window::CheckItem{miter.po(i), aig::kLitFalse,
+                           static_cast<std::uint32_t>(i)}});
+    if (w) out.push_back(std::move(*w));
+  }
+  return out;
+}
+
+/// Throughput of exhaustive PO checking vs adder width (support = 2n).
+void BM_ExhaustiveSupportSize(benchmark::State& state) {
+  const unsigned n = static_cast<unsigned>(state.range(0));
+  const aig::Aig m =
+      aig::make_miter(gen::ripple_adder(n), gen::kogge_stone_adder(n));
+  const auto windows = po_windows(m, 2 * n + 1);
+  std::size_t words = 0;
+  for (auto _ : state) {
+    const auto r = exhaustive::check_batch(m, windows, {});
+    benchmark::DoNotOptimize(r.outcomes.data());
+    words += r.words_simulated;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(words) * 64);
+  state.counters["windows"] = static_cast<double>(windows.size());
+}
+BENCHMARK(BM_ExhaustiveSupportSize)->DenseRange(4, 10, 2);
+
+/// Effect of the memory budget M: smaller budgets force more rounds
+/// (Alg. 1 lines 2-5) over the same total work.
+void BM_ExhaustiveMemoryBudget(benchmark::State& state) {
+  const aig::Aig m = aig::make_miter(gen::ripple_adder(9),
+                                     gen::kogge_stone_adder(9));
+  const auto windows = po_windows(m, 19);
+  exhaustive::Params p;
+  p.memory_words = static_cast<std::size_t>(state.range(0));
+  std::size_t rounds = 0;
+  for (auto _ : state) {
+    const auto r = exhaustive::check_batch(m, windows, p);
+    benchmark::DoNotOptimize(r.outcomes.data());
+    rounds = r.rounds;
+  }
+  state.counters["rounds"] = static_cast<double>(rounds);
+}
+BENCHMARK(BM_ExhaustiveMemoryBudget)->RangeMultiplier(8)->Range(1 << 10, 1 << 22);
+
+/// Window merging: same checks with and without merging.
+void BM_WindowMerging(benchmark::State& state) {
+  const bool merge = state.range(0) != 0;
+  const aig::Aig m = aig::make_miter(gen::ripple_adder(8),
+                                     gen::kogge_stone_adder(8));
+  for (auto _ : state) {
+    auto windows = po_windows(m, 17);
+    if (merge) windows = window::merge_windows(m, std::move(windows), 17);
+    const auto r = exhaustive::check_batch(m, windows, {});
+    benchmark::DoNotOptimize(r.outcomes.data());
+  }
+}
+BENCHMARK(BM_WindowMerging)->Arg(0)->Arg(1);
+
+/// Batch growth: many independent small windows (third parallelism
+/// dimension of paper Fig. 3).
+void BM_ExhaustiveBatchSize(benchmark::State& state) {
+  const unsigned copies = static_cast<unsigned>(state.range(0));
+  aig::Aig a(8 * copies);
+  for (unsigned c = 0; c < copies; ++c) {
+    aig::Lit acc = a.pi_lit(8 * c);
+    for (unsigned i = 1; i < 8; ++i)
+      acc = a.add_xor(acc, a.pi_lit(8 * c + i));
+    a.add_po(acc);
+  }
+  const auto supports = aig::compute_supports(a, 8);
+  std::vector<window::Window> windows;
+  for (std::size_t i = 0; i < a.num_pos(); ++i) {
+    const aig::Var v = aig::lit_var(a.po(i));
+    auto w = window::build_window(
+        a, supports.sets[v],
+        {window::CheckItem{a.po(i), a.po(i), static_cast<std::uint32_t>(i)}});
+    windows.push_back(std::move(*w));
+  }
+  for (auto _ : state) {
+    const auto r = exhaustive::check_batch(a, windows, {});
+    benchmark::DoNotOptimize(r.outcomes.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          copies);
+}
+BENCHMARK(BM_ExhaustiveBatchSize)->RangeMultiplier(4)->Range(4, 256);
+
+}  // namespace

@@ -1,0 +1,52 @@
+/// \file bench_scaling.cpp
+/// \brief Scaling study: engine vs SAT-sweeping runtime as the designs are
+/// doubled (the paper's enlargement method, §IV "_nxd").
+///
+/// The paper's speedups come from a massively parallel GPU amortizing
+/// exhaustive simulation over multi-million-node batches against a
+/// single-threaded SAT sweeper. On a small CPU host both stacks scale
+/// roughly linearly in the number of doubled copies, so this bench
+/// reports the per-family trend — the honest basis for extrapolating the
+/// paper's shape claims (see EXPERIMENTS.md).
+
+#include "bench_common.hpp"
+
+#include "common/timer.hpp"
+
+int main() {
+  std::setvbuf(stdout, nullptr, _IONBF, 0);
+  using namespace simsweep;
+  using namespace simsweep::benchcfg;
+
+  const unsigned max_d = env_unsigned("SIMSWEEP_MAX_DOUBLINGS", 2);
+  std::printf("=== Scaling study: runtime vs doublings (0..%u) ===\n",
+              max_d);
+  std::printf("%-14s %3s | %10s %10s %10s | %8s\n", "Benchmark", "d",
+              "SAT(s)", "SIM+SAT(s)", "Red(%)", "ratio");
+
+  for (const std::string& family :
+       {std::string("log2"), std::string("sin"), std::string("square"),
+        std::string("multiplier"), std::string("voter")}) {
+    for (unsigned d = 0; d <= max_d; ++d) {
+      gen::SuiteParams sp;
+      sp.doublings = d;
+      const gen::BenchCase c = gen::make_case(family, sp);
+      const aig::Aig miter = aig::make_miter(c.original, c.optimized);
+
+      Timer ts;
+      const sweep::SweepResult sat =
+          sweep::SatSweeper(sweeper_params()).check_miter(miter);
+      const double sat_seconds = ts.seconds();
+
+      const portfolio::CombinedResult ours =
+          portfolio::combined_check_miter(miter, combined_params());
+
+      std::printf("%-14s %3u | %9.3f%s %10.3f %10.1f | %7.2fx\n",
+                  c.name.c_str(), d, sat_seconds,
+                  sat.verdict == Verdict::kEquivalent ? "" : "?",
+                  ours.total_seconds, ours.reduction_percent,
+                  sat_seconds / std::max(ours.total_seconds, 1e-9));
+    }
+  }
+  return 0;
+}

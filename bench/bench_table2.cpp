@@ -1,0 +1,81 @@
+/// \file bench_table2.cpp
+/// \brief Reproduces paper Table II: benchmark statistics and runtime
+/// comparison of the SAT-sweeping baseline ("ABC &cec" stand-in), the
+/// portfolio checker ("Conformal" stand-in) and the combined
+/// engine+SAT flow ("Ours (GPU+ABC)" -> here "Ours (SIM+SAT)").
+///
+/// Environment: SIMSWEEP_DOUBLINGS (default 2), SIMSWEEP_TIME_BUDGET
+/// (seconds per checker per case, default 180).
+
+#include "bench_common.hpp"
+
+#include "common/timer.hpp"
+
+int main() {
+  std::setvbuf(stdout, nullptr, _IONBF, 0);  // rows appear as they finish
+  using namespace simsweep;
+  using namespace simsweep::benchcfg;
+
+  gen::SuiteParams sp;
+  sp.doublings = doublings();
+  std::printf("=== Table II reproduction (doublings=%u, budget=%.0fs) ===\n",
+              sp.doublings, time_budget());
+  std::printf(
+      "%-16s %8s %8s %9s %7s | %9s %9s | %8s %8s %8s %9s | %8s %8s\n",
+      "Benchmark", "#PIs", "#POs", "#Nodes", "Levels", "SAT(s)", "Pfl(s)",
+      "SIM(s)", "Red(%)", "SAT2(s)", "Total(s)", "vs.SAT", "vs.Pfl");
+
+  std::vector<double> speedup_sat, speedup_pfl;
+  for (const std::string& family : gen::table2_families()) {
+    const gen::BenchCase c = gen::make_case(family, sp);
+    const aig::Aig miter = aig::make_miter(c.original, c.optimized);
+    const MiterStats ms = miter_stats(miter);
+
+    // Baseline 1: standalone SAT sweeping (ABC &cec analogue).
+    Timer t_sat;
+    const sweep::SweepResult sat_result =
+        sweep::SatSweeper(sweeper_params()).check_miter(miter);
+    const double sat_seconds = t_sat.seconds();
+
+    // Baseline 2: multi-engine portfolio (Conformal analogue).
+    portfolio::PortfolioParams pp;
+    pp.combined = combined_params();
+    pp.sweeper = sweeper_params();
+    Timer t_pfl;
+    const portfolio::PortfolioResult pfl_result =
+        portfolio::portfolio_check_miter(miter, pp);
+    const double pfl_seconds = t_pfl.seconds();
+
+    // Ours: simulation engine + SAT on the residue (paper's GPU+ABC).
+    const portfolio::CombinedResult ours =
+        portfolio::combined_check_miter(miter, combined_params());
+
+    auto mark = [](Verdict v) {
+      return v == Verdict::kEquivalent
+                 ? ""
+                 : (v == Verdict::kUndecided ? "?" : "!");
+    };
+    const double vs_sat = sat_seconds / std::max(ours.total_seconds, 1e-9);
+    const double vs_pfl = pfl_seconds / std::max(ours.total_seconds, 1e-9);
+    std::printf(
+        "%-16s %8u %8zu %9zu %7u | %8.2f%s %8.2f%s | %8.2f %8.1f %8.2f "
+        "%9.2f%s | %7.2fx %7.2fx\n",
+        c.name.c_str(), ms.pis, ms.pos, ms.nodes, ms.levels, sat_seconds,
+        mark(sat_result.verdict), pfl_seconds, mark(pfl_result.verdict),
+        ours.engine_seconds, ours.reduction_percent, ours.sat_seconds,
+        ours.total_seconds, mark(ours.verdict), vs_sat, vs_pfl);
+    if (sat_result.verdict == Verdict::kEquivalent &&
+        ours.verdict == Verdict::kEquivalent)
+      speedup_sat.push_back(vs_sat);
+    if (pfl_result.verdict == Verdict::kEquivalent &&
+        ours.verdict == Verdict::kEquivalent)
+      speedup_pfl.push_back(vs_pfl);
+  }
+  std::printf("%-16s %62s | %28s | %7.2fx %7.2fx\n", "Geomean", "", "",
+              geomean(speedup_sat), geomean(speedup_pfl));
+  std::printf(
+      "\n(paper Table II: 4/9 cases fully proved by the engine alone;\n"
+      " geomean speedups 4.89x vs ABC and 4.88x vs Conformal. '!' marks a\n"
+      " disproof, '?' an undecided verdict within the time budget.)\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+/// \file quickstart.cpp
+/// \brief Five-minute tour of the SimSweep public API.
+///
+/// Builds two structurally different adders (ripple-carry vs Kogge-Stone),
+/// proves them equivalent with the simulation-based CEC engine, then
+/// breaks one of them and shows the counter-example.
+///
+/// Run: ./quickstart
+
+#include <cstdio>
+
+#include "engine/engine.hpp"
+#include "gen/arith.hpp"
+
+int main() {
+  using namespace simsweep;
+
+  // 1. Two implementations of the same 8-bit adder.
+  const aig::Aig ripple = gen::ripple_adder(8);
+  const aig::Aig prefix = gen::kogge_stone_adder(8);
+  std::printf("ripple adder:      %zu AND nodes\n", ripple.num_ands());
+  std::printf("kogge-stone adder: %zu AND nodes\n", prefix.num_ands());
+
+  // 2. Prove them equivalent by exhaustive simulation.
+  engine::SimCecEngine engine;  // paper-default parameters
+  const engine::EngineResult proof = engine.check(ripple, prefix);
+  std::printf("verdict: %s  (%.1f%% of the miter reduced, %.3fs)\n",
+              to_string(proof.verdict), proof.stats.reduction_percent(),
+              proof.stats.total_seconds);
+
+  // 3. Break sum bit 4 (gate it with input bit 0) and check again.
+  aig::Aig broken = gen::ripple_adder(8);
+  broken.set_po(4, broken.add_and(broken.po(4), broken.pi_lit(0)));
+  const engine::EngineResult refutation = engine.check(ripple, broken);
+  std::printf("broken adder verdict: %s\n", to_string(refutation.verdict));
+  if (refutation.cex) {
+    std::printf("counter-example PI assignment:");
+    for (bool b : *refutation.cex) std::printf(" %d", b ? 1 : 0);
+    std::printf("\n");
+    const auto out_good = ripple.evaluate(*refutation.cex);
+    const auto out_bad = broken.evaluate(*refutation.cex);
+    for (std::size_t i = 0; i < out_good.size(); ++i)
+      if (out_good[i] != out_bad[i])
+        std::printf("  output bit %zu differs: %d vs %d\n", i,
+                    out_good[i] ? 1 : 0, out_bad[i] ? 1 : 0);
+  }
+  return proof.verdict == Verdict::kEquivalent &&
+                 refutation.verdict == Verdict::kNotEquivalent
+             ? 0
+             : 1;
+}

@@ -1,0 +1,83 @@
+#include "aig/aig.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace simsweep::aig {
+
+Var Aig::add_pi() {
+  if (num_ands() != 0)
+    throw std::logic_error("all PIs must be added before AND nodes");
+  nodes_.emplace_back();
+  return ++num_pis_;  // PI index i (0-based) has variable id i + 1
+}
+
+Lit Aig::add_and(Lit a, Lit b) {
+  assert(lit_var(a) < nodes_.size() && lit_var(b) < nodes_.size());
+  // Normalize operand order so the strash key is canonical.
+  if (a > b) std::swap(a, b);
+  // Constant folding and trivial identities.
+  if (a == kLitFalse) return kLitFalse;
+  if (a == kLitTrue) return b;
+  if (a == b) return a;
+  if (a == lit_not(b)) return kLitFalse;
+  const std::uint64_t key = strash_key(a, b);
+  if (auto it = strash_.find(key); it != strash_.end())
+    return make_lit(it->second);
+  nodes_.push_back(Node{a, b});
+  const Var v = static_cast<Var>(nodes_.size() - 1);
+  strash_.emplace(key, v);
+  return make_lit(v);
+}
+
+Lit Aig::add_xor(Lit a, Lit b) {
+  // a ^ b = !(a b) & !(!a !b).
+  const Lit n0 = add_and(a, b);
+  const Lit n1 = add_and(lit_not(a), lit_not(b));
+  return add_and(lit_not(n0), lit_not(n1));
+}
+
+Lit Aig::add_mux(Lit sel, Lit t, Lit e) {
+  const Lit n0 = add_and(sel, t);
+  const Lit n1 = add_and(lit_not(sel), e);
+  return add_or(n0, n1);
+}
+
+Lit Aig::add_maj3(Lit a, Lit b, Lit c) {
+  const Lit ab = add_and(a, b);
+  const Lit ac = add_and(a, c);
+  const Lit bc = add_and(b, c);
+  return add_or(add_or(ab, ac), bc);
+}
+
+std::vector<bool> Aig::evaluate(const std::vector<bool>& pi_values) const {
+  assert(pi_values.size() == num_pis_);
+  std::vector<bool> value(nodes_.size());
+  value[0] = false;
+  for (unsigned i = 0; i < num_pis_; ++i) value[i + 1] = pi_values[i];
+  for (Var v = num_pis_ + 1; v < nodes_.size(); ++v) {
+    const bool f0 = value[lit_var(fanin0(v))] ^ lit_compl(fanin0(v));
+    const bool f1 = value[lit_var(fanin1(v))] ^ lit_compl(fanin1(v));
+    value[v] = f0 && f1;
+  }
+  std::vector<bool> out(pos_.size());
+  for (std::size_t i = 0; i < pos_.size(); ++i)
+    out[i] = value[lit_var(pos_[i])] ^ lit_compl(pos_[i]);
+  return out;
+}
+
+bool Aig::evaluate_lit(Lit lit, const std::vector<bool>& pi_values) const {
+  assert(pi_values.size() == num_pis_);
+  std::vector<bool> value(nodes_.size());
+  value[0] = false;
+  for (unsigned i = 0; i < num_pis_; ++i) value[i + 1] = pi_values[i];
+  for (Var v = num_pis_ + 1; v <= lit_var(lit); ++v) {
+    const bool f0 = value[lit_var(fanin0(v))] ^ lit_compl(fanin0(v));
+    const bool f1 = value[lit_var(fanin1(v))] ^ lit_compl(fanin1(v));
+    value[v] = f0 && f1;
+  }
+  return value[lit_var(lit)] ^ lit_compl(lit);
+}
+
+}  // namespace simsweep::aig

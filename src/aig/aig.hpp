@@ -1,0 +1,119 @@
+#pragma once
+/// \file aig.hpp
+/// \brief And-Inverter Graph (AIG) with structural hashing.
+///
+/// An AIG (paper §II-A) is a Boolean network whose internal nodes are
+/// two-input AND gates and whose edges carry optional inversions. Nodes are
+/// identified by dense variable ids:
+///
+///   var 0                      constant FALSE
+///   vars 1 .. num_pis()        primary inputs
+///   vars num_pis()+1 ..        AND nodes, in topological order
+///
+/// Edges are *literals*: lit = 2*var + complement, so lit 0 / lit 1 are the
+/// constants false / true (AIGER convention). Because AND nodes can only be
+/// created from existing literals, variable id order is always a valid
+/// topological order — all traversal code in SimSweep relies on this
+/// invariant.
+///
+/// add_and() performs constant folding, the trivial-identity rules, and
+/// structural hashing, so the graph never contains two AND nodes with the
+/// same (normalized) fanin pair.
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace simsweep::aig {
+
+/// An edge: variable id with optional complement in the LSB.
+using Lit = std::uint32_t;
+/// A node (variable) id.
+using Var = std::uint32_t;
+
+constexpr Lit kLitFalse = 0;
+constexpr Lit kLitTrue = 1;
+
+constexpr Lit make_lit(Var var, bool complement = false) {
+  return (var << 1) | static_cast<Lit>(complement);
+}
+constexpr Var lit_var(Lit lit) { return lit >> 1; }
+constexpr bool lit_compl(Lit lit) { return lit & 1; }
+constexpr Lit lit_not(Lit lit) { return lit ^ 1; }
+/// Complement lit iff c.
+constexpr Lit lit_notcond(Lit lit, bool c) {
+  return lit ^ static_cast<Lit>(c);
+}
+constexpr Lit lit_regular(Lit lit) { return lit & ~Lit{1}; }
+
+/// An AND node's two fanin literals. For PIs and the constant node the
+/// fanins are unused and set to 0.
+struct Node {
+  Lit fanin0 = 0;
+  Lit fanin1 = 0;
+};
+
+class Aig {
+ public:
+  Aig() { nodes_.emplace_back(); }  // var 0 = constant FALSE
+
+  /// Constructs an AIG with num_pis primary inputs.
+  explicit Aig(unsigned num_pis) : Aig() {
+    for (unsigned i = 0; i < num_pis; ++i) add_pi();
+  }
+
+  /// Adds a primary input. All PIs must be added before any AND node.
+  Var add_pi();
+
+  /// Adds (or finds, via structural hashing) the AND of two literals.
+  /// Applies constant folding and the idempotence/complement rules, so the
+  /// result may be an existing literal rather than a fresh node.
+  Lit add_and(Lit a, Lit b);
+
+  /// Derived gates, built from AND/INV.
+  Lit add_or(Lit a, Lit b) { return lit_not(add_and(lit_not(a), lit_not(b))); }
+  Lit add_xor(Lit a, Lit b);
+  Lit add_mux(Lit sel, Lit t, Lit e);  ///< sel ? t : e
+  Lit add_maj3(Lit a, Lit b, Lit c);   ///< majority of three
+
+  /// Registers a primary output driven by the given literal.
+  void add_po(Lit lit) { pos_.push_back(lit); }
+  void set_po(std::size_t i, Lit lit) { pos_[i] = lit; }
+
+  std::size_t num_nodes() const { return nodes_.size(); }  ///< incl. const
+  unsigned num_pis() const { return num_pis_; }
+  std::size_t num_pos() const { return pos_.size(); }
+  std::size_t num_ands() const { return nodes_.size() - 1 - num_pis_; }
+
+  bool is_const(Var v) const { return v == 0; }
+  bool is_pi(Var v) const { return v >= 1 && v <= num_pis_; }
+  bool is_and(Var v) const { return v > num_pis_; }
+
+  Lit fanin0(Var v) const { return nodes_[v].fanin0; }
+  Lit fanin1(Var v) const { return nodes_[v].fanin1; }
+  Lit po(std::size_t i) const { return pos_[i]; }
+  const std::vector<Lit>& pos() const { return pos_; }
+
+  /// The literal of PI index i (0-based), i.e. variable i+1.
+  Lit pi_lit(unsigned i) const { return make_lit(i + 1); }
+
+  /// Evaluates all POs under a complete PI assignment (slow reference
+  /// evaluator used by tests and CEX validation).
+  std::vector<bool> evaluate(const std::vector<bool>& pi_values) const;
+
+  /// Evaluates a single literal under a complete PI assignment.
+  bool evaluate_lit(Lit lit, const std::vector<bool>& pi_values) const;
+
+ private:
+  static std::uint64_t strash_key(Lit a, Lit b) {
+    return (static_cast<std::uint64_t>(a) << 32) | b;
+  }
+
+  std::vector<Node> nodes_;
+  std::vector<Lit> pos_;
+  unsigned num_pis_ = 0;
+  std::unordered_map<std::uint64_t, Var> strash_;
+};
+
+}  // namespace simsweep::aig

@@ -1,0 +1,145 @@
+#include "aig/aig_analysis.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace simsweep::aig {
+
+std::vector<std::uint32_t> compute_levels(const Aig& aig) {
+  std::vector<std::uint32_t> level(aig.num_nodes(), 0);
+  for (Var v = aig.num_pis() + 1; v < aig.num_nodes(); ++v)
+    level[v] = 1 + std::max(level[lit_var(aig.fanin0(v))],
+                            level[lit_var(aig.fanin1(v))]);
+  return level;
+}
+
+std::vector<std::uint32_t> compute_fanouts(const Aig& aig) {
+  std::vector<std::uint32_t> fanout(aig.num_nodes(), 0);
+  for (Var v = aig.num_pis() + 1; v < aig.num_nodes(); ++v) {
+    ++fanout[lit_var(aig.fanin0(v))];
+    ++fanout[lit_var(aig.fanin1(v))];
+  }
+  for (Lit po : aig.pos()) ++fanout[lit_var(po)];
+  return fanout;
+}
+
+std::vector<Var> sorted_union(const std::vector<Var>& a,
+                              const std::vector<Var>& b) {
+  std::vector<Var> out;
+  out.reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+SupportInfo compute_supports(const Aig& aig, unsigned cap) {
+  SupportInfo info;
+  info.sets.resize(aig.num_nodes());
+  info.overflow.assign(aig.num_nodes(), 0);
+  for (Var v = 1; v <= aig.num_pis(); ++v) info.sets[v] = {v};
+  for (Var v = aig.num_pis() + 1; v < aig.num_nodes(); ++v) {
+    const Var a = lit_var(aig.fanin0(v));
+    const Var b = lit_var(aig.fanin1(v));
+    if (info.overflow[a] || info.overflow[b]) {
+      info.overflow[v] = 1;
+      continue;
+    }
+    auto u = sorted_union(info.sets[a], info.sets[b]);
+    if (u.size() > cap) {
+      info.overflow[v] = 1;
+    } else {
+      info.sets[v] = std::move(u);
+    }
+  }
+  return info;
+}
+
+std::vector<Var> tfi_cone(const Aig& aig, const std::vector<Var>& roots,
+                          const std::vector<Var>& stops) {
+  // This runs once per window — potentially hundreds of thousands of
+  // times per engine run — so the visited markers are epoch-stamped
+  // thread-local scratch rather than a fresh O(num_nodes) allocation.
+  thread_local std::vector<std::uint64_t> stamp;
+  thread_local std::uint64_t epoch = 0;
+  if (stamp.size() < aig.num_nodes()) stamp.assign(aig.num_nodes(), 0);
+  epoch += 2;  // epoch = seen, epoch + 1 = stop
+  const std::uint64_t seen_mark = epoch, stop_mark = epoch + 1;
+
+  for (Var s : stops) stamp[s] = stop_mark;
+  std::vector<Var> stack;
+  std::vector<Var> cone;
+  for (Var r : roots) {
+    if (stamp[r] >= seen_mark) continue;
+    stamp[r] = seen_mark;
+    stack.push_back(r);
+  }
+  while (!stack.empty()) {
+    const Var v = stack.back();
+    stack.pop_back();
+    cone.push_back(v);
+    if (!aig.is_and(v)) continue;
+    for (const Var f : {lit_var(aig.fanin0(v)), lit_var(aig.fanin1(v))}) {
+      if (stamp[f] >= seen_mark) continue;
+      stamp[f] = seen_mark;
+      stack.push_back(f);
+    }
+  }
+  std::sort(cone.begin(), cone.end());
+  return cone;
+}
+
+tt::TruthTable cone_truth_table(const Aig& aig, Lit lit,
+                                const std::vector<Var>& inputs) {
+  const unsigned k = static_cast<unsigned>(inputs.size());
+  if (k > 24) throw std::invalid_argument("cone_truth_table: cone too wide");
+  const Var root = lit_var(lit);
+  const std::vector<Var> cone = tfi_cone(aig, {root}, inputs);
+
+  // Map variables in the cone (plus inputs) to their tables.
+  std::vector<int> slot(aig.num_nodes(), -1);
+  std::vector<tt::TruthTable> tts;
+  tts.reserve(cone.size() + inputs.size() + 1);
+  auto assign = [&](Var v, tt::TruthTable t) {
+    slot[v] = static_cast<int>(tts.size());
+    tts.push_back(std::move(t));
+  };
+  assign(0, tt::TruthTable::zeros(k));
+  for (unsigned i = 0; i < k; ++i)
+    assign(inputs[i], tt::TruthTable::projection(i, k));
+  for (Var v : cone) {
+    if (slot[v] >= 0) continue;  // an input or the constant
+    if (!aig.is_and(v))
+      throw std::invalid_argument(
+          "cone_truth_table: inputs do not form a cut of the root");
+    const Lit f0 = aig.fanin0(v);
+    const Lit f1 = aig.fanin1(v);
+    assert(slot[lit_var(f0)] >= 0 && slot[lit_var(f1)] >= 0);
+    const tt::TruthTable& t0 = tts[slot[lit_var(f0)]];
+    const tt::TruthTable& t1 = tts[slot[lit_var(f1)]];
+    assign(v, (lit_compl(f0) ? ~t0 : t0) & (lit_compl(f1) ? ~t1 : t1));
+  }
+  const tt::TruthTable& t = tts[slot[root]];
+  return lit_compl(lit) ? ~t : t;
+}
+
+tt::TruthTable global_truth_table(const Aig& aig, Lit lit) {
+  std::vector<Var> pis(aig.num_pis());
+  for (unsigned i = 0; i < aig.num_pis(); ++i) pis[i] = i + 1;
+  return cone_truth_table(aig, lit, pis);
+}
+
+bool brute_force_equivalent(const Aig& a, const Aig& b) {
+  if (a.num_pis() != b.num_pis() || a.num_pos() != b.num_pos()) return false;
+  if (a.num_pis() > 22)
+    throw std::invalid_argument("brute_force_equivalent: too many PIs");
+  const std::uint64_t n = std::uint64_t{1} << a.num_pis();
+  std::vector<bool> assignment(a.num_pis());
+  for (std::uint64_t i = 0; i < n; ++i) {
+    for (unsigned j = 0; j < a.num_pis(); ++j) assignment[j] = (i >> j) & 1;
+    if (a.evaluate(assignment) != b.evaluate(assignment)) return false;
+  }
+  return true;
+}
+
+}  // namespace simsweep::aig

@@ -1,0 +1,70 @@
+#pragma once
+/// \file aig_analysis.hpp
+/// \brief Structural analyses over AIGs: levels, fanout counts, capped
+/// structural supports, TFI cones, and reference truth-table computation.
+///
+/// These correspond to the definitions of paper §II-A (level, support,
+/// logic cone, global function) and back the thresholds of the engine flow
+/// (k_P / k_p / k_g are *support size* thresholds, paper §III-D).
+
+#include <cstdint>
+#include <vector>
+
+#include "aig/aig.hpp"
+#include "tt/truth_table.hpp"
+
+namespace simsweep::aig {
+
+/// Level of every variable: PIs and the constant are level 0, an AND node
+/// is 1 + max(level of fanins). Index by Var.
+std::vector<std::uint32_t> compute_levels(const Aig& aig);
+
+/// Number of fanouts of every variable, counting PO references.
+std::vector<std::uint32_t> compute_fanouts(const Aig& aig);
+
+/// Structural supports with a size cap.
+///
+/// sets[v] is the sorted list of PI *variable ids* in the support of v —
+/// unless the support grew beyond `cap`, in which case overflow[v] is true
+/// and sets[v] is empty. Overflow propagates to all TFOs. The cap bounds
+/// both memory and time on multi-million-node miters where only supports
+/// up to the engine thresholds (<= k_P) matter.
+struct SupportInfo {
+  std::vector<std::vector<Var>> sets;
+  std::vector<std::uint8_t> overflow;
+
+  /// Support size, or cap+1-like sentinel when overflowed.
+  bool small(Var v) const { return !overflow[v]; }
+};
+
+SupportInfo compute_supports(const Aig& aig, unsigned cap);
+
+/// Sorted union of two sorted variable lists.
+std::vector<Var> sorted_union(const std::vector<Var>& a,
+                              const std::vector<Var>& b);
+
+/// Collects the TFI cone of `root`: every variable on a path from a PI (or
+/// constant) to root, including root, excluding variables in `stops`
+/// (cut/window inputs). Returned in increasing id order (= topological).
+/// If a PI or the constant node is reached that is not in `stops`, it is
+/// included in the result; callers that require closed windows must check
+/// validity themselves (see window.cpp).
+std::vector<Var> tfi_cone(const Aig& aig, const std::vector<Var>& roots,
+                          const std::vector<Var>& stops);
+
+/// Reference (single-threaded, exact) truth table of `lit` in terms of the
+/// given ordered input variables. All paths from PIs to lit must pass
+/// through `inputs` unless they start at a PI contained in `inputs`.
+/// Intended for tests and small cones; cost is O(cone * 2^k / 64).
+tt::TruthTable cone_truth_table(const Aig& aig, Lit lit,
+                                const std::vector<Var>& inputs);
+
+/// Global function of `lit` in terms of *all* PIs of the AIG (variable i of
+/// the table is PI index i). Only usable for small PI counts.
+tt::TruthTable global_truth_table(const Aig& aig, Lit lit);
+
+/// Exact equivalence check of two AIGs by exhaustive evaluation over all
+/// 2^num_pis assignments. Test oracle only; requires equal PI/PO counts.
+bool brute_force_equivalent(const Aig& a, const Aig& b);
+
+}  // namespace simsweep::aig

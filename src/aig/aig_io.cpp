@@ -1,0 +1,158 @@
+#include "aig/aig_io.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace simsweep::aig {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& msg) {
+  throw std::runtime_error("aiger: " + msg);
+}
+
+/// Reads a single AIGER varint (LEB128: 7 data bits per byte, MSB = more).
+std::uint32_t read_varint(std::istream& in) {
+  std::uint32_t value = 0;
+  unsigned shift = 0;
+  for (;;) {
+    const int ch = in.get();
+    if (ch == EOF) fail("unexpected EOF in delta encoding");
+    value |= static_cast<std::uint32_t>(ch & 0x7F) << shift;
+    if (!(ch & 0x80)) return value;
+    shift += 7;
+    if (shift > 28) fail("varint too long");
+  }
+}
+
+void write_varint(std::ostream& out, std::uint32_t value) {
+  while (value >= 0x80) {
+    out.put(static_cast<char>((value & 0x7F) | 0x80));
+    value >>= 7;
+  }
+  out.put(static_cast<char>(value));
+}
+
+/// Builds an Aig from raw AIGER and-gate rows. `ands[i]` defines literal
+/// 2*(num_pis+1+i). Translation re-strashes, so the resulting literal of a
+/// gate can differ from its AIGER literal; `lit_of` tracks the mapping.
+Aig build(std::uint32_t num_pis, const std::vector<std::uint32_t>& outputs,
+          const std::vector<std::pair<std::uint32_t, std::uint32_t>>& ands) {
+  Aig aig(num_pis);
+  std::vector<Lit> lit_of(1 + num_pis + ands.size());
+  lit_of[0] = kLitFalse;
+  for (std::uint32_t i = 0; i < num_pis; ++i) lit_of[i + 1] = aig.pi_lit(i);
+  auto xlat = [&](std::uint32_t aiger_lit) {
+    const std::uint32_t var = aiger_lit >> 1;
+    if (var >= lit_of.size()) fail("literal out of range");
+    return lit_notcond(lit_of[var], aiger_lit & 1);
+  };
+  for (std::size_t i = 0; i < ands.size(); ++i)
+    lit_of[1 + num_pis + i] = aig.add_and(xlat(ands[i].first),
+                                          xlat(ands[i].second));
+  for (std::uint32_t o : outputs) aig.add_po(xlat(o));
+  return aig;
+}
+
+}  // namespace
+
+Aig read_aiger(std::istream& in) {
+  std::string magic;
+  in >> magic;
+  std::uint32_t m = 0, i = 0, l = 0, o = 0, a = 0;
+  if (!(in >> m >> i >> l >> o >> a)) fail("bad header");
+  if (l != 0) fail("latches are not supported (combinational only)");
+  if (m < i + a) fail("inconsistent header counts");
+
+  std::vector<std::uint32_t> outputs(o);
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> ands(a);
+
+  if (magic == "aag") {
+    for (std::uint32_t k = 0; k < i; ++k) {
+      std::uint32_t lit;
+      if (!(in >> lit)) fail("missing input literal");
+      if (lit != 2 * (k + 1)) fail("non-contiguous input literals");
+    }
+    for (auto& out : outputs)
+      if (!(in >> out)) fail("missing output literal");
+    for (std::uint32_t k = 0; k < a; ++k) {
+      std::uint32_t lhs, rhs0, rhs1;
+      if (!(in >> lhs >> rhs0 >> rhs1)) fail("missing and-gate row");
+      if (lhs != 2 * (i + l + k + 1)) fail("non-contiguous and literals");
+      // ASCII aag does not require rhs0 >= rhs1; only topological order.
+      if (rhs0 >= lhs || rhs1 >= lhs) fail("and-gate row not topological");
+      ands[k] = {rhs0, rhs1};
+    }
+  } else if (magic == "aig") {
+    for (auto& out : outputs)
+      if (!(in >> out)) fail("missing output literal");
+    in.ignore();  // newline before the binary section
+    for (std::uint32_t k = 0; k < a; ++k) {
+      const std::uint32_t lhs = 2 * (i + l + k + 1);
+      const std::uint32_t delta0 = read_varint(in);
+      const std::uint32_t delta1 = read_varint(in);
+      if (delta0 == 0 || delta0 > lhs) fail("bad delta0");
+      const std::uint32_t rhs0 = lhs - delta0;
+      if (delta1 > rhs0) fail("bad delta1");
+      ands[k] = {rhs0, rhs0 - delta1};
+    }
+  } else {
+    fail("unknown magic '" + magic + "'");
+  }
+  return build(i, outputs, ands);
+}
+
+Aig read_aiger_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) fail("cannot open '" + path + "'");
+  return read_aiger(in);
+}
+
+namespace {
+
+/// Computes compact AIGER literals for writing: dangling gates are kept
+/// (AIGER allows them) so the mapping is the identity.
+void write_common(const Aig& aig, std::ostream& out, bool binary) {
+  const std::uint32_t i = aig.num_pis();
+  const std::uint32_t a = static_cast<std::uint32_t>(aig.num_ands());
+  const std::uint32_t m = i + a;
+  out << (binary ? "aig " : "aag ") << m << ' ' << i << " 0 "
+      << aig.num_pos() << ' ' << a << '\n';
+  if (!binary)
+    for (std::uint32_t k = 0; k < i; ++k) out << 2 * (k + 1) << '\n';
+  for (Lit po : aig.pos()) out << po << '\n';
+  for (Var v = i + 1; v < aig.num_nodes(); ++v) {
+    const std::uint32_t lhs = 2 * v;
+    std::uint32_t rhs0 = aig.fanin0(v);
+    std::uint32_t rhs1 = aig.fanin1(v);
+    if (rhs0 < rhs1) std::swap(rhs0, rhs1);
+    if (binary) {
+      write_varint(out, lhs - rhs0);
+      write_varint(out, rhs0 - rhs1);
+    } else {
+      out << lhs << ' ' << rhs0 << ' ' << rhs1 << '\n';
+    }
+  }
+}
+
+}  // namespace
+
+void write_aiger(const Aig& aig, std::ostream& out) {
+  write_common(aig, out, /*binary=*/true);
+}
+
+void write_aiger_ascii(const Aig& aig, std::ostream& out) {
+  write_common(aig, out, /*binary=*/false);
+}
+
+void write_aiger_file(const Aig& aig, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) fail("cannot open '" + path + "' for writing");
+  write_aiger(aig, out);
+}
+
+}  // namespace simsweep::aig

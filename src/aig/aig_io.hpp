@@ -1,0 +1,31 @@
+#pragma once
+/// \file aig_io.hpp
+/// \brief AIGER 1.9 reader/writer (combinational subset).
+///
+/// Supports both the ASCII ("aag") and binary ("aig") formats for
+/// combinational circuits (no latches). SimSweep's variable numbering is
+/// identical to AIGER's (var i <-> AIGER literal 2i, PIs are vars
+/// 1..num_pis), so conversion is direct. Symbol tables and comments are
+/// skipped on read and omitted on write.
+
+#include <iosfwd>
+#include <string>
+
+#include "aig/aig.hpp"
+
+namespace simsweep::aig {
+
+/// Parses an AIGER file (auto-detects aag/aig by the header magic).
+/// Throws std::runtime_error on malformed input or latches.
+Aig read_aiger(std::istream& in);
+Aig read_aiger_file(const std::string& path);
+
+/// Writes binary AIGER. The AIG must already be topologically ordered
+/// (always true for Aig) but may contain dangling nodes.
+void write_aiger(const Aig& aig, std::ostream& out);
+void write_aiger_file(const Aig& aig, const std::string& path);
+
+/// Writes ASCII AIGER ("aag").
+void write_aiger_ascii(const Aig& aig, std::ostream& out);
+
+}  // namespace simsweep::aig

@@ -1,0 +1,67 @@
+#include "aig/aig_utils.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "aig/aig_analysis.hpp"
+
+namespace simsweep::aig {
+
+AigStats compute_stats(const Aig& aig) {
+  AigStats s;
+  s.num_pis = aig.num_pis();
+  s.num_pos = aig.num_pos();
+  s.num_ands = aig.num_ands();
+  const auto levels = compute_levels(aig);
+  s.max_level = levels.empty()
+                    ? 0
+                    : *std::max_element(levels.begin(), levels.end());
+  for (Lit po : aig.pos()) s.num_const_pos += lit_var(po) == 0;
+  const auto fanouts = compute_fanouts(aig);
+  std::size_t fanout_sum = 0, with_fanout = 0;
+  for (Var v = aig.num_pis() + 1; v < aig.num_nodes(); ++v) {
+    if (fanouts[v] == 0) ++s.num_dangling;
+    else {
+      fanout_sum += fanouts[v];
+      ++with_fanout;
+    }
+  }
+  s.avg_fanout = with_fanout
+                     ? static_cast<double>(fanout_sum) /
+                           static_cast<double>(with_fanout)
+                     : 0.0;
+  return s;
+}
+
+std::string stats_line(const Aig& aig) {
+  const AigStats s = compute_stats(aig);
+  std::ostringstream os;
+  os << "pi=" << s.num_pis << " po=" << s.num_pos << " and=" << s.num_ands
+     << " lev=" << s.max_level;
+  if (s.num_dangling) os << " dangling=" << s.num_dangling;
+  return os.str();
+}
+
+void write_dot(const Aig& aig, std::ostream& out) {
+  out << "digraph aig {\n  rankdir=BT;\n";
+  out << "  n0 [label=\"0\", shape=box, style=dotted];\n";
+  for (unsigned i = 0; i < aig.num_pis(); ++i)
+    out << "  n" << (i + 1) << " [label=\"x" << i << "\", shape=box];\n";
+  for (Var v = aig.num_pis() + 1; v < aig.num_nodes(); ++v) {
+    out << "  n" << v << " [label=\"" << v << "\", shape=circle];\n";
+    for (const Lit f : {aig.fanin0(v), aig.fanin1(v)})
+      out << "  n" << lit_var(f) << " -> n" << v
+          << (lit_compl(f) ? " [style=dashed];\n" : ";\n");
+  }
+  for (std::size_t i = 0; i < aig.num_pos(); ++i) {
+    out << "  po" << i << " [label=\"y" << i
+        << "\", shape=doublecircle];\n";
+    const Lit po = aig.po(i);
+    out << "  n" << lit_var(po) << " -> po" << i
+        << (lit_compl(po) ? " [style=dashed];\n" : ";\n");
+  }
+  out << "}\n";
+}
+
+}  // namespace simsweep::aig

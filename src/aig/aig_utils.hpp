@@ -1,0 +1,34 @@
+#pragma once
+/// \file aig_utils.hpp
+/// \brief Reporting utilities: human-readable statistics and Graphviz
+/// export for AIGs (debugging and documentation aids).
+
+#include <iosfwd>
+#include <string>
+
+#include "aig/aig.hpp"
+
+namespace simsweep::aig {
+
+/// Aggregate statistics of an AIG.
+struct AigStats {
+  unsigned num_pis = 0;
+  std::size_t num_pos = 0;
+  std::size_t num_ands = 0;
+  std::uint32_t max_level = 0;
+  std::size_t num_const_pos = 0;   ///< POs tied to a constant
+  std::size_t num_dangling = 0;    ///< AND nodes with no fanout
+  double avg_fanout = 0;           ///< over AND nodes with fanout
+};
+
+AigStats compute_stats(const Aig& aig);
+
+/// One-line summary like "pi=8 po=4 and=123 lev=17".
+std::string stats_line(const Aig& aig);
+
+/// Writes a Graphviz dot rendering: AND nodes as circles, PIs as boxes,
+/// complemented edges dashed, POs as double circles. Intended for small
+/// graphs (debugging, documentation figures).
+void write_dot(const Aig& aig, std::ostream& out);
+
+}  // namespace simsweep::aig

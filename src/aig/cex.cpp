@@ -1,0 +1,77 @@
+#include "aig/cex.hpp"
+
+#include <stdexcept>
+
+namespace simsweep::aig {
+
+namespace {
+
+Ternary ternary_not(Ternary t) {
+  if (t == Ternary::kX) return Ternary::kX;
+  return t == Ternary::k0 ? Ternary::k1 : Ternary::k0;
+}
+
+Ternary ternary_and(Ternary a, Ternary b) {
+  if (a == Ternary::k0 || b == Ternary::k0) return Ternary::k0;
+  if (a == Ternary::kX || b == Ternary::kX) return Ternary::kX;
+  return Ternary::k1;
+}
+
+}  // namespace
+
+std::vector<Ternary> ternary_simulate(
+    const Aig& aig, const std::vector<Ternary>& pi_values) {
+  std::vector<Ternary> value(aig.num_nodes(), Ternary::k0);
+  for (unsigned i = 0; i < aig.num_pis(); ++i) value[i + 1] = pi_values[i];
+  for (Var v = aig.num_pis() + 1; v < aig.num_nodes(); ++v) {
+    const Lit f0 = aig.fanin0(v), f1 = aig.fanin1(v);
+    Ternary a = value[lit_var(f0)];
+    if (lit_compl(f0)) a = ternary_not(a);
+    Ternary b = value[lit_var(f1)];
+    if (lit_compl(f1)) b = ternary_not(b);
+    value[v] = ternary_and(a, b);
+  }
+  return value;
+}
+
+Ternary ternary_value(const std::vector<Ternary>& values, Lit lit) {
+  const Ternary t = values[lit_var(lit)];
+  return lit_compl(lit) ? ternary_not(t) : t;
+}
+
+int find_failing_po(const Aig& miter, const std::vector<bool>& cex) {
+  const auto outs = miter.evaluate(cex);
+  for (std::size_t i = 0; i < outs.size(); ++i)
+    if (outs[i]) return static_cast<int>(i);
+  return -1;
+}
+
+MinimizedCex minimize_cex(const Aig& miter, const std::vector<bool>& cex,
+                          std::size_t po_index) {
+  if (!miter.evaluate(cex)[po_index])
+    throw std::invalid_argument("minimize_cex: assignment does not fail");
+
+  MinimizedCex out;
+  out.values = cex;
+  out.care.assign(miter.num_pis(), true);
+
+  std::vector<Ternary> pis(miter.num_pis());
+  for (unsigned i = 0; i < miter.num_pis(); ++i)
+    pis[i] = cex[i] ? Ternary::k1 : Ternary::k0;
+
+  // Greedy X-lifting: drop a PI if the failing PO stays definitely 1.
+  for (unsigned i = 0; i < miter.num_pis(); ++i) {
+    const Ternary saved = pis[i];
+    pis[i] = Ternary::kX;
+    const auto values = ternary_simulate(miter, pis);
+    if (ternary_value(values, miter.po(po_index)) == Ternary::k1) {
+      out.care[i] = false;
+    } else {
+      pis[i] = saved;
+    }
+  }
+  for (bool c : out.care) out.num_care += c;
+  return out;
+}
+
+}  // namespace simsweep::aig

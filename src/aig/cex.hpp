@@ -1,0 +1,48 @@
+#pragma once
+/// \file cex.hpp
+/// \brief Counter-example utilities: ternary simulation and CEX
+/// minimization.
+///
+/// A raw CEX from any checker assigns every PI. Most assignments are
+/// irrelevant; reporting a minimized cube ("PO 3 fails whenever x2=1 and
+/// x7=0") is far more useful to a human debugging the design. The
+/// standard technique is ternary (0/1/X) simulation: a PI is dropped from
+/// the cube when X-ing it still forces the failing PO to 1.
+
+#include <cstdint>
+#include <vector>
+
+#include "aig/aig.hpp"
+
+namespace simsweep::aig {
+
+enum class Ternary : std::uint8_t { k0 = 0, k1 = 1, kX = 2 };
+
+/// Three-valued simulation of the whole AIG. AND semantics: 0 dominates,
+/// X otherwise unless both inputs are 1.
+std::vector<Ternary> ternary_simulate(const Aig& aig,
+                                      const std::vector<Ternary>& pi_values);
+
+/// Evaluates one literal from a completed ternary simulation.
+Ternary ternary_value(const std::vector<Ternary>& values, Lit lit);
+
+/// A minimized counter-example: `care[i]` says whether PI i's value in
+/// `values` is required for the failure.
+struct MinimizedCex {
+  std::vector<bool> values;
+  std::vector<bool> care;
+  std::size_t num_care = 0;
+};
+
+/// Minimizes a failing assignment for PO `po_index` of a miter (the PO
+/// must evaluate to 1 under `cex`; throws std::invalid_argument
+/// otherwise). Greedy one-pass X-lifting: sound (the returned cube always
+/// fails) but not guaranteed minimum.
+MinimizedCex minimize_cex(const Aig& miter, const std::vector<bool>& cex,
+                          std::size_t po_index);
+
+/// Finds a failing PO under `cex`, or -1 if none fails (helper for
+/// callers holding a checker-produced CEX).
+int find_failing_po(const Aig& miter, const std::vector<bool>& cex);
+
+}  // namespace simsweep::aig

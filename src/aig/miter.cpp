@@ -1,0 +1,50 @@
+#include "aig/miter.hpp"
+
+#include <stdexcept>
+
+namespace simsweep::aig {
+
+Aig make_miter(const Aig& a, const Aig& b) {
+  if (a.num_pis() != b.num_pis() || a.num_pos() != b.num_pos())
+    throw std::invalid_argument("make_miter: PI/PO interface mismatch");
+  Aig m(a.num_pis());
+
+  // Copy a circuit into the miter, returning the PO literals in miter ids.
+  auto copy_in = [&m](const Aig& src) {
+    std::vector<Lit> lit_of(src.num_nodes());
+    lit_of[0] = kLitFalse;
+    for (unsigned i = 0; i < src.num_pis(); ++i) lit_of[i + 1] = m.pi_lit(i);
+    for (Var v = src.num_pis() + 1; v < src.num_nodes(); ++v) {
+      const Lit f0 = src.fanin0(v);
+      const Lit f1 = src.fanin1(v);
+      lit_of[v] = m.add_and(lit_notcond(lit_of[lit_var(f0)], lit_compl(f0)),
+                            lit_notcond(lit_of[lit_var(f1)], lit_compl(f1)));
+    }
+    std::vector<Lit> pos(src.num_pos());
+    for (std::size_t i = 0; i < src.num_pos(); ++i) {
+      const Lit po = src.po(i);
+      pos[i] = lit_notcond(lit_of[lit_var(po)], lit_compl(po));
+    }
+    return pos;
+  };
+
+  const std::vector<Lit> pos_a = copy_in(a);
+  const std::vector<Lit> pos_b = copy_in(b);
+  for (std::size_t i = 0; i < pos_a.size(); ++i)
+    m.add_po(m.add_xor(pos_a[i], pos_b[i]));
+  return m;
+}
+
+bool miter_proved(const Aig& miter) {
+  for (Lit po : miter.pos())
+    if (po != kLitFalse) return false;
+  return true;
+}
+
+bool miter_disproved(const Aig& miter) {
+  for (Lit po : miter.pos())
+    if (po == kLitTrue) return true;
+  return false;
+}
+
+}  // namespace simsweep::aig

@@ -1,0 +1,26 @@
+#pragma once
+/// \file miter.hpp
+/// \brief Miter construction (paper §II-B).
+///
+/// A miter shares the corresponding PI pairs of the two circuits being
+/// compared and XORs corresponding PO pairs; the XOR outputs become the
+/// miter's POs. The two circuits are equivalent iff every miter PO is
+/// constant zero.
+
+#include "aig/aig.hpp"
+
+namespace simsweep::aig {
+
+/// Builds the miter of two AIGs with matching PI/PO counts. PI i of both
+/// operands maps to PI i of the miter; PO i of the miter is
+/// a.po(i) XOR b.po(i). Throws std::invalid_argument on interface mismatch.
+Aig make_miter(const Aig& a, const Aig& b);
+
+/// True if the miter is solved: every PO is the constant-false literal.
+bool miter_proved(const Aig& miter);
+
+/// True if some PO is the constant-true literal (circuits definitely
+/// inequivalent regardless of the rest).
+bool miter_disproved(const Aig& miter);
+
+}  // namespace simsweep::aig

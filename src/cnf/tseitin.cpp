@@ -1,0 +1,47 @@
+#include "cnf/tseitin.hpp"
+
+#include <vector>
+
+namespace simsweep::cnf {
+
+sat::Var TseitinEncoder::touch(aig::Var v) {
+  if (sat_var_[v] < 0) {
+    sat_var_[v] = solver_.new_var();
+    if (v == 0) solver_.add_clause(sat::mk_lit(sat_var_[0], true));
+  }
+  return sat_var_[v];
+}
+
+sat::Lit TseitinEncoder::encode(aig::Lit lit) {
+  const aig::Var root = aig::lit_var(lit);
+
+  // Iterative DFS: encode every unencoded AND node in the cone.
+  std::vector<aig::Var> stack{root};
+  std::vector<aig::Var> post;  // nodes needing clauses, any order is fine
+  while (!stack.empty()) {
+    const aig::Var v = stack.back();
+    stack.pop_back();
+    if (sat_var_[v] >= 0) continue;
+    touch(v);
+    if (!aig_.is_and(v)) continue;
+    post.push_back(v);
+    stack.push_back(aig::lit_var(aig_.fanin0(v)));
+    stack.push_back(aig::lit_var(aig_.fanin1(v)));
+  }
+  for (const aig::Var v : post) {
+    // n = a & b  (a, b are the fanin literals as SAT literals).
+    const aig::Lit f0 = aig_.fanin0(v);
+    const aig::Lit f1 = aig_.fanin1(v);
+    const sat::Lit n = sat::mk_lit(sat_var_[v]);
+    const sat::Lit a =
+        sat::mk_lit(touch(aig::lit_var(f0)), aig::lit_compl(f0));
+    const sat::Lit b =
+        sat::mk_lit(touch(aig::lit_var(f1)), aig::lit_compl(f1));
+    solver_.add_clause(~n, a);
+    solver_.add_clause(~n, b);
+    solver_.add_clause(n, ~a, ~b);
+  }
+  return sat::mk_lit(sat_var_[root], aig::lit_compl(lit));
+}
+
+}  // namespace simsweep::cnf

@@ -1,0 +1,40 @@
+#pragma once
+/// \file tseitin.hpp
+/// \brief Incremental Tseitin encoding of AIG cones into a SAT solver.
+///
+/// The SAT-sweeping baseline checks many node pairs against one growing
+/// solver instance. Encoding the whole miter up front wastes effort, so
+/// the encoder adds clauses lazily: encode(lit) walks the literal's TFI
+/// and emits the AND-gate clauses
+///     n -> a,  n -> b,  (a & b) -> n
+/// only for nodes not yet encoded. Each AIG variable maps to one solver
+/// variable, created on first touch.
+
+#include <vector>
+
+#include "aig/aig.hpp"
+#include "sat/solver.hpp"
+
+namespace simsweep::cnf {
+
+class TseitinEncoder {
+ public:
+  TseitinEncoder(const aig::Aig& aig, sat::Solver& solver)
+      : aig_(aig), solver_(solver), sat_var_(aig.num_nodes(), -1) {}
+
+  /// Ensures the cone of `lit` is encoded; returns the SAT literal
+  /// corresponding to the AIG literal.
+  sat::Lit encode(aig::Lit lit);
+
+  /// SAT variable of an AIG variable, or -1 if not yet encoded.
+  sat::Var sat_var(aig::Var v) const { return sat_var_[v]; }
+
+ private:
+  sat::Var touch(aig::Var v);
+
+  const aig::Aig& aig_;
+  sat::Solver& solver_;
+  std::vector<sat::Var> sat_var_;
+};
+
+}  // namespace simsweep::cnf

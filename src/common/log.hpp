@@ -1,0 +1,36 @@
+#pragma once
+/// \file log.hpp
+/// \brief Minimal leveled logging for engine diagnostics.
+///
+/// The engine prints progress (phase transitions, proved/disproved counts)
+/// at Info level; the default level is Warn so that library users get a
+/// quiet API unless they opt in.
+
+#include <cstdio>
+#include <string>
+
+namespace simsweep {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Global verbosity threshold. Messages below this level are dropped.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+/// printf-style logging; prepends a level tag and flushes stderr.
+void log_message(LogLevel level, const char* fmt, ...)
+#if defined(__GNUC__)
+    __attribute__((format(printf, 2, 3)))
+#endif
+    ;
+
+#define SIMSWEEP_LOG_DEBUG(...) \
+  ::simsweep::log_message(::simsweep::LogLevel::Debug, __VA_ARGS__)
+#define SIMSWEEP_LOG_INFO(...) \
+  ::simsweep::log_message(::simsweep::LogLevel::Info, __VA_ARGS__)
+#define SIMSWEEP_LOG_WARN(...) \
+  ::simsweep::log_message(::simsweep::LogLevel::Warn, __VA_ARGS__)
+#define SIMSWEEP_LOG_ERROR(...) \
+  ::simsweep::log_message(::simsweep::LogLevel::Error, __VA_ARGS__)
+
+}  // namespace simsweep

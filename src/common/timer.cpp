@@ -1,0 +1,3 @@
+#include "common/timer.hpp"
+
+// Header-only; this translation unit anchors the library target.

@@ -1,0 +1,63 @@
+#pragma once
+/// \file timer.hpp
+/// \brief Wall-clock timing utilities used by the engine's per-phase
+/// statistics and the benchmark harnesses.
+
+#include <chrono>
+#include <cstdint>
+
+namespace simsweep {
+
+/// Monotonic stopwatch. Construction starts the clock.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restart the stopwatch.
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed.
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates time across multiple disjoint intervals (used for the
+/// phase-breakdown measurements reproducing paper Fig. 6).
+class Stopwatch {
+ public:
+  void start() { running_ = true; timer_.reset(); }
+  void stop() {
+    if (running_) total_ += timer_.seconds();
+    running_ = false;
+  }
+  double seconds() const {
+    return total_ + (running_ ? timer_.seconds() : 0.0);
+  }
+
+ private:
+  Timer timer_;
+  double total_ = 0.0;
+  bool running_ = false;
+};
+
+/// RAII guard that charges the enclosed scope to a Stopwatch.
+class ScopedStopwatch {
+ public:
+  explicit ScopedStopwatch(Stopwatch& sw) : sw_(sw) { sw_.start(); }
+  ~ScopedStopwatch() { sw_.stop(); }
+  ScopedStopwatch(const ScopedStopwatch&) = delete;
+  ScopedStopwatch& operator=(const ScopedStopwatch&) = delete;
+
+ private:
+  Stopwatch& sw_;
+};
+
+}  // namespace simsweep

@@ -1,0 +1,22 @@
+#pragma once
+/// \file verdict.hpp
+/// \brief The tri-state answer of a combinational equivalence check.
+
+namespace simsweep {
+
+enum class Verdict {
+  kEquivalent,     ///< all miter POs proved constant 0
+  kNotEquivalent,  ///< a disproving input pattern exists
+  kUndecided       ///< gave up within the configured budget
+};
+
+inline const char* to_string(Verdict v) {
+  switch (v) {
+    case Verdict::kEquivalent: return "equivalent";
+    case Verdict::kNotEquivalent: return "NOT equivalent";
+    case Verdict::kUndecided: return "undecided";
+  }
+  return "?";
+}
+
+}  // namespace simsweep

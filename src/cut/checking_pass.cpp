@@ -1,0 +1,181 @@
+#include "cut/checking_pass.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/log.hpp"
+#include "cut/common_cuts.hpp"
+#include "parallel/thread_pool.hpp"
+#include "window/window.hpp"
+
+namespace simsweep::cut {
+
+namespace {
+
+/// One buffered local check: prove tasks[task] over `cut`.
+struct BufEntry {
+  std::uint32_t task = 0;
+  Cut cut;
+};
+
+/// Flushes the buffer through the exhaustive simulator (Alg. 2 lines
+/// 13-15 / 17-18). Entries of already-proved tasks are dropped.
+void flush_buffer(const aig::Aig& aig, const std::vector<PairTask>& tasks,
+                  std::vector<BufEntry>& buffer,
+                  std::vector<std::uint8_t>& proved, const PassParams& params,
+                  PassStats& stats) {
+  if (buffer.empty()) return;
+  ++stats.flushes;
+
+  // Build one single-item window per buffered cut, in parallel.
+  std::vector<std::optional<window::Window>> built(buffer.size());
+  parallel::parallel_for(0, buffer.size(), [&](std::size_t i) {
+    const BufEntry& e = buffer[i];
+    if (proved[e.task]) return;
+    const PairTask& t = tasks[e.task];
+    std::vector<aig::Var> inputs(e.cut.leaves.begin(),
+                                 e.cut.leaves.begin() + e.cut.size);
+    window::CheckItem item{aig::make_lit(t.repr, t.phase),
+                           aig::make_lit(t.node), e.task};
+    built[i] = window::build_window(aig, std::move(inputs), {item});
+  });
+
+  std::vector<window::Window> windows;
+  windows.reserve(buffer.size());
+  for (auto& w : built)
+    if (w) windows.push_back(std::move(*w));
+  buffer.clear();
+  if (windows.empty()) return;
+
+  exhaustive::Params sim = params.sim_params;
+  sim.collect_cex = false;  // local mismatches are inconclusive, not CEXs
+  const exhaustive::BatchResult result =
+      exhaustive::check_batch(aig, windows, sim);
+  if (result.cancelled) return;  // outcomes invalid
+  stats.checks += result.outcomes.size();
+  for (const auto& [tag, status] : result.outcomes) {
+    if (status == exhaustive::ItemStatus::kProved && !proved[tag]) {
+      proved[tag] = 1;
+      ++stats.proved;
+    }
+  }
+}
+
+}  // namespace
+
+PassResult run_checking_pass(const aig::Aig& aig,
+                             const std::vector<PairTask>& tasks,
+                             Pass pass, const PassParams& params,
+                             const std::vector<std::uint8_t>* already_proved) {
+  PassResult result;
+  result.proved.assign(tasks.size(), 0);
+  if (already_proved != nullptr) {
+    assert(already_proved->size() == tasks.size());
+    result.proved = *already_proved;
+  }
+
+  // repr-of relation and node -> task index (a node is the
+  // non-representative of at most one pair).
+  std::vector<aig::Var> repr_of(aig.num_nodes(), kNoRepr);
+  std::vector<std::uint32_t> task_of(aig.num_nodes(), 0xFFFFFFFFu);
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    repr_of[tasks[i].node] = tasks[i].repr;
+    task_of[tasks[i].node] = static_cast<std::uint32_t>(i);
+  }
+
+  // Cut enumeration is only needed inside the TFI cones of the live
+  // pairs: P(n) references P(fanins) recursively, so that set is closed.
+  // Late passes typically concentrate on a small frontier, and skipping
+  // the rest of the miter saves most of the enumeration cost.
+  std::vector<std::uint8_t> needed(aig.num_nodes(), 0);
+  {
+    std::vector<aig::Var> stack;
+    auto mark = [&](aig::Var v) {
+      if (!needed[v]) {
+        needed[v] = 1;
+        stack.push_back(v);
+      }
+    };
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      if (result.proved[i]) continue;
+      mark(tasks[i].repr);
+      mark(tasks[i].node);
+    }
+    while (!stack.empty()) {
+      const aig::Var v = stack.back();
+      stack.pop_back();
+      if (!aig.is_and(v)) continue;
+      mark(aig::lit_var(aig.fanin0(v)));
+      mark(aig::lit_var(aig.fanin1(v)));
+    }
+  }
+
+  // Alg. 2 lines 2-3: enumeration levels and level buckets (over the
+  // needed nodes only).
+  const std::vector<std::uint32_t> el = enumeration_levels(aig, repr_of);
+  std::uint32_t max_el = 0;
+  std::size_t num_needed_ands = 0;
+  for (aig::Var v = aig.num_pis() + 1; v < aig.num_nodes(); ++v) {
+    if (!needed[v] || !aig.is_and(v)) continue;
+    max_el = std::max(max_el, el[v]);
+    ++num_needed_ands;
+  }
+  std::vector<std::size_t> offset(max_el + 2, 0);
+  for (aig::Var v = aig.num_pis() + 1; v < aig.num_nodes(); ++v)
+    if (needed[v]) ++offset[el[v] + 1];
+  for (std::size_t l = 1; l < offset.size(); ++l) offset[l] += offset[l - 1];
+  std::vector<aig::Var> order(num_needed_ands);
+  {
+    std::vector<std::size_t> cursor(offset.begin(), offset.end() - 1);
+    for (aig::Var v = aig.num_pis() + 1; v < aig.num_nodes(); ++v)
+      if (needed[v]) order[cursor[el[v]]++] = v;
+  }
+
+  PriorityCuts pc(aig, params.enum_params);
+  const CutScorer scorer(aig, pass);
+  std::vector<BufEntry> buffer;
+  buffer.reserve(params.buffer_capacity);
+
+  for (std::uint32_t l = 1; l <= max_el; ++l) {
+    const std::size_t lo = offset[l], hi = offset[l + 1];
+    if (lo == hi) continue;
+
+    // Lines 9-10: parallel priority-cut computation for this level.
+    parallel::parallel_for(lo, hi, [&](std::size_t k) {
+      const aig::Var n = order[k];
+      const aig::Var r = repr_of[n];
+      const CutSet* sim_target =
+          (r != kNoRepr && r != 0) ? &pc.cuts(r) : nullptr;
+      pc.compute_node(n, scorer, sim_target);
+    });
+
+    // Lines 11-16: common cuts of this level's pairs into the buffer.
+    // Generated in parallel, inserted sequentially (order is
+    // deterministic: ascending node id within the level).
+    std::vector<std::vector<Cut>> generated(hi - lo);
+    parallel::parallel_for(lo, hi, [&](std::size_t k) {
+      const aig::Var n = order[k];
+      const std::uint32_t t = task_of[n];
+      if (t == 0xFFFFFFFFu || result.proved[t]) return;
+      generated[k - lo] = common_cuts(pc, scorer, tasks[t].repr, n,
+                                      params.max_cuts_per_pair);
+    });
+    for (std::size_t k = lo; k < hi; ++k) {
+      const auto& cuts = generated[k - lo];
+      if (cuts.empty()) continue;
+      const std::uint32_t t = task_of[order[k]];
+      if (cuts.size() > params.buffer_capacity - buffer.size())
+        flush_buffer(aig, tasks, buffer, result.proved, params, result.stats);
+      for (const Cut& c : cuts) {
+        buffer.push_back(BufEntry{t, c});
+        ++result.stats.common_cuts;
+      }
+    }
+  }
+
+  // Line 17-18: final batch.
+  flush_buffer(aig, tasks, buffer, result.proved, params, result.stats);
+  return result;
+}
+
+}  // namespace simsweep::cut

@@ -1,0 +1,67 @@
+#pragma once
+/// \file checking_pass.hpp
+/// \brief One cut-generation-and-checking pass (paper Alg. 2, §III-C2).
+///
+/// A pass walks the miter in *enumeration-level* order (Eq. 2). At each
+/// level it (a) computes priority cuts for the level's nodes in parallel —
+/// representatives rank by the pass's Table I criteria, non-representatives
+/// by similarity to their representative's cuts — and (b) generates the
+/// common cuts of the candidate pairs whose non-representative lives at
+/// this level, inserting them into a bounded buffer. Whenever the buffer
+/// cannot accept a new batch it is flushed through the exhaustive
+/// simulator as a local-function check. Proved pairs are reported back;
+/// mismatches are inconclusive (SDCs may explain them, paper §III-C1) and
+/// simply consume the cut.
+
+#include <cstdint>
+#include <vector>
+
+#include "aig/aig.hpp"
+#include "cut/cut_enum.hpp"
+#include "exhaustive/exhaustive_sim.hpp"
+
+namespace simsweep::cut {
+
+/// A candidate pair to prove: node == repr XOR phase.
+struct PairTask {
+  aig::Var repr = 0;
+  aig::Var node = 0;
+  bool phase = false;
+};
+
+struct PassParams {
+  EnumParams enum_params;  ///< k_l and C
+  /// Common-cut buffer capacity in entries (Alg. 2 line 1). Bounds the
+  /// memory of deferred checks; a flush happens when a batch won't fit.
+  std::size_t buffer_capacity = std::size_t{1} << 14;
+  /// Maximum common cuts generated per pair per pass.
+  unsigned max_cuts_per_pair = 8;
+  /// Exhaustive-simulator settings for the local checks (CEX collection is
+  /// disabled internally: local mismatches are inconclusive, not CEXs).
+  exhaustive::Params sim_params;
+};
+
+struct PassStats {
+  std::size_t common_cuts = 0;   ///< buffered cut checks generated
+  std::size_t checks = 0;        ///< exhaustively simulated cut checks
+  std::size_t flushes = 0;       ///< buffer flushes (incl. the final one)
+  std::size_t proved = 0;        ///< tasks proved by this pass
+};
+
+struct PassResult {
+  /// proved[i] == 1 iff tasks[i] was proved equivalent in this pass.
+  std::vector<std::uint8_t> proved;
+  PassStats stats;
+};
+
+/// Runs one pass over the whole miter. `tasks` are the candidate pairs
+/// still unproved; entries already known proved can be pre-marked via
+/// `already_proved` (their nodes then skip common-cut generation but still
+/// get priority cuts, since TFO nodes need them).
+PassResult run_checking_pass(const aig::Aig& aig,
+                             const std::vector<PairTask>& tasks,
+                             Pass pass, const PassParams& params,
+                             const std::vector<std::uint8_t>* already_proved =
+                                 nullptr);
+
+}  // namespace simsweep::cut

@@ -1,0 +1,34 @@
+#include "cut/common_cuts.hpp"
+
+#include <algorithm>
+
+namespace simsweep::cut {
+
+std::vector<Cut> common_cuts(const PriorityCuts& pc, const CutScorer& scorer,
+                             aig::Var repr, aig::Var node,
+                             unsigned max_count) {
+  const unsigned k = pc.params().cut_size;
+  CutSet merged_set(pc.params().num_cuts * pc.params().num_cuts);
+
+  if (repr == 0) {
+    // Constant representative: check the node's local functions directly.
+    for (const Cut& v : pc.cuts(node).cuts()) merged_set.add(v);
+  } else {
+    Cut merged;
+    for (const Cut& u : pc.cuts(repr).cuts())
+      for (const Cut& v : pc.cuts(node).cuts())
+        if (merge_cuts(u, v, k, merged)) merged_set.add(merged);
+  }
+
+  std::vector<Cut>& cuts = merged_set.cuts();
+  const unsigned keep =
+      std::min<unsigned>(max_count, static_cast<unsigned>(cuts.size()));
+  std::partial_sort(cuts.begin(), cuts.begin() + keep, cuts.end(),
+                    [&scorer](const Cut& a, const Cut& b) {
+                      return scorer.better(a, b);
+                    });
+  cuts.resize(keep);
+  return std::move(cuts);
+}
+
+}  // namespace simsweep::cut

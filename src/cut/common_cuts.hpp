@@ -1,0 +1,25 @@
+#pragma once
+/// \file common_cuts.hpp
+/// \brief Common cuts of candidate pairs (paper §III-C1).
+///
+/// The common cuts of a pair are produced by Eq. 1 with the two fanins
+/// replaced by the pair's nodes and without including the nodes' trivial
+/// cuts: every u ∈ P(repr) merged with every v ∈ P(node) that fits within
+/// k_l. The union of a cut of repr and a cut of node blocks all PI paths
+/// to both, so it is a valid common cut. Pairs whose representative is the
+/// constant node need no cut on the constant side: the node's own priority
+/// cuts are used directly (proving the node's local function constant).
+
+#include <vector>
+
+#include "cut/cut_enum.hpp"
+
+namespace simsweep::cut {
+
+/// Generates up to max_count common cuts for the pair, ranked by the
+/// pass's Table I criteria.
+std::vector<Cut> common_cuts(const PriorityCuts& pc, const CutScorer& scorer,
+                             aig::Var repr, aig::Var node,
+                             unsigned max_count);
+
+}  // namespace simsweep::cut

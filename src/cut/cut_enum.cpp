@@ -1,0 +1,137 @@
+#include "cut/cut_enum.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "aig/aig_analysis.hpp"
+
+namespace simsweep::cut {
+
+std::vector<std::uint32_t> enumeration_levels(
+    const aig::Aig& aig, const std::vector<aig::Var>& repr_of) {
+  std::vector<std::uint32_t> el(aig.num_nodes(), 0);
+  for (aig::Var v = aig.num_pis() + 1; v < aig.num_nodes(); ++v) {
+    std::uint32_t l = std::max(el[aig::lit_var(aig.fanin0(v))],
+                               el[aig::lit_var(aig.fanin1(v))]);
+    const aig::Var r = repr_of[v];
+    if (r != kNoRepr) l = std::max(l, el[r]);  // non-repr waits for repr
+    el[v] = l + 1;
+  }
+  return el;
+}
+
+CutScorer::CutScorer(const aig::Aig& aig, Pass pass)
+    : pass_(pass),
+      fanout_(aig::compute_fanouts(aig)),
+      level_(aig::compute_levels(aig)) {}
+
+double CutScorer::avg_fanout(const Cut& c) const {
+  double sum = 0;
+  for (unsigned i = 0; i < c.size; ++i) sum += fanout_[c.leaves[i]];
+  return sum / c.size;
+}
+
+double CutScorer::avg_level(const Cut& c) const {
+  double sum = 0;
+  for (unsigned i = 0; i < c.size; ++i) sum += level_[c.leaves[i]];
+  return sum / c.size;
+}
+
+bool CutScorer::better(const Cut& a, const Cut& b) const {
+  const double fa = avg_fanout(a), fb = avg_fanout(b);
+  const double la = avg_level(a), lb = avg_level(b);
+  switch (pass_) {
+    case Pass::kFanout:  // fanout desc, size asc, level asc
+      if (fa != fb) return fa > fb;
+      if (a.size != b.size) return a.size < b.size;
+      return la < lb;
+    case Pass::kSmallLevel:  // level asc, size asc, fanout desc
+      if (la != lb) return la < lb;
+      if (a.size != b.size) return a.size < b.size;
+      return fa > fb;
+    case Pass::kLargeLevel:  // level desc, size asc, fanout desc
+      if (la != lb) return la > lb;
+      if (a.size != b.size) return a.size < b.size;
+      return fa > fb;
+  }
+  return false;
+}
+
+bool CutScorer::better_sim(const Cut& a, double sim_a, const Cut& b,
+                           double sim_b) const {
+  if (sim_a != sim_b) return sim_a > sim_b;
+  return better(a, b);
+}
+
+double CutScorer::similarity(const Cut& c, const CutSet& target) {
+  double s = 0;
+  for (const Cut& t : target.cuts()) s += c.jaccard(t);
+  return s;
+}
+
+PriorityCuts::PriorityCuts(const aig::Aig& aig, const EnumParams& params)
+    : aig_(aig), params_(params), sets_(aig.num_nodes()) {
+  assert(params_.cut_size <= kMaxCutSize);
+  // Alg. 2 lines 4-5: PIs get their trivial cut. The constant node keeps
+  // an empty set (its "function" needs no inputs).
+  for (aig::Var v = 1; v <= aig.num_pis(); ++v)
+    sets_[v].add(Cut::trivial(v));
+}
+
+void PriorityCuts::compute_node(aig::Var n, const CutScorer& scorer,
+                                const CutSet* sim_target) {
+  assert(aig_.is_and(n));
+  const aig::Var n0 = aig::lit_var(aig_.fanin0(n));
+  const aig::Var n1 = aig::lit_var(aig_.fanin1(n));
+
+  // Candidate pools: P(child) ∪ {{child}} (Eq. 1). The constant node (var
+  // 0) contributes only its trivial cut, which merge() treats as a normal
+  // leaf; windows resolve it to the constant slot.
+  auto pool = [this](aig::Var child) {
+    std::vector<Cut> cuts = sets_[child].cuts();
+    const Cut triv = Cut::trivial(child);
+    bool have_triv = false;
+    for (const Cut& c : cuts) have_triv |= (c == triv);
+    if (!have_triv) cuts.push_back(triv);
+    return cuts;
+  };
+  const std::vector<Cut> pool0 = pool(n0);
+  const std::vector<Cut> pool1 = pool(n1);
+
+  CutSet candidates(pool0.size() * pool1.size());
+  Cut merged;
+  for (const Cut& u : pool0)
+    for (const Cut& v : pool1)
+      if (merge_cuts(u, v, params_.cut_size, merged)) candidates.add(merged);
+
+  // Select the best C candidates under the pass criteria (Table I), or by
+  // similarity to the representative's cuts for non-representatives.
+  std::vector<Cut>& cand = candidates.cuts();
+  const unsigned keep = std::min<unsigned>(params_.num_cuts,
+                                           static_cast<unsigned>(cand.size()));
+  if (sim_target != nullptr && !sim_target->empty()) {
+    std::vector<double> sim(cand.size());
+    std::vector<std::uint32_t> order(cand.size());
+    for (std::size_t i = 0; i < cand.size(); ++i) {
+      sim[i] = CutScorer::similarity(cand[i], *sim_target);
+      order[i] = static_cast<std::uint32_t>(i);
+    }
+    std::partial_sort(order.begin(), order.begin() + keep, order.end(),
+                      [&](std::uint32_t a, std::uint32_t b) {
+                        return scorer.better_sim(cand[a], sim[a], cand[b],
+                                                 sim[b]);
+                      });
+    std::vector<Cut> selected(keep);
+    for (unsigned i = 0; i < keep; ++i) selected[i] = cand[order[i]];
+    sets_[n].cuts() = std::move(selected);
+  } else {
+    std::partial_sort(cand.begin(), cand.begin() + keep, cand.end(),
+                      [&scorer](const Cut& a, const Cut& b) {
+                        return scorer.better(a, b);
+                      });
+    cand.resize(keep);
+    sets_[n].cuts() = std::move(cand);
+  }
+}
+
+}  // namespace simsweep::cut

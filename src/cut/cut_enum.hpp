@@ -1,0 +1,93 @@
+#pragma once
+/// \file cut_enum.hpp
+/// \brief Priority-cut enumeration with the paper's selection criteria
+/// (paper §III-C1, Eq. 1, Table I) and enumeration levels (Eq. 2).
+///
+/// For each node n, the candidate cuts are
+///   E(n) = { u ∪ v : u ∈ P(n0) ∪ {{n0}}, v ∈ P(n1) ∪ {{n1}}, |u∪v| <= k_l }
+/// and P(n) keeps the best C candidates under the active pass's criteria.
+/// Representative nodes rank cuts by Table I; non-representatives rank by
+/// similarity to their representative's priority cuts (so the pair's cut
+/// sets overlap and yield many usable common cuts), falling back to
+/// Table I on ties.
+
+#include <cstdint>
+#include <vector>
+
+#include "aig/aig.hpp"
+#include "cut/cut_set.hpp"
+
+namespace simsweep::cut {
+
+/// The three cut-generation passes of paper Table I.
+enum class Pass : std::uint8_t {
+  kFanout = 0,      ///< main: large avg fanout; tie: small size, small level
+  kSmallLevel = 1,  ///< main: small avg level; tie: small size, large fanout
+  kLargeLevel = 2,  ///< main: large avg level; tie: small size, large fanout
+};
+
+struct EnumParams {
+  unsigned cut_size = 8;  ///< k_l, maximum cut size (<= kMaxCutSize)
+  unsigned num_cuts = 8;  ///< C, priority cuts kept per node
+};
+
+/// No-representative sentinel for repr_of arrays.
+constexpr aig::Var kNoRepr = 0xFFFFFFFFu;
+
+/// Enumeration levels per paper Eq. 2: PIs (and the constant) are level 0;
+/// a representative (or classless) node is 1 + max of fanin levels; a
+/// non-representative additionally waits for its representative.
+std::vector<std::uint32_t> enumeration_levels(
+    const aig::Aig& aig, const std::vector<aig::Var>& repr_of);
+
+/// Ranks cuts under a pass using precomputed per-node fanout counts and
+/// levels. Returns true if a is strictly better than b.
+class CutScorer {
+ public:
+  CutScorer(const aig::Aig& aig, Pass pass);
+
+  /// Metric accessors (averages over the cut's leaves).
+  double avg_fanout(const Cut& c) const;
+  double avg_level(const Cut& c) const;
+
+  /// Table I comparison for the pass.
+  bool better(const Cut& a, const Cut& b) const;
+
+  /// Similarity-primary comparison (non-representatives): s(c, P) with
+  /// Table I criteria as tie-breakers.
+  bool better_sim(const Cut& a, double sim_a, const Cut& b,
+                  double sim_b) const;
+
+  /// s(c, P) = Σ_{c' in P} |c ∩ c'| / |c ∪ c'| (paper §III-C1).
+  static double similarity(const Cut& c, const CutSet& target);
+
+  Pass pass() const { return pass_; }
+
+ private:
+  Pass pass_;
+  std::vector<std::uint32_t> fanout_;
+  std::vector<std::uint32_t> level_;
+};
+
+/// Priority-cut storage plus the per-node enumeration step.
+class PriorityCuts {
+ public:
+  PriorityCuts(const aig::Aig& aig, const EnumParams& params);
+
+  /// Computes P(n) for an AND node. Both fanins' cut sets must already be
+  /// computed. If sim_target is non-null the node ranks cuts by similarity
+  /// to it (non-representative rule). PIs are pre-seeded with their
+  /// trivial cut (Alg. 2 lines 4-5).
+  void compute_node(aig::Var n, const CutScorer& scorer,
+                    const CutSet* sim_target);
+
+  const CutSet& cuts(aig::Var v) const { return sets_[v]; }
+  const EnumParams& params() const { return params_; }
+
+ private:
+  const aig::Aig& aig_;
+  EnumParams params_;
+  std::vector<CutSet> sets_;
+};
+
+}  // namespace simsweep::cut

@@ -1,0 +1,58 @@
+#include "cut/cut_set.hpp"
+
+#include <algorithm>
+
+namespace simsweep::cut {
+
+bool Cut::subset_of(const Cut& o) const {
+  if (size > o.size) return false;
+  if ((sign & o.sign) != sign) return false;
+  unsigned j = 0;
+  for (unsigned i = 0; i < size; ++i) {
+    while (j < o.size && o.leaves[j] < leaves[i]) ++j;
+    if (j == o.size || o.leaves[j] != leaves[i]) return false;
+    ++j;
+  }
+  return true;
+}
+
+unsigned Cut::intersection_size(const Cut& o) const {
+  unsigned i = 0, j = 0, count = 0;
+  while (i < size && j < o.size) {
+    if (leaves[i] < o.leaves[j]) ++i;
+    else if (leaves[i] > o.leaves[j]) ++j;
+    else { ++count; ++i; ++j; }
+  }
+  return count;
+}
+
+bool merge_cuts(const Cut& a, const Cut& b, unsigned max_size, Cut& out) {
+  // Bloom prefilter: a lower bound on the union size.
+  unsigned i = 0, j = 0, n = 0;
+  while (i < a.size && j < b.size) {
+    if (n == max_size) return false;
+    if (a.leaves[i] < b.leaves[j]) out.leaves[n++] = a.leaves[i++];
+    else if (a.leaves[i] > b.leaves[j]) out.leaves[n++] = b.leaves[j++];
+    else { out.leaves[n++] = a.leaves[i]; ++i; ++j; }
+  }
+  while (i < a.size) {
+    if (n == max_size) return false;
+    out.leaves[n++] = a.leaves[i++];
+  }
+  while (j < b.size) {
+    if (n == max_size) return false;
+    out.leaves[n++] = b.leaves[j++];
+  }
+  out.size = static_cast<std::uint8_t>(n);
+  out.sign = a.sign | b.sign;
+  return true;
+}
+
+void CutSet::add(const Cut& c) {
+  for (const Cut& existing : cuts_)
+    if (existing.subset_of(c)) return;  // dominated (or duplicate)
+  std::erase_if(cuts_, [&c](const Cut& existing) { return c.subset_of(existing); });
+  cuts_.push_back(c);
+}
+
+}  // namespace simsweep::cut

@@ -1,0 +1,79 @@
+#pragma once
+/// \file cut_set.hpp
+/// \brief Cuts and bounded priority-cut sets (paper §II-A, §III-C1).
+///
+/// A cut of node n is a set of nodes blocking every PI-to-n path; the
+/// local function of n in terms of a cut's nodes is what local function
+/// checking compares. Cuts are stored as sorted leaf arrays with a 64-bit
+/// Bloom signature for O(1) merge-size prefiltering, the standard
+/// cut-enumeration representation.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "aig/aig.hpp"
+
+namespace simsweep::cut {
+
+/// Hard upper bound on cut size (the paper uses k_l = 8).
+constexpr unsigned kMaxCutSize = 10;
+
+struct Cut {
+  std::array<aig::Var, kMaxCutSize> leaves{};  ///< sorted ascending
+  std::uint8_t size = 0;
+  std::uint64_t sign = 0;  ///< OR of 1 << (leaf & 63)
+
+  static Cut trivial(aig::Var v) {
+    Cut c;
+    c.leaves[0] = v;
+    c.size = 1;
+    c.sign = std::uint64_t{1} << (v & 63);
+    return c;
+  }
+
+  bool operator==(const Cut& o) const {
+    if (size != o.size || sign != o.sign) return false;
+    for (unsigned i = 0; i < size; ++i)
+      if (leaves[i] != o.leaves[i]) return false;
+    return true;
+  }
+
+  /// True if this cut's leaves are a subset of o's (=> o is dominated).
+  bool subset_of(const Cut& o) const;
+
+  /// |this ∩ o| (leaf arrays are sorted).
+  unsigned intersection_size(const Cut& o) const;
+
+  /// Jaccard-style similarity |a∩b| / |a∪b| (paper §III-C1).
+  double jaccard(const Cut& o) const {
+    const unsigned inter = intersection_size(o);
+    return static_cast<double>(inter) / (size + o.size - inter);
+  }
+};
+
+/// Merges two cuts; returns false if the union exceeds max_size.
+bool merge_cuts(const Cut& a, const Cut& b, unsigned max_size, Cut& out);
+
+/// A bounded set of cuts used both as the enumeration scratch (capacity
+/// (C+1)^2) and the stored priority cuts (capacity C).
+class CutSet {
+ public:
+  explicit CutSet(unsigned capacity = 0) { cuts_.reserve(capacity); }
+
+  /// Adds a cut unless it is a duplicate of or dominated by an existing
+  /// cut; removes existing cuts dominated by the new one.
+  void add(const Cut& c);
+
+  std::size_t size() const { return cuts_.size(); }
+  bool empty() const { return cuts_.empty(); }
+  const Cut& operator[](std::size_t i) const { return cuts_[i]; }
+  const std::vector<Cut>& cuts() const { return cuts_; }
+  std::vector<Cut>& cuts() { return cuts_; }
+  void clear() { cuts_.clear(); }
+
+ private:
+  std::vector<Cut> cuts_;
+};
+
+}  // namespace simsweep::cut

@@ -1,0 +1,127 @@
+#include "engine/engine.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "common/log.hpp"
+#include "common/timer.hpp"
+
+namespace simsweep::engine {
+
+EngineResult SimCecEngine::check_miter(aig::Aig miter) const {
+  Timer total;
+
+  // Watchdog: folds the optional wall-clock budget and the caller's
+  // cancellation flag into one flag polled by every phase checkpoint.
+  std::atomic<bool> stop{false};
+  std::atomic<bool> done{false};
+  std::thread watchdog;
+  EngineParams effective = params_;
+  if (params_.time_limit > 0 || params_.cancel != nullptr) {
+    effective.cancel = &stop;
+    watchdog = std::thread([&] {
+      while (!done.load(std::memory_order_relaxed)) {
+        if (params_.cancel != nullptr &&
+            params_.cancel->load(std::memory_order_relaxed))
+          stop.store(true, std::memory_order_relaxed);
+        if (params_.time_limit > 0 && total.seconds() > params_.time_limit)
+          stop.store(true, std::memory_order_relaxed);
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      }
+    });
+  }
+
+  detail::EngineContext ctx{effective, std::move(miter), {}, {}, {},
+                            false,     {},               params_.local_passes};
+  ctx.stats.initial_ands = ctx.miter.num_ands();
+  ctx.stats.pos_total = ctx.miter.num_pos();
+
+  EngineResult result;
+  auto finish = [&](Verdict verdict) {
+    done.store(true, std::memory_order_relaxed);
+    if (watchdog.joinable()) watchdog.join();
+    ctx.stats.final_ands = ctx.miter.num_ands();
+    ctx.stats.total_seconds = total.seconds();
+    result.verdict = verdict;
+    result.reduced = std::move(ctx.miter);
+    result.cex = std::move(ctx.cex);
+    result.stats = ctx.stats;
+    result.snapshots = std::move(ctx.snapshots);
+    result.bank = std::move(ctx.bank);
+    return result;
+  };
+
+  // A structurally solved (or refuted) miter needs no phases at all.
+  if (aig::miter_disproved(ctx.miter)) return finish(Verdict::kNotEquivalent);
+  if (aig::miter_proved(ctx.miter)) return finish(Verdict::kEquivalent);
+
+  // --- P phase: PO checking (paper §III-D). ---
+  if (params_.enable_po_phase) {
+    const bool ok = detail::run_po_phase(ctx);
+    if (params_.capture_snapshots) ctx.snapshots.emplace_back("P", ctx.miter);
+    if (!ok) return finish(Verdict::kNotEquivalent);
+    if (aig::miter_proved(ctx.miter)) return finish(Verdict::kEquivalent);
+  } else if (params_.capture_snapshots) {
+    ctx.snapshots.emplace_back("P", ctx.miter);
+  }
+
+  auto cancelled = [&] {
+    return ctx.params.cancel != nullptr &&
+           ctx.params.cancel->load(std::memory_order_relaxed);
+  };
+  if (cancelled()) return finish(Verdict::kUndecided);
+
+  // --- G phase: global function checking. ---
+  if (params_.enable_global_phase)
+    detail::run_global_phase(ctx, params_.k_g);
+  if (params_.capture_snapshots) ctx.snapshots.emplace_back("PG", ctx.miter);
+  if (params_.enable_global_phase) {
+    if (ctx.disproved || aig::miter_disproved(ctx.miter))
+      return finish(Verdict::kNotEquivalent);
+    if (aig::miter_proved(ctx.miter)) return finish(Verdict::kEquivalent);
+  }
+
+  if (cancelled()) return finish(Verdict::kUndecided);
+
+  // --- Repeated L phases, with graduated global-checking escalation. ---
+  unsigned k_g_current = params_.k_g;
+  for (;;) {
+    bool progress = false;
+    for (unsigned phase = 0; phase < params_.max_local_phases; ++phase) {
+      if (cancelled()) return finish(Verdict::kUndecided);
+      const bool reduced = detail::run_local_phase(ctx);
+      ++ctx.stats.local_phases;
+      if (ctx.disproved || aig::miter_disproved(ctx.miter))
+        return finish(Verdict::kNotEquivalent);
+      if (aig::miter_proved(ctx.miter)) return finish(Verdict::kEquivalent);
+      progress |= reduced;
+      if (!reduced) break;  // this L loop stalled
+    }
+    if (cancelled()) return finish(Verdict::kUndecided);
+    // Escalation: raise the G threshold and retry globally. Note the loop
+    // keeps iterating as long as *something* (L reduction, escalated G
+    // proof) makes progress; it terminates because the AND count strictly
+    // decreases on progress and the threshold is capped at k_P.
+    const bool can_escalate = params_.escalate_global &&
+                              params_.enable_global_phase &&
+                              k_g_current < params_.k_P;
+    if (can_escalate) {
+      k_g_current = std::min(k_g_current + params_.k_g_step, params_.k_P);
+      SIMSWEEP_LOG_INFO("escalating global checking to k_g=%u",
+                        k_g_current);
+      const std::size_t proved =
+          detail::run_global_phase(ctx, k_g_current);
+      if (ctx.disproved || aig::miter_disproved(ctx.miter))
+        return finish(Verdict::kNotEquivalent);
+      if (aig::miter_proved(ctx.miter)) return finish(Verdict::kEquivalent);
+      progress |= proved > 0;
+    }
+    if (!progress && !can_escalate) break;  // fully stalled
+  }
+  SIMSWEEP_LOG_INFO("engine undecided: %zu AND nodes remain",
+                    ctx.miter.num_ands());
+  return finish(Verdict::kUndecided);
+}
+
+}  // namespace simsweep::engine

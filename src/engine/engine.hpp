@@ -1,0 +1,192 @@
+#pragma once
+/// \file engine.hpp
+/// \brief The simulation-based CEC engine (paper §III, Fig. 1 / Fig. 5).
+///
+/// The engine proves combinational equivalence by exhaustive simulation
+/// instead of SAT. Its flow (Fig. 5) is:
+///
+///   P  — PO checking: prove simulatable miter POs constant-0 directly in
+///        terms of their global functions (thresholds k_P / k_p);
+///   G  — global function checking: after equivalence classes are
+///        initialized by partial random simulation, prove candidate node
+///        pairs whose support-union size is at most k_g, collecting CEXs
+///        that refine the classes;
+///   L* — repeated local function checking phases, each consisting of
+///        three cut-generation/checking passes (Table I criteria), until
+///        the miter cannot be reduced further.
+///
+/// Proved pairs are merged by the miter manager (AIG rebuild) between
+/// phases. If the miter is not fully reduced the engine returns
+/// kUndecided together with the reduced miter, which a SAT-based checker
+/// (sweep::SatSweeper here, ABC &cec in the paper) can finish.
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "aig/aig.hpp"
+#include "aig/miter.hpp"
+#include "common/verdict.hpp"
+#include "sim/partial_sim.hpp"
+
+namespace simsweep::engine {
+
+using simsweep::Verdict;
+
+struct EngineParams {
+  // --- Paper §IV parameter values (defaults). ---
+  unsigned k_P = 32;  ///< one-shot PO-checking support threshold
+  unsigned k_p = 16;  ///< per-PO simulatable threshold (k_P > k_p)
+  unsigned k_g = 16;  ///< global-checking support-union threshold
+  unsigned k_l = 8;   ///< local-checking cut-size bound (<= cut::kMaxCutSize)
+  unsigned num_cuts = 8;  ///< C, priority cuts per node
+
+  /// Window merging (paper §III-B3); k_s is set per phase to the phase's
+  /// support threshold, as in the paper's experiments.
+  bool window_merging = true;
+
+  // --- Engine knobs not named in the paper. ---
+  std::size_t sim_words = 4;          ///< initial random pattern words
+  std::uint64_t seed = 0x5EEDULL;     ///< random-simulation seed
+  std::size_t memory_words = std::size_t{1} << 22;  ///< M (Alg. 1)
+  std::size_t cut_buffer_capacity = std::size_t{1} << 14;  ///< Alg. 2 buffer
+  unsigned max_cuts_per_pair = 8;
+  unsigned max_global_iters = 16;    ///< CEX-refinement rounds in G
+  unsigned max_local_phases = 4;     ///< cap on repeated L phases
+  std::size_t max_pattern_words = 64;  ///< pattern-bank size cap
+  std::size_t max_batch_windows = 4096;  ///< windows per exhaustive batch
+
+  // --- Ablation switches (benches). ---
+  bool enable_po_phase = true;
+  bool enable_global_phase = true;
+  std::array<bool, 3> local_passes{true, true, true};  ///< Table I passes
+
+  // --- Paper §V (Discussion) extensions. ---
+  /// Distance-1 CEX simulation [Mishchenko et al., ICCAD'06]: every
+  /// collected CEX additionally contributes the patterns obtained by
+  /// flipping each assigned support bit, improving EC refinement quality.
+  bool distance1_cex = false;
+  /// Adaptive L phases: a Table I pass that proves zero pairs in an L
+  /// phase is disabled for the remaining phases (paper §V item 2).
+  bool adaptive_passes = false;
+  /// Simulation-guided pattern generation (paper refs [3], [20]): the
+  /// initial pattern bank keeps only candidate words that split signature
+  /// classes, reducing false candidate pairs for the same budget.
+  bool quality_patterns = false;
+  /// Graduated global checking: when the repeated L phases stop reducing
+  /// the miter, raise the G-phase support threshold by k_g_step (up to
+  /// k_P) and re-run global checking on the reduced miter. SDC-blocked
+  /// local pairs often have moderate support unions that one bigger
+  /// exhaustive-simulation round settles exactly. This is an extension in
+  /// the spirit of the paper's two-threshold P phase (§III-D); disable
+  /// for a flow that matches Fig. 5 literally.
+  bool escalate_global = true;
+  unsigned k_g_step = 4;
+  /// Capture intermediate miters after the P and G phases (paper Fig. 7).
+  bool capture_snapshots = false;
+
+  /// Cooperative cancellation (portfolio use): checked between phases,
+  /// between refinement iterations and between simulation rounds. When it
+  /// fires the engine returns kUndecided with the current reduced miter.
+  const std::atomic<bool>* cancel = nullptr;
+
+  /// Wall-clock budget in seconds (0 = unbounded). Enforced through the
+  /// same cancellation checkpoints via an internal watchdog, so expiry
+  /// yields kUndecided with whatever reduction was achieved so far.
+  double time_limit = 0;
+};
+
+struct EngineStats {
+  double po_seconds = 0;
+  double global_seconds = 0;
+  double local_seconds = 0;
+  double other_seconds = 0;  ///< simulation init, EC building, rebuilds
+  double total_seconds = 0;
+
+  std::size_t initial_ands = 0;
+  std::size_t final_ands = 0;
+  std::size_t pos_total = 0;
+  std::size_t pos_proved = 0;
+  std::size_t pairs_proved_global = 0;
+  std::size_t pairs_proved_local = 0;
+  std::size_t pairs_disproved = 0;
+  std::size_t cex_count = 0;
+  std::size_t local_phases = 0;
+
+  /// Miter size reduction achieved by the engine ("Reduced (%)" column of
+  /// paper Table II). 100% means fully proved.
+  double reduction_percent() const {
+    if (initial_ands == 0) return 100.0;
+    return 100.0 * (1.0 - static_cast<double>(final_ands) / initial_ands);
+  }
+};
+
+struct EngineResult {
+  Verdict verdict = Verdict::kUndecided;
+  /// The reduced miter (empty of AND nodes iff fully proved).
+  aig::Aig reduced;
+  /// Disproving PI assignment when kNotEquivalent was established by a
+  /// CEX. nullopt when disproof came from a constant-1 PO (any assignment
+  /// disproves) — see EngineResult::cex comment in DESIGN.md.
+  std::optional<std::vector<bool>> cex;
+  EngineStats stats;
+  /// Intermediate miters ("P", "PG") when capture_snapshots is set.
+  std::vector<std::pair<std::string, aig::Aig>> snapshots;
+  /// The engine's final PI pattern bank (random patterns + accumulated
+  /// CEXs). Feeding it to the downstream SAT sweeper implements the
+  /// paper's §V "EC transferring": pairs the engine disproved are
+  /// separated by these patterns, so SAT never re-checks them.
+  std::optional<sim::PatternBank> bank;
+};
+
+class SimCecEngine {
+ public:
+  explicit SimCecEngine(EngineParams params = {}) : params_(params) {}
+
+  /// Checks the equivalence of two circuits (builds the miter internally).
+  EngineResult check(const aig::Aig& a, const aig::Aig& b) const {
+    return check_miter(aig::make_miter(a, b));
+  }
+
+  /// Runs the engine flow on a prebuilt miter (all POs must be intended
+  /// constant 0).
+  EngineResult check_miter(aig::Aig miter) const;
+
+  const EngineParams& params() const { return params_; }
+
+ private:
+  EngineParams params_;
+};
+
+namespace detail {
+
+/// Shared state threaded through the phase implementations.
+struct EngineContext {
+  const EngineParams& params;
+  aig::Aig miter;
+  EngineStats stats;
+  std::vector<std::pair<std::string, aig::Aig>> snapshots;
+  std::optional<std::vector<bool>> cex;
+  bool disproved = false;
+  /// PI pattern bank (random init + accumulated CEXs). PIs are stable
+  /// across miter rebuilds, so the bank persists across phases.
+  std::optional<sim::PatternBank> bank;
+  /// L-phase pass activity (adaptive_passes extension).
+  std::array<bool, 3> active_passes{true, true, true};
+};
+
+/// Returns false if the miter was disproved (stop immediately).
+bool run_po_phase(EngineContext& ctx);
+/// Runs global checking with the given support-union threshold (the plain
+/// Fig. 5 flow uses params.k_g; escalation passes larger values).
+/// Returns the number of pairs proved.
+std::size_t run_global_phase(EngineContext& ctx, unsigned k_g);
+/// Returns true if this L phase reduced the miter.
+bool run_local_phase(EngineContext& ctx);
+
+}  // namespace detail
+
+}  // namespace simsweep::engine

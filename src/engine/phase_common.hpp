@@ -1,0 +1,28 @@
+#pragma once
+/// \file phase_common.hpp
+/// \brief Internal helpers shared by the engine's phase implementations.
+
+#include <vector>
+
+#include "aig/aig.hpp"
+#include "engine/engine.hpp"
+#include "exhaustive/exhaustive_sim.hpp"
+
+namespace simsweep::engine::detail {
+
+/// Expands a sparse window-input CEX (PI variables only) into a complete
+/// PI assignment; unassigned PIs default to 0, which is sound because the
+/// mismatching pattern fixes only the support variables the roots can
+/// depend on.
+inline std::vector<bool> expand_cex(
+    const aig::Aig& miter,
+    const std::vector<std::pair<aig::Var, bool>>& assignment) {
+  std::vector<bool> pi_values(miter.num_pis(), false);
+  for (const auto& [var, value] : assignment) {
+    // Window inputs of global checks are PIs: var in [1, num_pis].
+    if (var >= 1 && var <= miter.num_pis()) pi_values[var - 1] = value;
+  }
+  return pi_values;
+}
+
+}  // namespace simsweep::engine::detail

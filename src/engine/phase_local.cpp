@@ -1,0 +1,89 @@
+/// \file phase_local.cpp
+/// \brief L phase: local function checking (paper §III-C, §III-D).
+///
+/// One L phase re-initializes the equivalence classes on the current
+/// (reduced) miter, then runs up to three cut-generation-and-checking
+/// passes with different cut-selection priorities (paper Table I) over the
+/// same candidate pairs. Pairs proved by any pass are merged in a single
+/// miter rebuild at the end of the phase. Because the miter structure
+/// changes after reduction, the next L phase generates different cuts,
+/// giving failed pairs new chances (paper §III-D).
+
+#include "aig/rebuild.hpp"
+#include "common/log.hpp"
+#include "common/timer.hpp"
+#include "cut/checking_pass.hpp"
+#include "engine/phase_common.hpp"
+#include "sim/ec_manager.hpp"
+
+namespace simsweep::engine::detail {
+
+bool run_local_phase(EngineContext& ctx) {
+  Timer t;
+  const EngineParams& p = ctx.params;
+  aig::Aig& miter = ctx.miter;
+
+  if (!ctx.bank)
+    ctx.bank = sim::PatternBank::random(miter.num_pis(), p.sim_words, p.seed);
+  const sim::Signatures sigs = sim::simulate(miter, *ctx.bank);
+  sim::EcManager ec;
+  ec.build(miter, sigs);
+
+  std::vector<cut::PairTask> tasks;
+  for (const sim::CandidatePair& pair : ec.candidate_pairs()) {
+    if (!miter.is_and(pair.node)) continue;  // PIs host no cuts
+    tasks.push_back(cut::PairTask{pair.repr, pair.node, pair.phase});
+  }
+  if (tasks.empty()) {
+    ctx.stats.local_seconds += t.seconds();
+    return false;
+  }
+  SIMSWEEP_LOG_INFO("L phase: %zu candidate pairs", tasks.size());
+
+  cut::PassParams pass_params;
+  pass_params.enum_params.cut_size = p.k_l;
+  pass_params.enum_params.num_cuts = p.num_cuts;
+  pass_params.buffer_capacity = p.cut_buffer_capacity;
+  pass_params.max_cuts_per_pair = p.max_cuts_per_pair;
+  pass_params.sim_params.memory_words = p.memory_words;
+  pass_params.sim_params.cancel = p.cancel;
+
+  std::vector<std::uint8_t> proved(tasks.size(), 0);
+  static constexpr cut::Pass kPasses[3] = {
+      cut::Pass::kFanout, cut::Pass::kSmallLevel, cut::Pass::kLargeLevel};
+  for (unsigned i = 0; i < 3; ++i) {
+    if (!ctx.active_passes[i]) continue;
+    const cut::PassResult result =
+        cut::run_checking_pass(miter, tasks, kPasses[i], pass_params,
+                               &proved);
+    proved = result.proved;
+    SIMSWEEP_LOG_INFO("L pass %u: %zu proved (%zu cut checks, %zu flushes)",
+                      i + 1, result.stats.proved, result.stats.checks,
+                      result.stats.flushes);
+    // Paper §V: disable passes found ineffective on this case.
+    if (p.adaptive_passes && result.stats.proved == 0)
+      ctx.active_passes[i] = false;
+  }
+
+  aig::SubstitutionMap subst(miter.num_nodes());
+  std::size_t merged = 0;
+  for (std::size_t i = 0; i < tasks.size(); ++i)
+    if (proved[i] &&
+        subst.merge(tasks[i].node,
+                    aig::make_lit(tasks[i].repr, tasks[i].phase)))
+      ++merged;
+  ctx.stats.pairs_proved_local += merged;
+
+  if (merged == 0) {
+    ctx.stats.local_seconds += t.seconds();
+    return false;
+  }
+  const std::size_t before = miter.num_ands();
+  ctx.miter = aig::rebuild(miter, subst).aig;
+  SIMSWEEP_LOG_INFO("L phase reduced miter: %zu -> %zu AND nodes", before,
+                    ctx.miter.num_ands());
+  ctx.stats.local_seconds += t.seconds();
+  return true;
+}
+
+}  // namespace simsweep::engine::detail

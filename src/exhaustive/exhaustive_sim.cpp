@@ -1,0 +1,225 @@
+#include "exhaustive/exhaustive_sim.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <optional>
+
+#include "common/log.hpp"
+#include "parallel/thread_pool.hpp"
+#include "tt/truth_table.hpp"
+
+namespace simsweep::exhaustive {
+
+namespace {
+
+using window::Window;
+using window::kSlotConst0;
+
+/// Per-window constant state for the batch.
+struct WinState {
+  std::size_t base = 0;      ///< first slot index in the simulation table
+  std::size_t tt_words = 0;  ///< full truth-table length in words
+  bool alive = true;         ///< still has undecided items
+};
+
+}  // namespace
+
+BatchResult check_batch(const aig::Aig& aig,
+                        const std::vector<Window>& windows,
+                        const Params& params) {
+  (void)aig;
+  BatchResult result;
+  if (windows.empty()) return result;
+
+  // --- Alg. 1 lines 1-4: slot bases, entry size E, round count. ---
+  std::vector<WinState> state(windows.size());
+  std::size_t num_slots = 0;
+  std::size_t max_tt = 0;
+  std::size_t num_items = 0;
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    state[i].base = num_slots;
+    state[i].tt_words = windows[i].tt_words();
+    num_slots += windows[i].num_slots();
+    max_tt = std::max(max_tt, state[i].tt_words);
+    num_items += windows[i].items.size();
+  }
+  std::size_t entry = 1;
+  while (entry * 2 * num_slots <= params.memory_words && entry * 2 <= max_tt)
+    entry *= 2;
+  const std::size_t E = entry;
+  const std::size_t rounds = (max_tt + E - 1) / E;
+  result.entry_words = E;
+
+  std::vector<std::uint64_t> simt(num_slots * E);
+
+  // Undecided-item bookkeeping. Items are identified by (window, index).
+  std::vector<std::vector<std::uint8_t>> decided(windows.size());
+  for (std::size_t i = 0; i < windows.size(); ++i)
+    decided[i].assign(windows[i].items.size(), 0);
+
+  // First mismatching global bit per disproved item (for CEX extraction).
+  std::vector<std::vector<std::uint64_t>> mismatch_bit(windows.size());
+  for (std::size_t i = 0; i < windows.size(); ++i)
+    mismatch_bit[i].assign(windows[i].items.size(), 0);
+
+  // Flattened per-level work lists across all windows (computed once; the
+  // active filter is applied per round).
+  std::uint32_t max_levels = 0;
+  for (const Window& w : windows)
+    max_levels = std::max(max_levels, w.num_levels());
+  std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>> level_work(
+      max_levels + 1);
+  for (std::size_t wi = 0; wi < windows.size(); ++wi) {
+    const Window& w = windows[wi];
+    for (std::uint32_t l = 1; l <= w.num_levels(); ++l)
+      for (std::uint32_t n = w.level_offset[l - 1]; n < w.level_offset[l];
+           ++n)
+        level_work[l].emplace_back(static_cast<std::uint32_t>(wi), n);
+  }
+
+  // --- Alg. 1 lines 5-14: multi-round simulation. ---
+  for (std::size_t r = 0; r < rounds; ++r) {
+    if (params.cancel != nullptr &&
+        params.cancel->load(std::memory_order_relaxed)) {
+      result.cancelled = true;
+      return result;
+    }
+    // Windows needing simulation this round (Alg. 1 line 6).
+    bool any_active = false;
+    for (std::size_t wi = 0; wi < windows.size(); ++wi) {
+      const bool active = state[wi].alive && state[wi].tt_words > r * E;
+      state[wi].alive = state[wi].alive && active;
+      any_active |= active;
+    }
+    if (!any_active) break;
+
+    auto words_this_round = [&](std::size_t wi) {
+      return std::min(E, state[wi].tt_words - r * E);
+    };
+
+    for (std::size_t wi = 0; wi < windows.size(); ++wi)
+      if (state[wi].alive)
+        result.words_simulated +=
+            windows[wi].nodes.size() * words_this_round(wi);
+
+    // Line 9: write projection-table segments for the inputs.
+    parallel::parallel_for(0, windows.size(), [&](std::size_t wi) {
+      if (!state[wi].alive) return;
+      const Window& w = windows[wi];
+      const std::size_t nw = words_this_round(wi);
+      for (unsigned j = 0; j < w.num_inputs(); ++j) {
+        std::uint64_t* dst = &simt[(state[wi].base + j) * E];
+        for (std::size_t k = 0; k < nw; ++k)
+          dst[k] = tt::projection_word(j, r * E + k);
+      }
+    });
+
+    // Lines 10-11: level-wise parallel node simulation.
+    for (std::uint32_t l = 1; l <= max_levels; ++l) {
+      const auto& work = level_work[l];
+      if (work.empty()) continue;
+      parallel::parallel_for(0, work.size(), [&](std::size_t t) {
+        const auto [wi, ni] = work[t];
+        if (!state[wi].alive) return;
+        const Window& w = windows[wi];
+        const std::size_t nw = words_this_round(wi);
+        const window::WinNode& node = w.wnodes[ni];
+        const std::size_t base = state[wi].base;
+        std::uint64_t* out = &simt[(base + w.num_inputs() + ni) * E];
+        const std::uint64_t c0 = node.compl0 ? ~std::uint64_t{0} : 0;
+        const std::uint64_t c1 = node.compl1 ? ~std::uint64_t{0} : 0;
+        if (node.slot0 == kSlotConst0 && node.slot1 == kSlotConst0) {
+          for (std::size_t k = 0; k < nw; ++k) out[k] = c0 & c1;
+        } else if (node.slot0 == kSlotConst0) {
+          const std::uint64_t* b = &simt[(base + node.slot1) * E];
+          for (std::size_t k = 0; k < nw; ++k) out[k] = c0 & (b[k] ^ c1);
+        } else if (node.slot1 == kSlotConst0) {
+          const std::uint64_t* a = &simt[(base + node.slot0) * E];
+          for (std::size_t k = 0; k < nw; ++k) out[k] = (a[k] ^ c0) & c1;
+        } else {
+          const std::uint64_t* a = &simt[(base + node.slot0) * E];
+          const std::uint64_t* b = &simt[(base + node.slot1) * E];
+          for (std::size_t k = 0; k < nw; ++k)
+            out[k] = (a[k] ^ c0) & (b[k] ^ c1);
+        }
+      });
+    }
+
+    // Lines 12-14: compare root truth-table segments per item.
+    parallel::parallel_for(0, windows.size(), [&](std::size_t wi) {
+      if (!state[wi].alive) return;
+      const Window& w = windows[wi];
+      const std::size_t nw = words_this_round(wi);
+      const std::size_t base = state[wi].base;
+      const std::uint64_t mask = tt::word_mask(w.num_inputs());
+      bool all_decided = true;
+      for (std::size_t ii = 0; ii < w.items.size(); ++ii) {
+        if (decided[wi][ii]) continue;
+        const window::ItemSlots& s = w.item_slots[ii];
+        const std::uint64_t ca = s.compl_a ? ~std::uint64_t{0} : 0;
+        const std::uint64_t cb = s.compl_b ? ~std::uint64_t{0} : 0;
+        for (std::size_t k = 0; k < nw; ++k) {
+          const std::uint64_t va =
+              (s.slot_a == kSlotConst0 ? 0 : simt[(base + s.slot_a) * E + k]) ^
+              ca;
+          const std::uint64_t vb =
+              (s.slot_b == kSlotConst0 ? 0 : simt[(base + s.slot_b) * E + k]) ^
+              cb;
+          std::uint64_t diff = va ^ vb;
+          if (nw == 1 && state[wi].tt_words == 1) diff &= mask;
+          if (diff) {
+            decided[wi][ii] = 1;  // disproved
+            mismatch_bit[wi][ii] =
+                ((r * E + k) << 6) +
+                static_cast<std::uint64_t>(std::countr_zero(diff));
+            break;
+          }
+        }
+        all_decided = all_decided && decided[wi][ii];
+      }
+      if (all_decided) state[wi].alive = false;  // skip remaining rounds
+    });
+    ++result.rounds;
+  }
+
+  // --- Collect outcomes and CEXs. ---
+  result.outcomes.reserve(num_items);
+  for (std::size_t wi = 0; wi < windows.size(); ++wi) {
+    const Window& w = windows[wi];
+    for (std::size_t ii = 0; ii < w.items.size(); ++ii) {
+      const bool disproved = decided[wi][ii];
+      result.outcomes.emplace_back(
+          w.items[ii].tag,
+          disproved ? ItemStatus::kDisproved : ItemStatus::kProved);
+      if (disproved && params.collect_cex &&
+          result.cexes.size() < params.max_cex) {
+        Cex cex;
+        cex.tag = w.items[ii].tag;
+        const std::uint64_t idx = mismatch_bit[wi][ii];
+        cex.assignment.reserve(w.num_inputs());
+        for (unsigned j = 0; j < w.num_inputs(); ++j)
+          cex.assignment.emplace_back(w.inputs[j],
+                                      static_cast<bool>((idx >> j) & 1));
+        result.cexes.push_back(std::move(cex));
+      }
+    }
+  }
+  return result;
+}
+
+std::optional<PairCheck> check_pair(const aig::Aig& aig, aig::Lit a,
+                                    aig::Lit b,
+                                    const std::vector<aig::Var>& inputs,
+                                    const Params& params) {
+  auto w = window::build_window(aig, inputs,
+                                {window::CheckItem{a, b, /*tag=*/0}});
+  if (!w) return std::nullopt;
+  BatchResult r = check_batch(aig, {std::move(*w)}, params);
+  PairCheck out;
+  out.status = r.outcomes.at(0).second;
+  if (!r.cexes.empty()) out.cex = std::move(r.cexes.front().assignment);
+  return out;
+}
+
+}  // namespace simsweep::exhaustive

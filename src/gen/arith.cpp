@@ -1,0 +1,378 @@
+#include "gen/arith.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace simsweep::gen {
+
+namespace {
+
+using aig::Aig;
+using aig::Lit;
+using aig::kLitFalse;
+using aig::kLitTrue;
+
+Lit bit_or_zero(const Bus& b, std::size_t i) {
+  return i < b.size() ? b[i] : kLitFalse;
+}
+
+/// Bus of the first n PIs starting at PI index `base`.
+Bus pi_bus(Aig& a, unsigned base, unsigned n) {
+  Bus b(n);
+  for (unsigned i = 0; i < n; ++i) b[i] = a.pi_lit(base + i);
+  return b;
+}
+
+/// Constant bus of `value`, LSB first.
+Bus const_bus(std::uint64_t value, unsigned n) {
+  Bus b(n);
+  for (unsigned i = 0; i < n; ++i)
+    b[i] = (value >> i) & 1 ? kLitTrue : kLitFalse;
+  return b;
+}
+
+/// Truncate/zero-extend to n bits.
+Bus resize_bus(const Bus& x, unsigned n) {
+  Bus b(n, kLitFalse);
+  for (unsigned i = 0; i < n && i < x.size(); ++i) b[i] = x[i];
+  return b;
+}
+
+/// Modular (truncating) n-bit add, two's complement compatible.
+Bus add_mod(Aig& a, const Bus& x, const Bus& y) {
+  assert(x.size() == y.size());
+  Bus sum(x.size());
+  Lit carry = kLitFalse;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    auto [s, c] = full_adder(a, x[i], y[i], carry);
+    sum[i] = s;
+    carry = c;
+  }
+  return sum;
+}
+
+/// Modular n-bit subtract (x - y), two's complement.
+Bus sub_mod(Aig& a, const Bus& x, const Bus& y) {
+  assert(x.size() == y.size());
+  Bus sum(x.size());
+  Lit carry = kLitTrue;  // +1 of the two's complement
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    auto [s, c] = full_adder(a, x[i], aig::lit_not(y[i]), carry);
+    sum[i] = s;
+    carry = c;
+  }
+  return sum;
+}
+
+/// Arithmetic shift right by k (sign extension).
+Bus asr(const Bus& x, unsigned k) {
+  Bus b(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i)
+    b[i] = i + k < x.size() ? x[i + k] : x.back();
+  return b;
+}
+
+/// Multiplication returning a 2n-bit bus; array or Wallace structure.
+Bus multiply_bus(Aig& a, const Bus& x, const Bus& y, bool wallace) {
+  const unsigned n = static_cast<unsigned>(x.size());
+  const unsigned m = static_cast<unsigned>(y.size());
+  const unsigned w = n + m;
+  if (!wallace) {
+    // Array multiplier: accumulate shifted partial-product rows with
+    // ripple adders (carry-propagate per row).
+    Bus acc = const_bus(0, w);
+    for (unsigned j = 0; j < m; ++j) {
+      Bus row(w, kLitFalse);
+      for (unsigned i = 0; i < n; ++i)
+        if (i + j < w) row[i + j] = a.add_and(x[i], y[j]);
+      acc = resize_bus(add_mod(a, acc, row), w);
+    }
+    return acc;
+  }
+  // Wallace tree: per-column dot accumulation with 3:2 / 2:2 compressors
+  // until every column holds at most two bits, then one fast adder.
+  std::vector<std::vector<Lit>> col(w);
+  for (unsigned i = 0; i < n; ++i)
+    for (unsigned j = 0; j < m; ++j)
+      col[i + j].push_back(a.add_and(x[i], y[j]));
+  bool again = true;
+  while (again) {
+    again = false;
+    std::vector<std::vector<Lit>> next(w);
+    for (unsigned k = 0; k < w; ++k) {
+      auto& bits = col[k];
+      std::size_t i = 0;
+      while (bits.size() - i >= 3) {
+        auto [s, c] = full_adder(a, bits[i], bits[i + 1], bits[i + 2]);
+        i += 3;
+        next[k].push_back(s);
+        if (k + 1 < w) next[k + 1].push_back(c);
+        again = true;
+      }
+      if (bits.size() - i == 2 && bits.size() > 2) {
+        const Lit s = a.add_xor(bits[i], bits[i + 1]);
+        const Lit c = a.add_and(bits[i], bits[i + 1]);
+        i += 2;
+        next[k].push_back(s);
+        if (k + 1 < w) next[k + 1].push_back(c);
+        again = true;
+      }
+      for (; i < bits.size(); ++i) next[k].push_back(bits[i]);
+    }
+    col = std::move(next);
+  }
+  Bus op0(w), op1(w);
+  for (unsigned k = 0; k < w; ++k) {
+    op0[k] = col[k].empty() ? kLitFalse : col[k][0];
+    op1[k] = col[k].size() > 1 ? col[k][1] : kLitFalse;
+  }
+  return resize_bus(kogge_stone_add(a, op0, op1), w);
+}
+
+/// Restoring integer square root of an even-width bus; returns |x|/2 bits.
+Bus isqrt_bus(Aig& a, Bus x) {
+  if (x.size() & 1) x.push_back(kLitFalse);
+  const unsigned n = static_cast<unsigned>(x.size());
+  const unsigned half = n / 2;
+  const unsigned w = n + 2;  // working width for remainder/trial
+
+  Bus rem = const_bus(0, w);
+  Bus root;  // grows one bit (MSB-first construction), LSB-first storage
+  for (unsigned t = 0; t < half; ++t) {
+    // rem = (rem << 2) | next two input bits (from the top).
+    Bus shifted(w, kLitFalse);
+    for (unsigned i = 2; i < w; ++i) shifted[i] = rem[i - 2];
+    shifted[1] = x[n - 2 * t - 1];
+    shifted[0] = x[n - 2 * t - 2];
+    // trial = (root << 2) | 1.
+    Bus trial = const_bus(0, w);
+    trial[0] = kLitTrue;
+    for (unsigned i = 0; i < root.size(); ++i) trial[i + 2] = root[i];
+    auto [diff, borrow] = subtract(a, shifted, trial);
+    const Lit bit = aig::lit_not(borrow);
+    rem = mux_bus(a, bit, diff, shifted);
+    // root = (root << 1) | bit.
+    root.insert(root.begin(), bit);
+  }
+  return root;
+}
+
+}  // namespace
+
+std::pair<Lit, Lit> full_adder(Aig& a, Lit x, Lit y, Lit cin) {
+  const Lit s = a.add_xor(a.add_xor(x, y), cin);
+  const Lit c = a.add_maj3(x, y, cin);
+  return {s, c};
+}
+
+Bus ripple_add(Aig& a, const Bus& x, const Bus& y) {
+  const std::size_t n = std::max(x.size(), y.size());
+  Bus sum(n + 1);
+  Lit carry = kLitFalse;
+  for (std::size_t i = 0; i < n; ++i) {
+    auto [s, c] =
+        full_adder(a, bit_or_zero(x, i), bit_or_zero(y, i), carry);
+    sum[i] = s;
+    carry = c;
+  }
+  sum[n] = carry;
+  return sum;
+}
+
+Bus kogge_stone_add(Aig& a, const Bus& x, const Bus& y) {
+  const std::size_t n = std::max(x.size(), y.size());
+  Bus g(n), p(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Lit xi = bit_or_zero(x, i), yi = bit_or_zero(y, i);
+    g[i] = a.add_and(xi, yi);
+    p[i] = a.add_xor(xi, yi);
+  }
+  // Parallel prefix: after the pass with distance d, g[i] is the carry
+  // generated by the window [i-2d+1, i].
+  Bus gg = g, pp = p;
+  for (std::size_t d = 1; d < n; d <<= 1) {
+    Bus g2 = gg, p2 = pp;
+    for (std::size_t i = d; i < n; ++i) {
+      g2[i] = a.add_or(gg[i], a.add_and(pp[i], gg[i - d]));
+      p2[i] = a.add_and(pp[i], pp[i - d]);
+    }
+    gg = std::move(g2);
+    pp = std::move(p2);
+  }
+  Bus sum(n + 1);
+  sum[0] = p[0];
+  for (std::size_t i = 1; i < n; ++i) sum[i] = a.add_xor(p[i], gg[i - 1]);
+  sum[n] = gg[n - 1];
+  return sum;
+}
+
+std::pair<Bus, Lit> subtract(Aig& a, const Bus& x, const Bus& y) {
+  assert(x.size() == y.size());
+  Bus diff(x.size());
+  Lit carry = kLitTrue;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    auto [s, c] = full_adder(a, x[i], aig::lit_not(y[i]), carry);
+    diff[i] = s;
+    carry = c;
+  }
+  return {diff, aig::lit_not(carry)};  // borrow = !carry_out
+}
+
+Bus mux_bus(Aig& a, Lit sel, const Bus& t, const Bus& e) {
+  assert(t.size() == e.size());
+  Bus out(t.size());
+  for (std::size_t i = 0; i < t.size(); ++i)
+    out[i] = a.add_mux(sel, t[i], e[i]);
+  return out;
+}
+
+Aig ripple_adder(unsigned n) {
+  Aig a(2 * n);
+  const Bus x = pi_bus(a, 0, n), y = pi_bus(a, n, n);
+  for (Lit s : ripple_add(a, x, y)) a.add_po(s);
+  return a;
+}
+
+Aig kogge_stone_adder(unsigned n) {
+  Aig a(2 * n);
+  const Bus x = pi_bus(a, 0, n), y = pi_bus(a, n, n);
+  for (Lit s : kogge_stone_add(a, x, y)) a.add_po(s);
+  return a;
+}
+
+Aig array_multiplier(unsigned n) {
+  Aig a(2 * n);
+  for (Lit s :
+       multiply_bus(a, pi_bus(a, 0, n), pi_bus(a, n, n), /*wallace=*/false))
+    a.add_po(s);
+  return a;
+}
+
+Aig wallace_multiplier(unsigned n) {
+  Aig a(2 * n);
+  for (Lit s :
+       multiply_bus(a, pi_bus(a, 0, n), pi_bus(a, n, n), /*wallace=*/true))
+    a.add_po(s);
+  return a;
+}
+
+Aig square(unsigned n) {
+  Aig a(n);
+  const Bus x = pi_bus(a, 0, n);
+  for (Lit s : multiply_bus(a, x, x, /*wallace=*/false)) a.add_po(s);
+  return a;
+}
+
+Aig isqrt(unsigned n) {
+  if (n & 1) throw std::invalid_argument("isqrt: width must be even");
+  Aig a(n);
+  for (Lit s : isqrt_bus(a, pi_bus(a, 0, n))) a.add_po(s);
+  return a;
+}
+
+Aig hyp(unsigned n) {
+  Aig a(2 * n);
+  const Bus x = pi_bus(a, 0, n), y = pi_bus(a, n, n);
+  const Bus x2 = multiply_bus(a, x, x, /*wallace=*/false);
+  const Bus y2 = multiply_bus(a, y, y, /*wallace=*/false);
+  Bus sum = ripple_add(a, x2, y2);  // 2n+1 bits
+  if (sum.size() & 1) sum.push_back(kLitFalse);
+  for (Lit s : isqrt_bus(a, sum)) a.add_po(s);
+  return a;
+}
+
+Aig log2_approx(unsigned n, unsigned frac) {
+  if ((n & (n - 1)) != 0)
+    throw std::invalid_argument("log2_approx: width must be a power of two");
+  const unsigned eb = static_cast<unsigned>(std::countr_zero(n));  // log2(n)
+  Aig a(n);
+  const Bus x = pi_bus(a, 0, n);
+
+  // Priority encoder: one-hot is_msb[i] = x[i] & none-above.
+  Bus is_msb(n);
+  Lit found = kLitFalse;
+  for (unsigned i = n; i-- > 0;) {
+    is_msb[i] = a.add_and(x[i], aig::lit_not(found));
+    found = a.add_or(found, x[i]);
+  }
+  // Exponent bits: OR of the one-hots whose index has that bit set.
+  Bus e(eb, kLitFalse);
+  for (unsigned i = 0; i < n; ++i)
+    for (unsigned j = 0; j < eb; ++j)
+      if ((i >> j) & 1) e[j] = a.add_or(e[j], is_msb[i]);
+
+  // Normalize: left-shift x by (n-1-e) = ~e (valid because n = 2^eb), so
+  // the leading one lands at bit n-1; fraction = next `frac` bits.
+  Bus shifted = x;
+  for (unsigned j = 0; j < eb; ++j) {
+    const Lit s = aig::lit_not(e[j]);  // shift by 2^j iff bit j of ~e
+    Bus moved(n, kLitFalse);
+    const unsigned k = 1u << j;
+    for (unsigned i = k; i < n; ++i) moved[i] = shifted[i - k];
+    shifted = mux_bus(a, s, moved, shifted);
+  }
+
+  for (unsigned j = 0; j < eb; ++j) a.add_po(e[j]);
+  for (unsigned j = 0; j < frac && j + 1 < n; ++j)
+    a.add_po(shifted[n - 2 - j]);
+  return a;
+}
+
+Aig cordic_sin(unsigned n, unsigned iters) {
+  if (n > 24) throw std::invalid_argument("cordic_sin: width too large");
+  Aig a(n);
+  // Fixed point with n-2 fractional bits; angle input in radians scaled
+  // the same way. Gain-compensated initial x = K = prod(1/sqrt(1+2^-2i)).
+  const unsigned fbits = n - 2;
+  double kd = 1.0;
+  for (unsigned i = 0; i < iters; ++i)
+    kd /= std::sqrt(1.0 + std::ldexp(1.0, -2 * static_cast<int>(i)));
+  auto to_fix = [&](double v) {
+    return static_cast<std::uint64_t>(
+               std::llround(std::ldexp(v, static_cast<int>(fbits)))) &
+           ((std::uint64_t{1} << n) - 1);
+  };
+
+  Bus x = const_bus(to_fix(kd), n);
+  Bus y = const_bus(0, n);
+  Bus z = pi_bus(a, 0, n);
+  for (unsigned i = 0; i < iters; ++i) {
+    const Bus atan_i = const_bus(
+        to_fix(std::atan(std::ldexp(1.0, -static_cast<int>(i)))), n);
+    const Lit dneg = z.back();  // sign of z: rotate clockwise if negative
+    const Bus xs = asr(x, i), ys = asr(y, i);
+    // d = +1: x-=ys, y+=xs, z-=atan; d = -1: x+=ys, y-=xs, z+=atan.
+    x = mux_bus(a, dneg, add_mod(a, x, ys), sub_mod(a, x, ys));
+    y = mux_bus(a, dneg, sub_mod(a, y, xs), add_mod(a, y, xs));
+    z = mux_bus(a, dneg, add_mod(a, z, atan_i), sub_mod(a, z, atan_i));
+  }
+  for (Lit s : y) a.add_po(s);
+  return a;
+}
+
+Aig voter(unsigned n) {
+  if ((n & 1) == 0) throw std::invalid_argument("voter: n must be odd");
+  Aig a(n);
+  // Popcount by divide and conquer over full-adder trees.
+  std::vector<Bus> counts;
+  for (unsigned i = 0; i < n; ++i) counts.push_back({a.pi_lit(i)});
+  while (counts.size() > 1) {
+    std::vector<Bus> next;
+    for (std::size_t i = 0; i + 1 < counts.size(); i += 2)
+      next.push_back(ripple_add(a, counts[i], counts[i + 1]));
+    if (counts.size() & 1) next.push_back(counts.back());
+    counts = std::move(next);
+  }
+  Bus count = counts[0];
+  // Majority iff count >= (n+1)/2, i.e. count - threshold has no borrow.
+  const Bus threshold = const_bus((n + 1) / 2, static_cast<unsigned>(count.size()));
+  auto [diff, borrow] = subtract(a, count, threshold);
+  (void)diff;
+  a.add_po(aig::lit_not(borrow));
+  return a;
+}
+
+}  // namespace simsweep::gen

@@ -1,0 +1,77 @@
+#pragma once
+/// \file arith.hpp
+/// \brief Arithmetic circuit generators.
+///
+/// These fabricate the arithmetic design families of the paper's benchmark
+/// suite (EPFL arithmetic: hyp, log2, multiplier, sqrt, square, sin,
+/// voter) as parameterized AIG generators, since the original benchmark
+/// files are not available offline (DESIGN.md §2). Where a family has
+/// classic alternative implementations (ripple vs prefix adders, array vs
+/// Wallace multipliers) both are provided — structurally different equal
+/// circuits are first-class CEC test material.
+///
+/// Conventions: operand bit i is PI index (operand_base + i), LSB first;
+/// output bit i is PO index i, LSB first. All circuits are pure
+/// combinational AIGs.
+
+#include <utility>
+#include <vector>
+
+#include "aig/aig.hpp"
+
+namespace simsweep::gen {
+
+/// Word of literals, LSB first.
+using Bus = std::vector<aig::Lit>;
+
+// --- Building blocks (operate inside an existing AIG). ---
+
+/// sum, carry of a full adder.
+std::pair<aig::Lit, aig::Lit> full_adder(aig::Aig& a, aig::Lit x, aig::Lit y,
+                                         aig::Lit cin);
+/// Ripple-carry addition; result has max(|x|,|y|)+1 bits.
+Bus ripple_add(aig::Aig& a, const Bus& x, const Bus& y);
+/// Kogge-Stone parallel-prefix addition; same interface as ripple_add.
+Bus kogge_stone_add(aig::Aig& a, const Bus& x, const Bus& y);
+/// x - y assuming x >= y is NOT required; returns (diff of |x| bits,
+/// borrow-out literal which is 1 iff x < y).
+std::pair<Bus, aig::Lit> subtract(aig::Aig& a, const Bus& x, const Bus& y);
+/// sel ? t : e, bitwise (|t| == |e|).
+Bus mux_bus(aig::Aig& a, aig::Lit sel, const Bus& t, const Bus& e);
+
+// --- Whole circuits. ---
+
+/// n-bit + n-bit adder, 2n PIs, n+1 POs. Ripple-carry structure.
+aig::Aig ripple_adder(unsigned n);
+/// Same function, Kogge-Stone structure (equivalent to ripple_adder(n)).
+aig::Aig kogge_stone_adder(unsigned n);
+
+/// n x n multiplier, 2n PIs, 2n POs. Array (carry-save rows) structure.
+aig::Aig array_multiplier(unsigned n);
+/// Same function, Wallace-tree reduction structure.
+aig::Aig wallace_multiplier(unsigned n);
+
+/// n-bit squarer (x * x), n PIs, 2n POs.
+aig::Aig square(unsigned n);
+
+/// Integer square root of an n-bit input (n even): n PIs, n/2 POs.
+/// Restoring (digit-recurrence) structure.
+aig::Aig isqrt(unsigned n);
+
+/// hyp: floor(sqrt(a^2 + b^2)) of two n-bit operands: 2n PIs, n+1 POs.
+aig::Aig hyp(unsigned n);
+
+/// Integer log2: floor(log2(x)) of an n-bit input with `frac` fractional
+/// bits obtained from the normalized mantissa: n PIs, ceil(log2(n))+frac
+/// POs. Output 0 for x == 0.
+aig::Aig log2_approx(unsigned n, unsigned frac);
+
+/// Fixed-point sine via `iters` unrolled CORDIC rotations. Input: n-bit
+/// angle; output: n-bit sine (two's complement fixed point). n <= 24.
+aig::Aig cordic_sin(unsigned n, unsigned iters);
+
+/// Majority voter over n inputs (n odd): n PIs, 1 PO. Popcount-tree
+/// structure followed by a comparator, like the EPFL `voter`.
+aig::Aig voter(unsigned n);
+
+}  // namespace simsweep::gen

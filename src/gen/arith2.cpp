@@ -1,0 +1,132 @@
+#include "gen/arith2.hpp"
+
+#include <bit>
+#include <cassert>
+#include <stdexcept>
+
+namespace simsweep::gen {
+
+namespace {
+
+using aig::Aig;
+using aig::Lit;
+using aig::kLitFalse;
+using aig::kLitTrue;
+
+Bus pi_bus(Aig& a, unsigned base, unsigned n) {
+  Bus b(n);
+  for (unsigned i = 0; i < n; ++i) b[i] = a.pi_lit(base + i);
+  return b;
+}
+
+}  // namespace
+
+Aig divider(unsigned n) {
+  Aig a(2 * n);
+  const Bus x = pi_bus(a, 0, n);   // dividend
+  const Bus d = pi_bus(a, n, n);   // divisor
+
+  // Restoring division, MSB first: rem = (rem << 1) | x[i]; if rem >= d
+  // then rem -= d and q[i] = 1.
+  Bus rem(n + 1, kLitFalse);
+  Bus q(n, kLitFalse);
+  Bus d_ext(n + 1, kLitFalse);
+  for (unsigned i = 0; i < n; ++i) d_ext[i] = d[i];
+  for (unsigned i = n; i-- > 0;) {
+    Bus shifted(n + 1, kLitFalse);
+    for (unsigned k = n; k >= 1; --k) shifted[k] = rem[k - 1];
+    shifted[0] = x[i];
+    auto [diff, borrow] = subtract(a, shifted, d_ext);
+    const Lit fits = aig::lit_not(borrow);  // shifted >= d
+    q[i] = fits;
+    rem = mux_bus(a, fits, diff, shifted);
+  }
+  for (Lit b : q) a.add_po(b);
+  for (unsigned i = 0; i < n; ++i) a.add_po(rem[i]);
+  return a;
+}
+
+Aig barrel_rotator(unsigned w) {
+  if ((w & (w - 1)) != 0)
+    throw std::invalid_argument("barrel_rotator: width must be 2^k");
+  const unsigned sbits = static_cast<unsigned>(std::countr_zero(w));
+  Aig a(w + sbits);
+  Bus data = pi_bus(a, 0, w);
+  const Bus shift = pi_bus(a, w, sbits);
+  for (unsigned s = 0; s < sbits; ++s) {
+    const unsigned k = 1u << s;
+    Bus rotated(w);
+    for (unsigned i = 0; i < w; ++i) rotated[i] = data[(i + w - k) % w];
+    data = mux_bus(a, shift[s], rotated, data);
+  }
+  for (Lit b : data) a.add_po(b);
+  return a;
+}
+
+Aig max_circuit(unsigned n) {
+  Aig a(2 * n);
+  const Bus x = pi_bus(a, 0, n), y = pi_bus(a, n, n);
+  auto [diff, borrow] = subtract(a, x, y);
+  (void)diff;
+  const Lit x_ge_y = aig::lit_not(borrow);
+  for (Lit b : mux_bus(a, x_ge_y, x, y)) a.add_po(b);
+  return a;
+}
+
+Aig decoder(unsigned n) {
+  if (n > 16) throw std::invalid_argument("decoder: too many selects");
+  Aig a(n);
+  const Bus sel = pi_bus(a, 0, n);
+  // Build the one-hot outputs as balanced AND trees over select literals.
+  for (unsigned code = 0; code < (1u << n); ++code) {
+    Lit out = kLitTrue;
+    for (unsigned j = 0; j < n; ++j)
+      out = a.add_and(out, aig::lit_notcond(sel[j], !((code >> j) & 1)));
+    a.add_po(out);
+  }
+  return a;
+}
+
+Aig priority_encoder(unsigned n) {
+  Aig a(n);
+  unsigned bits = 0;
+  while ((1u << bits) < n) ++bits;
+  // found-so-far scan from index 0 (highest priority).
+  Bus index(bits, kLitFalse);
+  Lit valid = kLitFalse;
+  for (unsigned i = 0; i < n; ++i) {
+    const Lit req = a.pi_lit(i);
+    const Lit take = a.add_and(req, aig::lit_not(valid));
+    for (unsigned j = 0; j < bits; ++j)
+      if ((i >> j) & 1) index[j] = a.add_or(index[j], take);
+    valid = a.add_or(valid, req);
+  }
+  for (Lit b : index) a.add_po(b);
+  a.add_po(valid);
+  return a;
+}
+
+Aig alu(unsigned n) {
+  Aig a(2 * n + 2);
+  const Bus x = pi_bus(a, 0, n), y = pi_bus(a, n, n);
+  const Lit op0 = a.pi_lit(2 * n), op1 = a.pi_lit(2 * n + 1);
+
+  const Bus sum = ripple_add(a, x, y);  // n+1 bits
+  Bus result(n);
+  for (unsigned i = 0; i < n; ++i) {
+    const Lit band = a.add_and(x[i], y[i]);
+    const Lit bor = a.add_or(x[i], y[i]);
+    const Lit bxor = a.add_xor(x[i], y[i]);
+    // op: 00 add, 01 and, 10 or, 11 xor.
+    const Lit logic = a.add_mux(op0, bxor, bor);   // op1=1 branch
+    const Lit addand = a.add_mux(op0, band, sum[i]);  // op1=0 branch
+    result[i] = a.add_mux(op1, logic, addand);
+  }
+  for (Lit b : result) a.add_po(b);
+  // Carry out only meaningful for add; force 0 otherwise.
+  a.add_po(a.add_and(sum[n],
+                     a.add_and(aig::lit_not(op0), aig::lit_not(op1))));
+  return a;
+}
+
+}  // namespace simsweep::gen

@@ -1,0 +1,42 @@
+#pragma once
+/// \file arith2.hpp
+/// \brief Additional EPFL-style circuit families: divider, barrel
+/// shifter, max, decoder, priority encoder, ALU slice.
+///
+/// These extend the Table II suite with the rest of the EPFL
+/// combinational benchmark families (div, bar, max, dec, priority,
+/// arbiter-like control). They are used by the extended tests and are
+/// available to users fabricating their own CEC instances.
+
+#include "gen/arith.hpp"
+
+namespace simsweep::gen {
+
+/// Restoring integer divider: n-bit dividend, n-bit divisor ->
+/// n-bit quotient then n-bit remainder (2n POs). Division by zero yields
+/// quotient all-ones and remainder = dividend, the usual restoring-array
+/// convention.
+aig::Aig divider(unsigned n);
+
+/// Barrel shifter (EPFL `bar` style): w-bit data, log2(w)-bit shift
+/// amount, left rotate. w must be a power of two.
+aig::Aig barrel_rotator(unsigned w);
+
+/// max (EPFL style): two n-bit operands, outputs the larger (n POs) —
+/// a comparator plus a bus mux.
+aig::Aig max_circuit(unsigned n);
+
+/// Binary decoder (EPFL `dec` style): n select inputs, 2^n one-hot
+/// outputs.
+aig::Aig decoder(unsigned n);
+
+/// Priority encoder (EPFL `priority` style): n request inputs, outputs
+/// ceil(log2(n)) index bits of the highest-priority (lowest-index) active
+/// request plus a `valid` bit.
+aig::Aig priority_encoder(unsigned n);
+
+/// A 1-bit-sliced ALU: two n-bit operands + 2-bit opcode
+/// (00 add, 01 and, 10 or, 11 xor), n+1 POs (result + carry).
+aig::Aig alu(unsigned n);
+
+}  // namespace simsweep::gen

@@ -1,0 +1,85 @@
+#include "gen/control.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/random.hpp"
+
+namespace simsweep::gen {
+
+aig::Aig control_logic(const ControlParams& p) {
+  Rng rng(p.seed);
+  aig::Aig a(p.num_pis);
+
+  for (unsigned o = 0; o < p.num_pos; ++o) {
+    // Pick the PI window this output reads.
+    const unsigned base =
+        p.num_pis > p.locality
+            ? static_cast<unsigned>(rng.below(p.num_pis - p.locality))
+            : 0;
+    std::vector<aig::Lit> pool;
+    pool.reserve(p.cone_inputs);
+    for (unsigned i = 0; i < p.cone_inputs; ++i) {
+      const unsigned pi =
+          base + static_cast<unsigned>(
+                     rng.below(std::min(p.locality, p.num_pis)));
+      pool.push_back(aig::make_lit(std::min(pi, p.num_pis - 1) + 1,
+                                   rng.flip()));
+    }
+    // Random gate tree of the requested depth over the pool.
+    for (unsigned d = 0; d < p.depth; ++d) {
+      std::vector<aig::Lit> next;
+      for (std::size_t i = 0; i + 1 < pool.size(); i += 2) {
+        const aig::Lit x = pool[i], y = pool[i + 1];
+        aig::Lit g;
+        switch (rng.below(4)) {
+          case 0: g = a.add_and(x, y); break;
+          case 1: g = a.add_or(x, y); break;
+          case 2: g = a.add_xor(x, y); break;
+          default: {
+            const aig::Lit s = pool[rng.below(pool.size())];
+            g = a.add_mux(s, x, y);
+            break;
+          }
+        }
+        next.push_back(g);
+      }
+      if (pool.size() & 1) next.push_back(pool.back());
+      if (next.size() <= 1) {
+        pool = std::move(next);
+        break;
+      }
+      pool = std::move(next);
+    }
+    // Collapse whatever remains into one output.
+    aig::Lit out = pool.empty() ? aig::kLitFalse : pool[0];
+    for (std::size_t i = 1; i < pool.size(); ++i)
+      out = a.add_and(out, pool[i]);
+    a.add_po(out);
+  }
+  return a;
+}
+
+aig::Aig ac97_like(unsigned scale, std::uint64_t seed) {
+  ControlParams p;
+  p.num_pis = 256 * scale;
+  p.num_pos = 256 * scale;
+  p.cone_inputs = 6;
+  p.locality = 24;
+  p.depth = 3;
+  p.seed = seed;
+  return control_logic(p);
+}
+
+aig::Aig vga_like(unsigned scale, std::uint64_t seed) {
+  ControlParams p;
+  p.num_pis = 192 * scale;
+  p.num_pos = 224 * scale;
+  p.cone_inputs = 10;
+  p.locality = 48;
+  p.depth = 5;
+  p.seed = seed;
+  return control_logic(p);
+}
+
+}  // namespace simsweep::gen

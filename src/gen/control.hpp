@@ -1,0 +1,37 @@
+#pragma once
+/// \file control.hpp
+/// \brief Control-logic circuit generators.
+///
+/// Stand-ins for the IWLS 2005 control designs of the paper's suite
+/// (ac97_ctrl, vga_lcd): wide, shallow circuits — many PIs/POs, small
+/// per-output cones, low logic depth — the opposite corner of the design
+/// space from the deep arithmetic cores. Deterministic for a given seed.
+
+#include <cstdint>
+
+#include "aig/aig.hpp"
+
+namespace simsweep::gen {
+
+struct ControlParams {
+  unsigned num_pis = 512;
+  unsigned num_pos = 512;
+  /// Per-output cone: number of PIs it reads (locality window keeps the
+  /// structure bus-like rather than random-graph-like).
+  unsigned cone_inputs = 8;
+  unsigned locality = 32;   ///< PI window each output draws from
+  unsigned depth = 4;       ///< gate levels per cone
+  std::uint64_t seed = 1;
+};
+
+/// Wide shallow control logic: each PO is a random AND/OR/XOR/MUX tree
+/// over a localized PI window.
+aig::Aig control_logic(const ControlParams& params);
+
+/// An ac97_ctrl-like profile: very wide, very shallow.
+aig::Aig ac97_like(unsigned scale, std::uint64_t seed);
+
+/// A vga_lcd-like profile: wide with slightly deeper cones.
+aig::Aig vga_like(unsigned scale, std::uint64_t seed);
+
+}  // namespace simsweep::gen

@@ -1,0 +1,36 @@
+#include "gen/transforms.hpp"
+
+#include <vector>
+
+namespace simsweep::gen {
+
+aig::Aig double_circuit(const aig::Aig& src) {
+  aig::Aig dst(2 * src.num_pis());
+
+  auto copy_with_pi_base = [&](unsigned pi_base) {
+    std::vector<aig::Lit> lit_of(src.num_nodes());
+    lit_of[0] = aig::kLitFalse;
+    for (unsigned i = 0; i < src.num_pis(); ++i)
+      lit_of[i + 1] = dst.pi_lit(pi_base + i);
+    for (aig::Var v = src.num_pis() + 1; v < src.num_nodes(); ++v) {
+      const aig::Lit f0 = src.fanin0(v), f1 = src.fanin1(v);
+      lit_of[v] = dst.add_and(
+          aig::lit_notcond(lit_of[aig::lit_var(f0)], aig::lit_compl(f0)),
+          aig::lit_notcond(lit_of[aig::lit_var(f1)], aig::lit_compl(f1)));
+    }
+    for (aig::Lit po : src.pos())
+      dst.add_po(
+          aig::lit_notcond(lit_of[aig::lit_var(po)], aig::lit_compl(po)));
+  };
+  copy_with_pi_base(0);
+  copy_with_pi_base(src.num_pis());
+  return dst;
+}
+
+aig::Aig double_circuit(const aig::Aig& src, unsigned k) {
+  aig::Aig out = src;
+  for (unsigned i = 0; i < k; ++i) out = double_circuit(out);
+  return out;
+}
+
+}  // namespace simsweep::gen

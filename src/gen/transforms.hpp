@@ -1,0 +1,18 @@
+#pragma once
+/// \file transforms.hpp
+/// \brief Whole-circuit transforms used to prepare CEC instances.
+
+#include "aig/aig.hpp"
+
+namespace simsweep::gen {
+
+/// ABC's `double`: appends a disjoint copy of the circuit (fresh PIs and
+/// POs), doubling every interface and the node count. Applying it k times
+/// scales the design by 2^k, the enlargement method of the paper's
+/// experiments (§IV, "_nxd" suffixes).
+aig::Aig double_circuit(const aig::Aig& src);
+
+/// double applied k times.
+aig::Aig double_circuit(const aig::Aig& src, unsigned k);
+
+}  // namespace simsweep::gen

@@ -1,0 +1,79 @@
+#include "opt/balance.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "aig/aig_analysis.hpp"
+#include "aig/rebuild.hpp"
+
+namespace simsweep::opt {
+
+aig::Aig balance(const aig::Aig& src) {
+  // Only collapse through single-fanout edges: descending into shared AND
+  // trees would duplicate them in the rebuilt graph (strashing cannot fold
+  // differently-balanced copies back together).
+  const std::vector<std::uint32_t> fanout = aig::compute_fanouts(src);
+  aig::Aig dst(src.num_pis());
+  std::vector<aig::Lit> lit_of(src.num_nodes(), 0);
+  lit_of[0] = aig::kLitFalse;
+  for (unsigned i = 0; i < src.num_pis(); ++i) lit_of[i + 1] = dst.pi_lit(i);
+
+  // Levels in the *new* AIG, per new variable, for Huffman combination.
+  std::vector<std::uint32_t> new_level{0};  // constant node
+  new_level.resize(src.num_pis() + 1, 0);
+  auto level_of = [&](aig::Lit l) {
+    return new_level[aig::lit_var(l)];
+  };
+  auto record_level = [&](aig::Lit l) {
+    const aig::Var v = aig::lit_var(l);
+    if (v >= new_level.size()) new_level.resize(v + 1, 0);
+  };
+
+  for (aig::Var v = src.num_pis() + 1; v < src.num_nodes(); ++v) {
+    // Gather the leaves of the maximal AND tree rooted at v: descend
+    // through non-complemented edges into AND children.
+    std::vector<aig::Lit> leaves;
+    std::vector<aig::Lit> stack{src.fanin0(v), src.fanin1(v)};
+    while (!stack.empty()) {
+      const aig::Lit e = stack.back();
+      stack.pop_back();
+      const aig::Var u = aig::lit_var(e);
+      if (!aig::lit_compl(e) && src.is_and(u) && fanout[u] <= 1) {
+        stack.push_back(src.fanin0(u));
+        stack.push_back(src.fanin1(u));
+      } else {
+        leaves.push_back(
+            aig::lit_notcond(lit_of[u], aig::lit_compl(e)));
+      }
+    }
+
+    // Huffman-style combination: always AND the two shallowest operands.
+    auto cmp = [&](aig::Lit a, aig::Lit b) {
+      return level_of(a) > level_of(b);  // min-heap on new level
+    };
+    std::priority_queue<aig::Lit, std::vector<aig::Lit>, decltype(cmp)> heap(
+        cmp, std::move(leaves));
+    while (heap.size() > 1) {
+      const aig::Lit a = heap.top();
+      heap.pop();
+      const aig::Lit b = heap.top();
+      heap.pop();
+      const aig::Lit r = dst.add_and(a, b);
+      record_level(r);
+      new_level[aig::lit_var(r)] =
+          aig::lit_var(r) <= dst.num_pis()
+              ? 0
+              : 1 + std::max(level_of(a), level_of(b));
+      heap.push(r);
+    }
+    lit_of[v] = heap.top();
+  }
+
+  for (aig::Lit po : src.pos())
+    dst.add_po(aig::lit_notcond(lit_of[aig::lit_var(po)],
+                                aig::lit_compl(po)));
+  return aig::cleanup(dst).aig;
+}
+
+}  // namespace simsweep::opt

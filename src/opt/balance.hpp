@@ -1,0 +1,16 @@
+#pragma once
+/// \file balance.hpp
+/// \brief AND-tree balancing (the `b` steps of ABC's resyn2).
+///
+/// Collapses maximal multi-input AND trees (descending through
+/// non-complemented AND edges) and rebuilds them as delay-balanced binary
+/// trees, combining the two lowest-level operands first (Huffman order).
+/// Functionally equivalent by construction; typically reduces depth.
+
+#include "aig/aig.hpp"
+
+namespace simsweep::opt {
+
+aig::Aig balance(const aig::Aig& src);
+
+}  // namespace simsweep::opt

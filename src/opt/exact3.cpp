@@ -1,0 +1,231 @@
+#include "opt/exact3.hpp"
+
+#include <cassert>
+#include <optional>
+
+#include "aig/aig_analysis.hpp"
+#include "aig/rebuild.hpp"
+#include "cut/cut_enum.hpp"
+#include "tt/truth_table.hpp"
+
+namespace simsweep::opt {
+
+namespace {
+
+/// 8-bit truth tables of the three projection functions.
+constexpr std::uint8_t kProj[3] = {0xAA, 0xCC, 0xF0};
+
+}  // namespace
+
+Exact3Db::Exact3Db() {
+  // Discovery state: cost per function, 0xFF = unknown.
+  std::array<std::uint8_t, 256> cost;
+  cost.fill(0xFF);
+
+  auto record = [&](std::uint8_t func, std::uint8_t c, Exact3Impl impl) {
+    if (cost[func] != 0xFF) return false;
+    cost[func] = c;
+    impls_[func] = std::move(impl);
+    return true;
+  };
+
+  // Cost-0 functions: constants and (complemented) projections.
+  std::vector<std::vector<std::uint8_t>> bucket(1);
+  auto seed = [&](std::uint8_t func, std::uint8_t out_lit) {
+    Exact3Impl impl;
+    impl.out_lit = out_lit;
+    if (record(func, 0, std::move(impl))) bucket[0].push_back(func);
+  };
+  seed(0x00, 0);
+  seed(0xFF, 1);
+  for (unsigned i = 0; i < 3; ++i) {
+    seed(kProj[i], static_cast<std::uint8_t>(2 * (1 + i)));
+    seed(static_cast<std::uint8_t>(~kProj[i]),
+         static_cast<std::uint8_t>(2 * (1 + i) + 1));
+  }
+
+  // Breadth-first by AND count: a function of cost c is the AND of two
+  // (possibly complemented) functions of costs i + j = c - 1. Tree-minimal
+  // by construction (see header).
+  std::size_t found = bucket[0].size();
+  for (std::uint8_t c = 1; found < 256; ++c) {
+    bucket.emplace_back();
+    for (std::uint8_t i = 0; i <= (c - 1) / 2; ++i) {
+      const std::uint8_t j = static_cast<std::uint8_t>(c - 1 - i);
+      if (j >= bucket.size() - 1) continue;
+      for (const std::uint8_t ft : bucket[i]) {
+        for (const std::uint8_t gt : bucket[j]) {
+          const Exact3Impl& fi = impls_[ft];
+          const Exact3Impl& gi = impls_[gt];
+          for (unsigned pol = 0; pol < 4; ++pol) {
+            const bool pf = pol & 1, pg = pol & 2;
+            const std::uint8_t h = static_cast<std::uint8_t>(
+                (pf ? ~ft : ft) & (pg ? ~gt : gt));
+            if (cost[h] != 0xFF && cost[static_cast<std::uint8_t>(~h)] != 0xFF)
+              continue;
+            // Concatenate the two programs; remap g's step references.
+            Exact3Impl impl;
+            impl.steps = fi.steps;
+            const std::uint8_t shift =
+                static_cast<std::uint8_t>(fi.steps.size());
+            auto remap = [&](std::uint8_t lit) -> std::uint8_t {
+              return lit >= 8 ? static_cast<std::uint8_t>(lit + 2 * shift)
+                              : lit;
+            };
+            for (const Exact3Impl::Step& s : gi.steps)
+              impl.steps.push_back(
+                  Exact3Impl::Step{remap(s.lit0), remap(s.lit1)});
+            impl.steps.push_back(Exact3Impl::Step{
+                static_cast<std::uint8_t>(fi.out_lit ^ pf),
+                static_cast<std::uint8_t>(remap(gi.out_lit) ^ pg)});
+            impl.out_lit = static_cast<std::uint8_t>(
+                2 * (4 + impl.steps.size() - 1));
+
+            Exact3Impl compl_impl = impl;
+            compl_impl.out_lit ^= 1;
+            if (record(h, c, std::move(impl))) {
+              bucket[c].push_back(h);
+              ++found;
+            }
+            if (record(static_cast<std::uint8_t>(~h), c,
+                       std::move(compl_impl))) {
+              bucket[c].push_back(static_cast<std::uint8_t>(~h));
+              ++found;
+            }
+          }
+        }
+      }
+    }
+    assert(c < 16 && "exact3 BFS failed to converge");
+  }
+
+  // Realized costs: instantiate each program through structural hashing
+  // (shared subtrees fold) and count the surviving AND nodes.
+  for (unsigned f = 0; f < 256; ++f) {
+    aig::Aig scratch(3);
+    const aig::Lit out = instantiate(
+        scratch, static_cast<std::uint8_t>(f),
+        {scratch.pi_lit(0), scratch.pi_lit(1), scratch.pi_lit(2)});
+    scratch.add_po(out);
+    realized_cost_[f] =
+        static_cast<std::uint8_t>(aig::cleanup(scratch).aig.num_ands());
+  }
+}
+
+const Exact3Db& Exact3Db::instance() {
+  static const Exact3Db db;
+  return db;
+}
+
+aig::Lit Exact3Db::instantiate(aig::Aig& dst, std::uint8_t func,
+                               const std::array<aig::Lit, 3>& leaf_lits)
+    const {
+  const Exact3Impl& impl = impls_[func];
+  std::vector<aig::Lit> step_lits(impl.steps.size());
+  auto resolve = [&](std::uint8_t lit) -> aig::Lit {
+    const unsigned var = lit >> 1;
+    const bool c = lit & 1;
+    if (var == 0) return c ? aig::kLitTrue : aig::kLitFalse;
+    if (var <= 3) return aig::lit_notcond(leaf_lits[var - 1], c);
+    return aig::lit_notcond(step_lits[var - 4], c);
+  };
+  for (std::size_t s = 0; s < impl.steps.size(); ++s)
+    step_lits[s] =
+        dst.add_and(resolve(impl.steps[s].lit0), resolve(impl.steps[s].lit1));
+  return resolve(impl.out_lit);
+}
+
+aig::Aig exact_rewrite3(const aig::Aig& src, ExactRewriteStats* stats) {
+  if (stats) *stats = ExactRewriteStats{};
+  const Exact3Db& db = Exact3Db::instance();
+
+  cut::EnumParams ep;
+  ep.cut_size = 3;
+  ep.num_cuts = 4;
+  cut::PriorityCuts pc(src, ep);
+  const cut::CutScorer scorer(src, cut::Pass::kFanout);
+  for (aig::Var v = src.num_pis() + 1; v < src.num_nodes(); ++v)
+    pc.compute_node(v, scorer, nullptr);
+
+  // Reverse-topological MFFC-restricted selection, as in refactor().
+  struct Selection {
+    std::array<aig::Var, 3> leaves{};
+    unsigned num_leaves = 0;
+    std::uint8_t func = 0;
+  };
+  const std::vector<std::uint32_t> fanout = aig::compute_fanouts(src);
+  std::vector<std::optional<Selection>> selected(src.num_nodes());
+  std::vector<std::uint8_t> covered(src.num_nodes(), 0);
+  std::vector<std::uint32_t> in_cone_refs(src.num_nodes(), 0);
+  for (aig::Var v = static_cast<aig::Var>(src.num_nodes()); v-- > 0;) {
+    if (!src.is_and(v) || covered[v]) continue;
+    for (const cut::Cut& c : pc.cuts(v).cuts()) {
+      if (c.size < 2) continue;
+      std::vector<aig::Var> leaves(c.leaves.begin(),
+                                   c.leaves.begin() + c.size);
+      const std::vector<aig::Var> cone = aig::tfi_cone(src, {v}, leaves);
+      std::size_t cone_ands = 0;
+      for (aig::Var u : cone) cone_ands += src.is_and(u) ? 1 : 0;
+      if (cone_ands < 2) continue;
+
+      for (aig::Var u : cone) {
+        if (!src.is_and(u)) continue;
+        ++in_cone_refs[aig::lit_var(src.fanin0(u))];
+        ++in_cone_refs[aig::lit_var(src.fanin1(u))];
+      }
+      bool fanout_free = true;
+      for (aig::Var u : cone)
+        if (u != v && src.is_and(u) && in_cone_refs[u] != fanout[u])
+          fanout_free = false;
+      for (aig::Var u : cone) {
+        if (!src.is_and(u)) continue;
+        in_cone_refs[aig::lit_var(src.fanin0(u))] = 0;
+        in_cone_refs[aig::lit_var(src.fanin1(u))] = 0;
+      }
+      if (!fanout_free) continue;
+
+      const tt::TruthTable f =
+          aig::cone_truth_table(src, aig::make_lit(v), leaves);
+      const std::uint8_t func = static_cast<std::uint8_t>(
+          f.extend(3).words()[0] & 0xFF);
+      if (stats) ++stats->cones_considered;
+      if (db.cost(func) >= cone_ands) continue;  // only strict gains
+
+      Selection sel;
+      sel.num_leaves = static_cast<unsigned>(leaves.size());
+      for (unsigned i = 0; i < sel.num_leaves; ++i) sel.leaves[i] = leaves[i];
+      sel.func = func;
+      selected[v] = sel;
+      if (stats) {
+        ++stats->cones_rewritten;
+        stats->ands_saved += cone_ands - db.cost(func);
+      }
+      for (aig::Var u : cone)
+        if (u != v) covered[u] = 1;
+      break;
+    }
+  }
+
+  aig::Aig dst(src.num_pis());
+  std::vector<aig::Lit> lit_of(src.num_nodes(), 0);
+  lit_of[0] = aig::kLitFalse;
+  for (unsigned i = 0; i < src.num_pis(); ++i) lit_of[i + 1] = dst.pi_lit(i);
+  auto mapped = [&](aig::Lit l) {
+    return aig::lit_notcond(lit_of[aig::lit_var(l)], aig::lit_compl(l));
+  };
+  for (aig::Var v = src.num_pis() + 1; v < src.num_nodes(); ++v) {
+    if (selected[v]) {
+      std::array<aig::Lit, 3> leaf_lits{aig::kLitFalse, aig::kLitFalse,
+                                        aig::kLitFalse};
+      for (unsigned i = 0; i < selected[v]->num_leaves; ++i)
+        leaf_lits[i] = lit_of[selected[v]->leaves[i]];
+      lit_of[v] = db.instantiate(dst, selected[v]->func, leaf_lits);
+    } else {
+      lit_of[v] = dst.add_and(mapped(src.fanin0(v)), mapped(src.fanin1(v)));
+    }
+  }
+  for (aig::Lit po : src.pos()) dst.add_po(mapped(po));
+  return aig::cleanup(dst).aig;
+}
+
+}  // namespace simsweep::opt

@@ -1,0 +1,85 @@
+#pragma once
+/// \file exact3.hpp
+/// \brief Exact synthesis of 3-input functions and exact-rewriting.
+///
+/// A one-time breadth-first search over the 256 three-variable functions
+/// yields a database of small AIG implementations: functions are
+/// discovered in order of increasing *tree* cost (combining previously
+/// discovered functions pairwise with all edge polarities), and the
+/// recorded implementation is then instantiated through structural
+/// hashing, which re-shares duplicated subtrees — e.g. XOR3's tree cost
+/// is 9 but its realized AIG has the well-known 6 AND nodes. The
+/// `cost()` reported (and used by `exact_rewrite3` for acceptance) is the
+/// realized post-strash size, a tight upper bound on the true minimum.
+/// The pass replaces 3-cut MFFCs only on strict improvement, so it is the
+/// strongest (if smallest-scale) member of the resyn pipeline family.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "aig/aig.hpp"
+
+namespace simsweep::opt {
+
+/// A minimal implementation of one 3-variable function: a straight-line
+/// AND program over literals. Literal encoding inside steps: 0/1 are the
+/// constants, 2*(1+i)+c with i < 3 are the (possibly complemented) input
+/// variables, 2*(4+s)+c refers to step s's output.
+struct Exact3Impl {
+  struct Step {
+    std::uint8_t lit0 = 0;
+    std::uint8_t lit1 = 0;
+  };
+  std::vector<Step> steps;
+  std::uint8_t out_lit = 0;  ///< same encoding; may be constant/input
+
+  std::size_t num_ands() const { return steps.size(); }
+};
+
+/// The exact database: minimal implementations for all 256 functions.
+class Exact3Db {
+ public:
+  /// Builds the database (a few milliseconds; BFS over function space).
+  Exact3Db();
+
+  /// Process-wide shared instance.
+  static const Exact3Db& instance();
+
+  /// The AND-minimal implementation of the 3-variable function with the
+  /// given 8-bit truth table.
+  const Exact3Impl& lookup(std::uint8_t func) const {
+    return impls_[func];
+  }
+
+  /// Realized (post-strash) AND count of the function's implementation.
+  std::size_t cost(std::uint8_t func) const { return realized_cost_[func]; }
+
+  /// Tree cost of the recorded straight-line program (>= cost()).
+  std::size_t tree_cost(std::uint8_t func) const {
+    return impls_[func].num_ands();
+  }
+
+  /// Instantiates the implementation of `func` in `dst` with the three
+  /// cut leaves mapped to `leaf_lits`.
+  aig::Lit instantiate(aig::Aig& dst, std::uint8_t func,
+                       const std::array<aig::Lit, 3>& leaf_lits) const;
+
+ private:
+  std::array<Exact3Impl, 256> impls_;
+  std::array<std::uint8_t, 256> realized_cost_{};
+};
+
+struct ExactRewriteStats {
+  std::size_t cones_considered = 0;
+  std::size_t cones_rewritten = 0;
+  std::size_t ands_saved = 0;  ///< sum of (mffc - exact) over rewrites
+};
+
+/// Exact rewriting with 3-cuts: replaces fanout-free cones by their
+/// AND-minimal implementations when strictly smaller. Functionally
+/// equivalence-preserving by construction.
+aig::Aig exact_rewrite3(const aig::Aig& src,
+                        ExactRewriteStats* stats = nullptr);
+
+}  // namespace simsweep::opt

@@ -1,0 +1,135 @@
+#include "opt/isop.hpp"
+
+#include <bit>
+#include <cassert>
+#include <stdexcept>
+
+namespace simsweep::opt {
+
+unsigned Cube::num_literals() const {
+  return static_cast<unsigned>(std::popcount(pos) + std::popcount(neg));
+}
+
+namespace {
+
+using tt::TruthTable;
+
+/// Minato-Morreale recursion: returns a cover C with L <= C <= U, and
+/// writes the function of the cover into `cover_fn`.
+std::vector<Cube> isop_rec(const TruthTable& L, const TruthTable& U,
+                           unsigned num_vars, TruthTable& cover_fn) {
+  if (L.is_const0()) {
+    cover_fn = TruthTable::zeros(num_vars);
+    return {};
+  }
+  if (U.is_const1()) {
+    cover_fn = TruthTable::ones(num_vars);
+    return {Cube{}};  // tautology cube
+  }
+  // Pick the lowest variable either bound depends on.
+  unsigned v = 0;
+  while (v < num_vars && L.is_dont_care(v) && U.is_dont_care(v)) ++v;
+  assert(v < num_vars);
+
+  const TruthTable L0 = L.cofactor0(v), L1 = L.cofactor1(v);
+  const TruthTable U0 = U.cofactor0(v), U1 = U.cofactor1(v);
+
+  // Cubes that must contain literal !v / v.
+  TruthTable g0(num_vars), g1(num_vars), g2(num_vars);
+  std::vector<Cube> c0 = isop_rec(L0 & ~U1, U0, num_vars, g0);
+  std::vector<Cube> c1 = isop_rec(L1 & ~U0, U1, num_vars, g1);
+  // Remaining minterms, coverable without v.
+  const TruthTable Lnew = (L0 & ~g0) | (L1 & ~g1);
+  std::vector<Cube> c2 = isop_rec(Lnew, U0 & U1, num_vars, g2);
+
+  std::vector<Cube> cover;
+  cover.reserve(c0.size() + c1.size() + c2.size());
+  for (Cube c : c0) {
+    c.neg |= static_cast<std::uint16_t>(1u << v);
+    cover.push_back(c);
+  }
+  for (Cube c : c1) {
+    c.pos |= static_cast<std::uint16_t>(1u << v);
+    cover.push_back(c);
+  }
+  for (const Cube& c : c2) cover.push_back(c);
+
+  const TruthTable proj = TruthTable::projection(v, num_vars);
+  cover_fn = (~proj & g0) | (proj & g1) | g2;
+  return cover;
+}
+
+}  // namespace
+
+std::vector<Cube> isop(const tt::TruthTable& f) {
+  if (f.num_vars() > 16)
+    throw std::invalid_argument("isop: more than 16 variables");
+  TruthTable cover_fn(f.num_vars());
+  std::vector<Cube> cover = isop_rec(f, f, f.num_vars(), cover_fn);
+  assert(cover_fn == f);
+  return cover;
+}
+
+tt::TruthTable cover_to_tt(const std::vector<Cube>& cover,
+                           unsigned num_vars) {
+  tt::TruthTable out(num_vars);
+  for (const Cube& c : cover) {
+    tt::TruthTable term = tt::TruthTable::ones(num_vars);
+    for (unsigned v = 0; v < num_vars; ++v) {
+      if (c.pos & (1u << v)) term = term & tt::TruthTable::projection(v, num_vars);
+      if (c.neg & (1u << v)) term = term & ~tt::TruthTable::projection(v, num_vars);
+    }
+    out = out | term;
+  }
+  return out;
+}
+
+std::size_t cover_literals(const std::vector<Cube>& cover) {
+  std::size_t n = 0;
+  for (const Cube& c : cover) n += c.num_literals();
+  return n;
+}
+
+std::size_t cover_aig_cost(const std::vector<Cube>& cover) {
+  if (cover.empty()) return 0;
+  std::size_t cost = cover.size() - 1;  // OR tree
+  for (const Cube& c : cover) {
+    const unsigned lits = c.num_literals();
+    cost += lits > 0 ? lits - 1 : 0;
+  }
+  return cost;
+}
+
+aig::Lit sop_to_aig(aig::Aig& dst, const std::vector<Cube>& cover,
+                    const std::vector<aig::Lit>& leaf_lits) {
+  if (cover.empty()) return aig::kLitFalse;
+
+  // Balanced reduction of a literal list under a binary operation.
+  auto reduce = [&dst](std::vector<aig::Lit> lits, bool is_or) {
+    while (lits.size() > 1) {
+      std::vector<aig::Lit> next;
+      next.reserve((lits.size() + 1) / 2);
+      for (std::size_t i = 0; i + 1 < lits.size(); i += 2)
+        next.push_back(is_or ? dst.add_or(lits[i], lits[i + 1])
+                             : dst.add_and(lits[i], lits[i + 1]));
+      if (lits.size() & 1) next.push_back(lits.back());
+      lits = std::move(next);
+    }
+    return lits[0];
+  };
+
+  std::vector<aig::Lit> terms;
+  terms.reserve(cover.size());
+  for (const Cube& c : cover) {
+    std::vector<aig::Lit> lits;
+    for (unsigned v = 0; v < leaf_lits.size(); ++v) {
+      if (c.pos & (1u << v)) lits.push_back(leaf_lits[v]);
+      if (c.neg & (1u << v)) lits.push_back(aig::lit_not(leaf_lits[v]));
+    }
+    terms.push_back(lits.empty() ? aig::kLitTrue : reduce(std::move(lits),
+                                                          /*is_or=*/false));
+  }
+  return reduce(std::move(terms), /*is_or=*/true);
+}
+
+}  // namespace simsweep::opt

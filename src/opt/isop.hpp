@@ -1,0 +1,50 @@
+#pragma once
+/// \file isop.hpp
+/// \brief Irredundant sum-of-products via the Minato-Morreale algorithm,
+/// plus SOP-to-AIG synthesis.
+///
+/// This is the resynthesis kernel of the optimizer (rewrite/refactor): a
+/// node's local function over a cut is converted to an irredundant SOP and
+/// re-implemented as a balanced AND/OR tree, yielding a functionally
+/// identical but structurally different implementation — which is exactly
+/// what the benchmark generator needs to fabricate "original vs optimized"
+/// CEC instances (paper §IV uses ABC resyn2 for this).
+
+#include <cstdint>
+#include <vector>
+
+#include "aig/aig.hpp"
+#include "tt/truth_table.hpp"
+
+namespace simsweep::opt {
+
+/// A product term over at most 16 variables: variable i appears positive
+/// if bit i of `pos` is set, negative if bit i of `neg` is set.
+struct Cube {
+  std::uint16_t pos = 0;
+  std::uint16_t neg = 0;
+
+  bool operator==(const Cube&) const = default;
+  unsigned num_literals() const;
+};
+
+/// Computes an irredundant SOP cover of f (Minato-Morreale ISOP with
+/// lower = upper = f, i.e. no don't cares). f must have <= 16 variables.
+std::vector<Cube> isop(const tt::TruthTable& f);
+
+/// Evaluates a cover as a truth table (for verification and tests).
+tt::TruthTable cover_to_tt(const std::vector<Cube>& cover, unsigned num_vars);
+
+/// Total literal count of a cover (the classic SOP cost measure).
+std::size_t cover_literals(const std::vector<Cube>& cover);
+
+/// Estimated AND-node count of the AIG implementation of a cover:
+/// Σ (lits(cube) - 1) AND nodes per cube + (cubes - 1) for the OR tree.
+std::size_t cover_aig_cost(const std::vector<Cube>& cover);
+
+/// Synthesizes the cover into `dst` as balanced AND/OR trees, with
+/// variable i of the cubes mapped to leaf_lits[i].
+aig::Lit sop_to_aig(aig::Aig& dst, const std::vector<Cube>& cover,
+                    const std::vector<aig::Lit>& leaf_lits);
+
+}  // namespace simsweep::opt

@@ -1,0 +1,112 @@
+#include "opt/refactor.hpp"
+
+#include <algorithm>
+#include <optional>
+
+#include "aig/aig_analysis.hpp"
+#include "aig/rebuild.hpp"
+#include "cut/cut_enum.hpp"
+#include "opt/isop.hpp"
+
+namespace simsweep::opt {
+
+namespace {
+
+struct Selection {
+  std::vector<aig::Var> leaves;
+  std::vector<Cube> cover;
+};
+
+}  // namespace
+
+aig::Aig refactor(const aig::Aig& src, const RefactorParams& params) {
+  // Priority cuts for every node (plain topological order: no pair
+  // dependencies here, so ascending id is a valid schedule).
+  cut::EnumParams ep;
+  ep.cut_size = params.cut_size;
+  ep.num_cuts = params.num_cuts;
+  cut::PriorityCuts pc(src, ep);
+  const cut::CutScorer scorer(src, cut::Pass::kFanout);
+  for (aig::Var v = src.num_pis() + 1; v < src.num_nodes(); ++v)
+    pc.compute_node(v, scorer, nullptr);
+
+  // Reverse-topological greedy cone selection. A cone is only eligible if
+  // its interior is fanout-free relative to the rest of the graph (an
+  // MFFC-style condition): every interior node's fanouts must stay inside
+  // the cone, so replacing the root makes the interiors dangle and the
+  // size estimate cover_aig_cost vs cone size is honest. Without this,
+  // shared interior logic gets duplicated and the "optimization" grows
+  // the circuit.
+  const std::vector<std::uint32_t> fanout = aig::compute_fanouts(src);
+  std::vector<std::optional<Selection>> selected(src.num_nodes());
+  std::vector<std::uint8_t> covered(src.num_nodes(), 0);
+  std::vector<std::uint32_t> in_cone_refs(src.num_nodes(), 0);
+  for (aig::Var v = static_cast<aig::Var>(src.num_nodes()); v-- > 0;) {
+    if (!src.is_and(v) || covered[v]) continue;
+    const cut::CutSet& cuts = pc.cuts(v);
+    for (const cut::Cut& c : cuts.cuts()) {
+      if (c.size < 2) continue;
+      std::vector<aig::Var> leaves(c.leaves.begin(),
+                                   c.leaves.begin() + c.size);
+      const std::vector<aig::Var> cone = aig::tfi_cone(src, {v}, leaves);
+      std::size_t cone_ands = 0;
+      for (aig::Var u : cone) cone_ands += src.is_and(u) ? 1 : 0;
+      if (cone_ands < params.min_cone) continue;
+
+      // MFFC check: count in-cone references of each interior node and
+      // compare with its global fanout count.
+      for (aig::Var u : cone) {
+        if (!src.is_and(u)) continue;
+        ++in_cone_refs[aig::lit_var(src.fanin0(u))];
+        ++in_cone_refs[aig::lit_var(src.fanin1(u))];
+      }
+      bool fanout_free = true;
+      for (aig::Var u : cone)
+        if (u != v && src.is_and(u) && in_cone_refs[u] != fanout[u])
+          fanout_free = false;
+      for (aig::Var u : cone) {  // reset the scratch counters
+        if (!src.is_and(u)) continue;
+        in_cone_refs[aig::lit_var(src.fanin0(u))] = 0;
+        in_cone_refs[aig::lit_var(src.fanin1(u))] = 0;
+      }
+      if (!fanout_free) continue;
+
+      const tt::TruthTable f =
+          aig::cone_truth_table(src, aig::make_lit(v), leaves);
+      std::vector<Cube> cover = isop(f);
+      if (static_cast<long>(cover_aig_cost(cover)) >
+          static_cast<long>(cone_ands) + params.slack)
+        continue;
+
+      selected[v] = Selection{std::move(leaves), std::move(cover)};
+      for (aig::Var u : cone)
+        if (u != v) covered[u] = 1;  // interiors can't be roots
+      break;
+    }
+  }
+
+  // Rebuild: selected roots are resynthesized from their mapped leaves,
+  // everything else is copied; cleanup drops copies that became dangling.
+  aig::Aig dst(src.num_pis());
+  std::vector<aig::Lit> lit_of(src.num_nodes(), 0);
+  lit_of[0] = aig::kLitFalse;
+  for (unsigned i = 0; i < src.num_pis(); ++i) lit_of[i + 1] = dst.pi_lit(i);
+  auto mapped = [&](aig::Lit l) {
+    return aig::lit_notcond(lit_of[aig::lit_var(l)], aig::lit_compl(l));
+  };
+  for (aig::Var v = src.num_pis() + 1; v < src.num_nodes(); ++v) {
+    if (selected[v]) {
+      std::vector<aig::Lit> leaf_lits;
+      leaf_lits.reserve(selected[v]->leaves.size());
+      for (aig::Var u : selected[v]->leaves)
+        leaf_lits.push_back(lit_of[u]);
+      lit_of[v] = sop_to_aig(dst, selected[v]->cover, leaf_lits);
+    } else {
+      lit_of[v] = dst.add_and(mapped(src.fanin0(v)), mapped(src.fanin1(v)));
+    }
+  }
+  for (aig::Lit po : src.pos()) dst.add_po(mapped(po));
+  return aig::cleanup(dst).aig;
+}
+
+}  // namespace simsweep::opt

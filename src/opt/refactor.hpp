@@ -1,0 +1,38 @@
+#pragma once
+/// \file refactor.hpp
+/// \brief Cut-based resynthesis (the `rf`/`rw` steps of ABC's resyn2).
+///
+/// Walks the AIG in reverse topological order, selects non-overlapping
+/// cones rooted at AND nodes (bounded by a k-cut from priority-cut
+/// enumeration), and re-implements each selected cone from its cut leaves
+/// through ISOP + balanced SOP synthesis. A cone is selected when the
+/// estimated new implementation is not larger than the cone plus `slack`
+/// nodes (slack > 0 admits zero/negative-gain restructurings, like ABC's
+/// -z flag — valuable here because the goal is structural diversity for
+/// CEC benchmarks as much as size reduction).
+
+#include "aig/aig.hpp"
+
+namespace simsweep::opt {
+
+struct RefactorParams {
+  unsigned cut_size = 10;  ///< k of the enumerated cuts (<= cut::kMaxCutSize)
+  unsigned num_cuts = 4;   ///< priority cuts considered per node
+  int slack = 0;           ///< accepted growth per cone, in AND nodes
+  unsigned min_cone = 3;   ///< smallest cone worth refactoring
+};
+
+aig::Aig refactor(const aig::Aig& src, const RefactorParams& params = {});
+
+/// `rewrite` = refactor with small (4-input) cuts and zero-gain
+/// acceptance, approximating ABC's DAG-aware rewriting step.
+inline aig::Aig rewrite(const aig::Aig& src) {
+  RefactorParams p;
+  p.cut_size = 4;
+  p.num_cuts = 6;
+  p.slack = 0;
+  p.min_cone = 2;
+  return refactor(src, p);
+}
+
+}  // namespace simsweep::opt

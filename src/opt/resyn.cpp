@@ -1,0 +1,38 @@
+#include "opt/resyn.hpp"
+
+#include "opt/balance.hpp"
+#include "opt/refactor.hpp"
+
+namespace simsweep::opt {
+
+aig::Aig resyn2(const aig::Aig& src) {
+  aig::Aig a = balance(src);
+  a = rewrite(a);
+  a = refactor(a);  // rf
+  a = balance(a);
+  a = rewrite(a);
+  {
+    RefactorParams rwz;  // zero/low-gain rewrite ("rwz")
+    rwz.cut_size = 4;
+    rwz.num_cuts = 6;
+    rwz.slack = 1;
+    rwz.min_cone = 2;
+    a = refactor(a, rwz);
+  }
+  a = balance(a);
+  {
+    RefactorParams rfz;  // zero/low-gain refactor ("rfz")
+    rfz.cut_size = 10;
+    rfz.num_cuts = 4;
+    rfz.slack = 2;
+    rfz.min_cone = 3;
+    a = refactor(a, rfz);
+  }
+  return balance(a);
+}
+
+aig::Aig resyn_light(const aig::Aig& src) {
+  return balance(rewrite(balance(src)));
+}
+
+}  // namespace simsweep::opt

@@ -1,0 +1,21 @@
+#pragma once
+/// \file resyn.hpp
+/// \brief The resyn2-style optimization pipeline (ABC stand-in).
+///
+/// ABC's `resyn2` is "b; rw; rf; b; rw; rwz; b; rfz; rwz; b" — alternating
+/// balancing, rewriting and refactoring with zero-gain variants. The
+/// pipeline here follows the same pattern with our balance/rewrite/
+/// refactor; it is used by the benchmark suite to produce the "optimized"
+/// member of every CEC pair (paper §IV).
+
+#include "aig/aig.hpp"
+
+namespace simsweep::opt {
+
+/// One full resyn2-style pipeline.
+aig::Aig resyn2(const aig::Aig& src);
+
+/// A lighter pipeline (b; rw; b) for quick structural perturbation.
+aig::Aig resyn_light(const aig::Aig& src);
+
+}  // namespace simsweep::opt

@@ -1,0 +1,90 @@
+#include "parallel/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace simsweep::parallel {
+
+ThreadPool::ThreadPool(unsigned num_workers) {
+  if (num_workers == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    num_workers = hw > 1 ? hw - 1 : 0;
+  }
+  workers_.reserve(num_workers);
+  for (unsigned i = 0; i < num_workers; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void ThreadPool::run_range(std::size_t begin, std::size_t end, BlockFn block) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  // Small ranges or a worker-less pool: run inline, no synchronization.
+  if (workers_.empty() || n < 2 * concurrency()) {
+    block(begin, end);
+    return;
+  }
+  std::lock_guard submit_lock(submit_mutex_);
+  {
+    std::lock_guard lock(mutex_);
+    job_ = std::move(block);
+    job_end_ = end;
+    chunk_ = std::max<std::size_t>(1, n / (concurrency() * 8));
+    cursor_.store(begin, std::memory_order_relaxed);
+    active_.store(static_cast<unsigned>(workers_.size()),
+                  std::memory_order_relaxed);
+    ++generation_;
+  }
+  wake_.notify_all();
+  work_until_done();
+}
+
+void ThreadPool::work_until_done() {
+  // The calling thread processes chunks too, then waits for the workers.
+  for (;;) {
+    const std::size_t lo = cursor_.fetch_add(chunk_, std::memory_order_relaxed);
+    if (lo >= job_end_) break;
+    job_(lo, std::min(lo + chunk_, job_end_));
+  }
+  std::unique_lock lock(mutex_);
+  done_.wait(lock, [this] {
+    return active_.load(std::memory_order_acquire) == 0;
+  });
+  job_ = nullptr;
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock lock(mutex_);
+      wake_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+    }
+    for (;;) {
+      const std::size_t lo =
+          cursor_.fetch_add(chunk_, std::memory_order_relaxed);
+      if (lo >= job_end_) break;
+      job_(lo, std::min(lo + chunk_, job_end_));
+    }
+    if (active_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard lock(mutex_);
+      done_.notify_all();
+    }
+  }
+}
+
+}  // namespace simsweep::parallel

@@ -1,0 +1,101 @@
+#pragma once
+/// \file thread_pool.hpp
+/// \brief Data-parallel executor — the CPU stand-in for the paper's GPU.
+///
+/// Every parallel algorithm in the paper is a data-parallel kernel over a
+/// flat index space (words of a truth table, nodes of a level batch,
+/// windows of a batch — the "three dimensions of parallelism" of paper
+/// Fig. 3). This module provides that execution model on CPU threads:
+/// parallel_for(begin, end, body) runs body(i) for all i with dynamic
+/// chunking. The engine code is written purely against this interface, so
+/// the mapping back to CUDA kernels is mechanical (see DESIGN.md §2).
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace simsweep::parallel {
+
+class ThreadPool {
+ public:
+  /// Creates a pool with the given number of worker threads (0 = use
+  /// std::thread::hardware_concurrency()). The calling thread also
+  /// participates in work, so the effective parallelism is workers + 1.
+  explicit ThreadPool(unsigned num_workers = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Process-wide default pool (lazily constructed, sized to the machine).
+  static ThreadPool& global();
+
+  /// Effective parallelism (workers + calling thread).
+  unsigned concurrency() const {
+    return static_cast<unsigned>(workers_.size()) + 1;
+  }
+
+  /// Runs body(i) for every i in [begin, end), distributing contiguous
+  /// chunks over the pool dynamically. Blocks until all iterations finish.
+  /// body must be safe to invoke concurrently for distinct i.
+  template <typename Body>
+  void parallel_for(std::size_t begin, std::size_t end, const Body& body) {
+    run_range(begin, end, [&body](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) body(i);
+    });
+  }
+
+  /// Chunked variant: body(lo, hi) handles a contiguous block, letting the
+  /// caller hoist per-chunk setup out of the inner loop.
+  template <typename Body>
+  void parallel_for_chunks(std::size_t begin, std::size_t end,
+                           const Body& body) {
+    run_range(begin, end, [&body](std::size_t lo, std::size_t hi) {
+      body(lo, hi);
+    });
+  }
+
+ private:
+  using BlockFn = std::function<void(std::size_t, std::size_t)>;
+
+  void run_range(std::size_t begin, std::size_t end, BlockFn block);
+  void worker_loop();
+  void work_until_done();
+
+  /// Serializes whole jobs: the pool runs one parallel_for at a time, so
+  /// it is safe to call from multiple client threads (e.g. the portfolio
+  /// checker racing several engines). Held for the full job duration.
+  std::mutex submit_mutex_;
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable done_;
+
+  // Current job (guarded by mutex_ for setup; cursor is lock-free).
+  BlockFn job_;
+  std::size_t job_end_ = 0;
+  std::size_t chunk_ = 1;
+  std::atomic<std::size_t> cursor_{0};
+  std::atomic<unsigned> active_ = 0;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+};
+
+/// Convenience wrappers over the global pool.
+template <typename Body>
+void parallel_for(std::size_t begin, std::size_t end, const Body& body) {
+  ThreadPool::global().parallel_for(begin, end, body);
+}
+
+template <typename Body>
+void parallel_for_chunks(std::size_t begin, std::size_t end,
+                         const Body& body) {
+  ThreadPool::global().parallel_for_chunks(begin, end, body);
+}
+
+}  // namespace simsweep::parallel

@@ -1,0 +1,125 @@
+#include "portfolio/portfolio.hpp"
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+#include "common/log.hpp"
+#include "common/timer.hpp"
+#include "opt/resyn.hpp"
+
+namespace simsweep::portfolio {
+
+CombinedResult combined_check_miter(const aig::Aig& miter,
+                                    const CombinedParams& params) {
+  Timer total;
+  CombinedResult result;
+
+  const engine::SimCecEngine eng(params.engine);
+  engine::EngineResult er = eng.check_miter(miter);
+
+  // §V item 3: rewrite the residue and re-run the engine. The rewritten
+  // miter is functionally identical (opt passes are verified
+  // equivalence-preserving), so any verdict on it carries over; only a
+  // CEX needs no translation because the PI interface is preserved.
+  for (unsigned round = 0;
+       params.interleave_rewriting && round < params.max_rewrite_rounds &&
+       er.verdict == Verdict::kUndecided && er.reduced.num_ands() > 0;
+       ++round) {
+    const double engine_so_far = er.stats.total_seconds;
+    aig::Aig rewritten = opt::resyn_light(er.reduced);
+    SIMSWEEP_LOG_INFO("interleaved rewriting: %zu -> %zu ANDs",
+                      er.reduced.num_ands(), rewritten.num_ands());
+    engine::EngineResult next = eng.check_miter(std::move(rewritten));
+    next.stats.total_seconds += engine_so_far;
+    next.stats.initial_ands = er.stats.initial_ands;  // keep the original
+    er = std::move(next);
+  }
+
+  result.engine_stats = er.stats;
+  result.engine_seconds = er.stats.total_seconds;
+  result.reduction_percent = er.stats.reduction_percent();
+  result.verdict = er.verdict;
+  result.cex = std::move(er.cex);
+
+  if (er.verdict == Verdict::kUndecided) {
+    result.used_sat = true;
+    sweep::SweeperParams sweeper_params = params.sweeper;
+    if (params.transfer_ec && er.bank &&
+        er.bank->num_pis() == er.reduced.num_pis())
+      sweeper_params.initial_bank = &*er.bank;
+    const sweep::SatSweeper sweeper(sweeper_params);
+    Timer sat_timer;
+    sweep::SweepResult sr = sweeper.check_miter(er.reduced);
+    result.sat_seconds = sat_timer.seconds();
+    result.sweeper_stats = sr.stats;
+    result.verdict = sr.verdict;
+    result.cex = std::move(sr.cex);
+    // Note: a CEX found on the reduced miter is valid for the original
+    // one — the reduction only merged proven-equivalent nodes and the PI
+    // interface is preserved by rebuild().
+  }
+  result.total_seconds = total.seconds();
+  return result;
+}
+
+PortfolioResult portfolio_check_miter(const aig::Aig& miter,
+                                      const PortfolioParams& params) {
+  Timer total;
+  PortfolioResult result;
+
+  std::atomic<bool> cancel{false};
+  std::mutex m;
+
+  auto deliver = [&](Verdict v, std::optional<std::vector<bool>> cex,
+                     const char* who) {
+    if (v == Verdict::kUndecided) return;
+    std::lock_guard lock(m);
+    if (result.verdict != Verdict::kUndecided) return;  // someone else won
+    result.verdict = v;
+    result.cex = std::move(cex);
+    result.winner = who;
+    result.seconds = total.seconds();
+    cancel.store(true, std::memory_order_relaxed);
+  };
+
+  std::vector<std::thread> threads;
+  if (params.run_combined) {
+    threads.emplace_back([&] {
+      CombinedParams cp = params.combined;
+      cp.engine.cancel = &cancel;
+      cp.sweeper.cancel = &cancel;
+      CombinedResult r = combined_check_miter(miter, cp);
+      deliver(r.verdict, std::move(r.cex), "sim+sat");
+    });
+  }
+  if (params.run_sat) {
+    threads.emplace_back([&] {
+      sweep::SweeperParams sp = params.sweeper;
+      sp.cancel = &cancel;
+      sweep::SweepResult r = sweep::SatSweeper(sp).check_miter(miter);
+      deliver(r.verdict, std::move(r.cex), "sat");
+    });
+  }
+  if (params.run_bdd) {
+    threads.emplace_back([&] {
+      bdd::BddCecParams bp = params.bdd;
+      bp.cancel = &cancel;
+      bdd::BddCecResult r = bdd::bdd_check_miter(miter, bp);
+      deliver(r.verdict, std::move(r.cex), "bdd");
+    });
+  }
+  if (params.run_bdd_sweep) {
+    threads.emplace_back([&] {
+      bdd::BddSweepParams bp = params.bdd_sweep;
+      bp.cancel = &cancel;
+      bdd::BddSweepResult r = bdd::bdd_sweep_miter(miter, bp);
+      deliver(r.verdict, std::move(r.cex), "bdd-sweep");
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (result.verdict == Verdict::kUndecided) result.seconds = total.seconds();
+  return result;
+}
+
+}  // namespace simsweep::portfolio

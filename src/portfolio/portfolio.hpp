@@ -1,0 +1,102 @@
+#pragma once
+/// \file portfolio.hpp
+/// \brief Combined and portfolio equivalence checkers.
+///
+/// CombinedChecker reproduces the paper's "Ours (GPU+ABC)" flow: run the
+/// simulation-based engine first; if the miter is reduced but undecided,
+/// hand the residue to the SAT sweeper (paper §IV, Table II columns
+/// "GPU (s)" / "ABC (s)" / "Total (s)").
+///
+/// PortfolioChecker is the stand-in for the commercial multi-engine tool
+/// (Conformal LEC): it races the combined checker, a standalone SAT
+/// sweeper and a BDD checker on separate threads and returns the first
+/// decisive verdict, cancelling the losers — exactly the multithreading
+/// conjecture the paper makes about commercial checkers (§IV-A).
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "aig/aig.hpp"
+#include "aig/miter.hpp"
+#include "bdd/bdd_cec.hpp"
+#include "bdd/bdd_sweep.hpp"
+#include "common/verdict.hpp"
+#include "engine/engine.hpp"
+#include "sweep/sat_sweeper.hpp"
+
+namespace simsweep::portfolio {
+
+// ---------------------------------------------------------------------------
+// Combined checker (paper's "GPU+ABC").
+// ---------------------------------------------------------------------------
+
+struct CombinedParams {
+  engine::EngineParams engine;
+  sweep::SweeperParams sweeper;
+  /// §V EC-transfer extension: hand the engine's pattern bank (random +
+  /// CEX patterns) to the SAT sweeper so disproved pairs are not
+  /// re-checked by SAT.
+  bool transfer_ec = true;
+  /// §V item 3 (after [Mishchenko et al. ICCAD'06]): interleave sweeping
+  /// with logic rewriting — when the engine leaves an undecided residue,
+  /// rewrite the reduced miter and run the engine once more before
+  /// falling back to SAT. Restructuring changes the cuts the local
+  /// checking phases see, giving blocked pairs a fresh chance.
+  bool interleave_rewriting = false;
+  unsigned max_rewrite_rounds = 1;
+};
+
+struct CombinedResult {
+  Verdict verdict = Verdict::kUndecided;
+  std::optional<std::vector<bool>> cex;
+  engine::EngineStats engine_stats;
+  sweep::SweeperStats sweeper_stats;
+  double engine_seconds = 0;  ///< "GPU (s)" column analogue
+  double sat_seconds = 0;     ///< "ABC (s)" column analogue
+  double total_seconds = 0;
+  double reduction_percent = 0;  ///< "Reduced (%)" column analogue
+  bool used_sat = false;  ///< engine left an undecided residue
+};
+
+CombinedResult combined_check_miter(const aig::Aig& miter,
+                                    const CombinedParams& params = {});
+
+inline CombinedResult combined_check(const aig::Aig& a, const aig::Aig& b,
+                                     const CombinedParams& params = {}) {
+  return combined_check_miter(aig::make_miter(a, b), params);
+}
+
+// ---------------------------------------------------------------------------
+// Portfolio checker (commercial multi-engine stand-in).
+// ---------------------------------------------------------------------------
+
+struct PortfolioParams {
+  CombinedParams combined;
+  sweep::SweeperParams sweeper;
+  bdd::BddCecParams bdd;
+  bdd::BddSweepParams bdd_sweep;
+  bool run_combined = true;
+  bool run_sat = true;
+  bool run_bdd = true;
+  /// Kuehlmann-style BDD sweeping (paper ref [6]) as a fourth engine.
+  bool run_bdd_sweep = true;
+};
+
+struct PortfolioResult {
+  Verdict verdict = Verdict::kUndecided;
+  std::optional<std::vector<bool>> cex;
+  std::string winner;  ///< "sim+sat", "sat", "bdd", "bdd-sweep", or ""
+                       ///< if every engine came back undecided
+  double seconds = 0;
+};
+
+PortfolioResult portfolio_check_miter(const aig::Aig& miter,
+                                      const PortfolioParams& params = {});
+
+inline PortfolioResult portfolio_check(const aig::Aig& a, const aig::Aig& b,
+                                       const PortfolioParams& params = {}) {
+  return portfolio_check_miter(aig::make_miter(a, b), params);
+}
+
+}  // namespace simsweep::portfolio

@@ -1,0 +1,57 @@
+#include "sat/dimacs.hpp"
+
+#include <istream>
+#include <sstream>
+#include <stdexcept>
+
+namespace simsweep::sat {
+
+Cnf parse_dimacs(std::istream& in) {
+  Cnf cnf;
+  std::string token;
+  bool have_header = false;
+  int declared_clauses = 0;
+  std::vector<Lit> current;
+  while (in >> token) {
+    if (token == "c") {
+      std::string line;
+      std::getline(in, line);
+      continue;
+    }
+    if (token == "p") {
+      std::string fmt;
+      if (!(in >> fmt >> cnf.num_vars >> declared_clauses) || fmt != "cnf")
+        throw std::runtime_error("dimacs: bad problem line");
+      have_header = true;
+      continue;
+    }
+    if (!have_header) throw std::runtime_error("dimacs: clause before header");
+    const int lit = std::stoi(token);
+    if (lit == 0) {
+      cnf.clauses.push_back(current);
+      current.clear();
+    } else {
+      const Var v = std::abs(lit) - 1;
+      if (v >= cnf.num_vars)
+        throw std::runtime_error("dimacs: variable out of range");
+      current.push_back(mk_lit(v, lit < 0));
+    }
+  }
+  if (!current.empty())
+    throw std::runtime_error("dimacs: unterminated clause");
+  return cnf;
+}
+
+Cnf parse_dimacs_string(const std::string& text) {
+  std::istringstream in(text);
+  return parse_dimacs(in);
+}
+
+bool load_cnf(Solver& solver, const Cnf& cnf) {
+  while (solver.num_vars() < cnf.num_vars) solver.new_var();
+  for (const auto& clause : cnf.clauses)
+    if (!solver.add_clause(clause)) return false;
+  return true;
+}
+
+}  // namespace simsweep::sat

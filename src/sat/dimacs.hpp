@@ -1,0 +1,28 @@
+#pragma once
+/// \file dimacs.hpp
+/// \brief DIMACS CNF parsing/printing, mainly for tests and debugging.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sat/solver.hpp"
+
+namespace simsweep::sat {
+
+/// A CNF as variable count + clause list (literals in DIMACS convention
+/// are translated to Lit on load).
+struct Cnf {
+  int num_vars = 0;
+  std::vector<std::vector<Lit>> clauses;
+};
+
+/// Parses DIMACS CNF. Throws std::runtime_error on malformed input.
+Cnf parse_dimacs(std::istream& in);
+Cnf parse_dimacs_string(const std::string& text);
+
+/// Loads a CNF into a solver (creating variables 0..num_vars-1). Returns
+/// false if the solver became inconsistent while adding clauses.
+bool load_cnf(Solver& solver, const Cnf& cnf);
+
+}  // namespace simsweep::sat

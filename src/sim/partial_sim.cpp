@@ -1,0 +1,111 @@
+#include "sim/partial_sim.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "aig/aig_analysis.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace simsweep::sim {
+
+PatternBank PatternBank::random(unsigned num_pis, std::size_t num_words,
+                                std::uint64_t seed) {
+  PatternBank bank(num_pis, num_words);
+  Rng rng(seed);
+  for (auto& w : bank.words_) w = rng.next64();
+  return bank;
+}
+
+void PatternBank::append_words(const std::vector<Word>& per_pi_words) {
+  assert(per_pi_words.size() == num_pis_);
+  std::vector<Word> next(static_cast<std::size_t>(num_pis_) *
+                         (num_words_ + 1));
+  for (unsigned pi = 0; pi < num_pis_; ++pi) {
+    std::copy_n(&words_[static_cast<std::size_t>(pi) * num_words_],
+                num_words_, &next[static_cast<std::size_t>(pi) *
+                                  (num_words_ + 1)]);
+    next[static_cast<std::size_t>(pi) * (num_words_ + 1) + num_words_] =
+        per_pi_words[pi];
+  }
+  words_ = std::move(next);
+  ++num_words_;
+}
+
+void PatternBank::truncate_front(std::size_t max_words) {
+  if (num_words_ <= max_words) return;
+  const std::size_t drop = num_words_ - max_words;
+  std::vector<Word> next(static_cast<std::size_t>(num_pis_) * max_words);
+  for (unsigned pi = 0; pi < num_pis_; ++pi)
+    std::copy_n(&words_[static_cast<std::size_t>(pi) * num_words_ + drop],
+                max_words, &next[static_cast<std::size_t>(pi) * max_words]);
+  words_ = std::move(next);
+  num_words_ = max_words;
+}
+
+void CexCollector::add(
+    const std::vector<std::pair<unsigned, bool>>& assignment) {
+  const std::size_t slot = count_ % 64;
+  if (slot == 0) groups_.emplace_back(num_pis_, 0);
+  auto& group = groups_.back();
+  for (const auto& [pi, value] : assignment) {
+    assert(pi < num_pis_);
+    if (value) group[pi] |= Word{1} << slot;
+  }
+  ++count_;
+}
+
+void CexCollector::flush_into(PatternBank& bank) {
+  for (auto& group : groups_) bank.append_words(group);
+  groups_.clear();
+  count_ = 0;
+}
+
+Signatures simulate(const aig::Aig& aig, const PatternBank& bank) {
+  assert(bank.num_pis() == aig.num_pis());
+  const std::size_t W = bank.num_words();
+  Signatures sig;
+  sig.num_words = W;
+  sig.words.assign(aig.num_nodes() * W, 0);
+
+  // PIs copy their bank rows.
+  parallel::parallel_for(0, aig.num_pis(), [&](std::size_t i) {
+    for (std::size_t w = 0; w < W; ++w)
+      sig.words[(i + 1) * W + w] = bank.word(static_cast<unsigned>(i), w);
+  });
+
+  // Level-parallel sweep over AND nodes: batch nodes by level and process
+  // each batch with a parallel_for (paper's second parallelism dimension).
+  const auto levels = aig::compute_levels(aig);
+  const std::uint32_t max_level =
+      *std::max_element(levels.begin(), levels.end());
+  // Bucket node ids by level (counting sort).
+  std::vector<std::size_t> offset(max_level + 2, 0);
+  for (aig::Var v = aig.num_pis() + 1; v < aig.num_nodes(); ++v)
+    ++offset[levels[v] + 1];
+  for (std::size_t l = 1; l < offset.size(); ++l) offset[l] += offset[l - 1];
+  std::vector<aig::Var> order(aig.num_ands());
+  {
+    std::vector<std::size_t> cursor(offset.begin(), offset.end() - 1);
+    for (aig::Var v = aig.num_pis() + 1; v < aig.num_nodes(); ++v)
+      order[cursor[levels[v]]++] = v;
+  }
+
+  for (std::uint32_t l = 1; l <= max_level; ++l) {
+    const std::size_t lo = offset[l], hi = offset[l + 1];
+    parallel::parallel_for(lo, hi, [&](std::size_t k) {
+      const aig::Var v = order[k];
+      const aig::Lit f0 = aig.fanin0(v);
+      const aig::Lit f1 = aig.fanin1(v);
+      const Word* a = sig.row(aig::lit_var(f0));
+      const Word* b = sig.row(aig::lit_var(f1));
+      Word* out = &sig.words[static_cast<std::size_t>(v) * W];
+      const Word ca = aig::lit_compl(f0) ? ~Word{0} : 0;
+      const Word cb = aig::lit_compl(f1) ? ~Word{0} : 0;
+      for (std::size_t w = 0; w < W; ++w)
+        out[w] = (a[w] ^ ca) & (b[w] ^ cb);
+    });
+  }
+  return sig;
+}
+
+}  // namespace simsweep::sim

@@ -1,0 +1,99 @@
+#pragma once
+/// \file partial_sim.hpp
+/// \brief Word-parallel partial simulation (paper §II-B, §III-A).
+///
+/// Partial simulation evaluates every node of the AIG under a batch of
+/// input patterns packed 64-per-word. The resulting per-node bit vectors
+/// ("signatures") initialize and refine the equivalence classes. Patterns
+/// come from two sources: random initialization and counter-examples
+/// collected by the exhaustive simulator. Both are held in a PatternBank
+/// keyed by PI index, so a bank survives miter rebuilds (PIs are stable
+/// across reductions while internal ids are not).
+
+#include <cstdint>
+#include <vector>
+
+#include "aig/aig.hpp"
+#include "common/random.hpp"
+
+namespace simsweep::sim {
+
+using Word = std::uint64_t;
+
+/// Input patterns for all PIs, packed 64 assignments per word.
+/// words[pi_index * num_words + w] holds assignments 64w .. 64w+63 of that
+/// PI (pi_index is 0-based).
+class PatternBank {
+ public:
+  PatternBank(unsigned num_pis, std::size_t num_words)
+      : num_pis_(num_pis), num_words_(num_words),
+        words_(static_cast<std::size_t>(num_pis) * num_words, 0) {}
+
+  /// Bank of uniformly random patterns.
+  static PatternBank random(unsigned num_pis, std::size_t num_words,
+                            std::uint64_t seed);
+
+  unsigned num_pis() const { return num_pis_; }
+  std::size_t num_words() const { return num_words_; }
+  std::size_t num_patterns() const { return num_words_ * 64; }
+
+  Word word(unsigned pi, std::size_t w) const {
+    return words_[static_cast<std::size_t>(pi) * num_words_ + w];
+  }
+  Word& word(unsigned pi, std::size_t w) {
+    return words_[static_cast<std::size_t>(pi) * num_words_ + w];
+  }
+
+  /// Appends one extra word per PI, filled with the given per-PI values
+  /// replicated (used to splice CEX patterns; see CexCollector).
+  void append_words(const std::vector<Word>& per_pi_words);
+
+  /// Drops the oldest words until at most max_words remain (bounds the
+  /// resimulation cost as CEXs accumulate).
+  void truncate_front(std::size_t max_words);
+
+ private:
+  unsigned num_pis_;
+  std::size_t num_words_;
+  std::vector<Word> words_;  // PI-major
+};
+
+/// Accumulates counter-example input assignments (sparse: only support PIs
+/// are assigned; the rest default to 0) and packs them 64-per-word for
+/// appending to a PatternBank.
+class CexCollector {
+ public:
+  explicit CexCollector(unsigned num_pis) : num_pis_(num_pis) {}
+
+  /// Adds one CEX given as (pi_index, value) pairs.
+  void add(const std::vector<std::pair<unsigned, bool>>& assignment);
+
+  std::size_t num_cexes() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  /// Flushes complete+partial words into the bank and clears the collector.
+  void flush_into(PatternBank& bank);
+
+ private:
+  unsigned num_pis_;
+  std::size_t count_ = 0;
+  // One word per PI per pending group of <=64 CEXs; group-major.
+  std::vector<std::vector<Word>> groups_;
+};
+
+/// Per-node signatures: node-major storage of num_words 64-bit words.
+struct Signatures {
+  std::size_t num_words = 0;
+  std::vector<Word> words;  // words[var * num_words + w]
+
+  Word word(aig::Var v, std::size_t w) const {
+    return words[static_cast<std::size_t>(v) * num_words + w];
+  }
+  const Word* row(aig::Var v) const { return &words[v * num_words]; }
+};
+
+/// Simulates the whole AIG under the bank's patterns, level-parallel on the
+/// global thread pool. Complemented fanins are handled by bitwise NOT.
+Signatures simulate(const aig::Aig& aig, const PatternBank& bank);
+
+}  // namespace simsweep::sim

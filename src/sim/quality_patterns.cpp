@@ -1,0 +1,62 @@
+#include "sim/quality_patterns.hpp"
+
+#include <unordered_set>
+
+#include "common/random.hpp"
+
+namespace simsweep::sim {
+
+std::size_t count_signature_classes(const aig::Aig& aig,
+                                    const PatternBank& bank) {
+  const Signatures sigs = simulate(aig, bank);
+  std::unordered_set<std::uint64_t> canon_hashes;
+  canon_hashes.reserve(aig.num_nodes());
+  const std::size_t W = sigs.num_words;
+  for (aig::Var v = 0; v < aig.num_nodes(); ++v) {
+    const Word* row = sigs.row(v);
+    const Word flip = (W > 0 && (row[0] & 1)) ? ~Word{0} : 0;
+    std::uint64_t h = 0x9E3779B97F4A7C15ULL;
+    for (std::size_t w = 0; w < W; ++w) {
+      h ^= (row[w] ^ flip) + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+      h *= 0xFF51AFD7ED558CCDULL;
+    }
+    canon_hashes.insert(h);
+  }
+  return canon_hashes.size();
+}
+
+PatternBank quality_patterns(const aig::Aig& aig,
+                             const QualityParams& params,
+                             QualityStats* stats) {
+  PatternBank bank =
+      PatternBank::random(aig.num_pis(), params.base_words, params.seed);
+  std::size_t classes = count_signature_classes(aig, bank);
+  if (stats) {
+    *stats = QualityStats{};
+    stats->classes_before = classes;
+  }
+
+  Rng rng(params.seed ^ 0xD1CEu);
+  for (std::size_t round = 0;
+       round < params.candidate_rounds && bank.num_words() < params.max_words;
+       ++round) {
+    // Propose one candidate word column and keep it iff it splits a class
+    // (signature-class count strictly increases).
+    std::vector<Word> column(aig.num_pis());
+    for (auto& w : column) w = rng.next64();
+    PatternBank candidate = bank;
+    candidate.append_words(column);
+    const std::size_t new_classes =
+        count_signature_classes(aig, candidate);
+    if (stats) ++stats->candidates_tried;
+    if (new_classes > classes) {
+      bank = std::move(candidate);
+      classes = new_classes;
+      if (stats) ++stats->candidates_kept;
+    }
+  }
+  if (stats) stats->classes_after = classes;
+  return bank;
+}
+
+}  // namespace simsweep::sim

@@ -1,0 +1,78 @@
+#pragma once
+/// \file sat_sweeper.hpp
+/// \brief SAT-sweeping CEC baseline (the "ABC &cec" stand-in, DESIGN.md §2).
+///
+/// Classic FRAIG-style sweeping: random partial simulation initializes
+/// equivalence classes; candidate pairs are checked in topological order by
+/// incremental SAT queries with a conflict limit; SAT outcomes yield CEXs
+/// that refine the classes, UNSAT outcomes merge the pair (recorded as a
+/// substitution and reinforced with equality clauses so later queries get
+/// cheaper); finally the miter POs themselves are proved or refuted by
+/// SAT. The engine hands its reduced, undecided miters to this checker,
+/// mirroring the paper's GPU+ABC integration.
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "aig/aig.hpp"
+#include "aig/miter.hpp"
+#include "common/verdict.hpp"
+#include "sim/partial_sim.hpp"
+
+namespace simsweep::sweep {
+
+struct SweeperParams {
+  std::size_t sim_words = 4;       ///< random pattern words for EC init
+  std::uint64_t seed = 0xABCDULL;
+  /// Conflict budget per SAT call (ABC's `-C`; the paper uses 100000).
+  std::int64_t conflict_limit = 100000;
+  unsigned max_rounds = 16;        ///< sweep/refine rounds
+  std::size_t max_pattern_words = 64;
+  /// Wall-clock budget in seconds; 0 = unbounded. On expiry the checker
+  /// returns kUndecided (used by the portfolio).
+  double time_limit = 0;
+  /// Cooperative cancellation (portfolio use): checked between SAT calls.
+  const std::atomic<bool>* cancel = nullptr;
+  /// Optional PI pattern bank used to initialize the equivalence classes
+  /// (appended to the random patterns). Feeding the engine's bank here
+  /// implements the paper's §V "EC transferring from GPU to ABC": pairs
+  /// the engine already disproved carry their CEX patterns, so they land
+  /// in different classes and are never SAT-checked. Caller keeps the
+  /// bank alive for the duration of the check.
+  const sim::PatternBank* initial_bank = nullptr;
+};
+
+struct SweeperStats {
+  std::size_t sat_calls = 0;
+  std::size_t pairs_proved = 0;
+  std::size_t pairs_disproved = 0;
+  std::size_t pairs_undecided = 0;
+  std::uint64_t conflicts = 0;
+  double seconds = 0;
+};
+
+struct SweepResult {
+  Verdict verdict = Verdict::kUndecided;
+  /// Disproving PI assignment when kNotEquivalent (from the SAT model).
+  std::optional<std::vector<bool>> cex;
+  SweeperStats stats;
+};
+
+class SatSweeper {
+ public:
+  explicit SatSweeper(SweeperParams params = {}) : params_(params) {}
+
+  SweepResult check(const aig::Aig& a, const aig::Aig& b) const {
+    return check_miter(aig::make_miter(a, b));
+  }
+  SweepResult check_miter(const aig::Aig& miter) const;
+
+  const SweeperParams& params() const { return params_; }
+
+ private:
+  SweeperParams params_;
+};
+
+}  // namespace simsweep::sweep

@@ -1,0 +1,77 @@
+#include "tt/npn.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+namespace simsweep::tt {
+
+Word npn_apply(Word func, unsigned k, const NpnTransform& t) {
+  assert(k <= 6);
+  const std::uint64_t bits = num_bits(k);
+  Word out = 0;
+  for (std::uint64_t i = 0; i < bits; ++i) {
+    // Build the source index: output bit i of the transformed function is
+    // f evaluated at x_{perm[j]} = bit_j(i) ^ neg_j.
+    std::uint64_t src = 0;
+    for (unsigned j = 0; j < k; ++j) {
+      const bool bit = ((i >> j) & 1) ^ ((t.input_neg >> j) & 1);
+      if (bit) src |= std::uint64_t{1} << t.perm[j];
+    }
+    if ((func >> src) & 1) out |= std::uint64_t{1} << i;
+  }
+  if (t.output_neg) out = ~out & word_mask(k);
+  return out & word_mask(k);
+}
+
+NpnCanon npn_canonize(Word func, unsigned k) {
+  assert(k <= 6);
+  func &= word_mask(k);
+  NpnCanon best;
+  best.canon = ~Word{0};
+
+  std::array<std::uint8_t, 6> perm{0, 1, 2, 3, 4, 5};
+  std::array<std::uint8_t, 6> head;
+  std::copy_n(perm.begin(), k, head.begin());
+  std::sort(head.begin(), head.begin() + k);
+  do {
+    NpnTransform t;
+    std::copy_n(head.begin(), k, t.perm.begin());
+    for (unsigned neg = 0; neg < (1u << k); ++neg) {
+      t.input_neg = static_cast<std::uint8_t>(neg);
+      for (bool oneg : {false, true}) {
+        t.output_neg = oneg;
+        const Word candidate = npn_apply(func, k, t);
+        if (candidate < best.canon) {
+          best.canon = candidate;
+          best.transform = t;
+        }
+      }
+    }
+  } while (std::next_permutation(head.begin(), head.begin() + k));
+  return best;
+}
+
+NpnTransform npn_inverse(const NpnTransform& t, unsigned k) {
+  NpnTransform inv;
+  // Forward: position j reads source variable perm[j] negated by neg_j.
+  // Inverse: position perm[j] reads variable j negated by neg_j.
+  for (unsigned j = 0; j < k; ++j) {
+    inv.perm[t.perm[j]] = static_cast<std::uint8_t>(j);
+    if ((t.input_neg >> j) & 1)
+      inv.input_neg |= static_cast<std::uint8_t>(1u << t.perm[j]);
+  }
+  inv.output_neg = t.output_neg;
+  return inv;
+}
+
+std::size_t npn_class_count(unsigned k) {
+  assert(k <= 4);
+  std::unordered_set<Word> canons;
+  const std::uint64_t functions = std::uint64_t{1} << num_bits(k);
+  for (std::uint64_t f = 0; f < functions; ++f)
+    canons.insert(npn_canonize(f, k).canon);
+  return canons.size();
+}
+
+}  // namespace simsweep::tt

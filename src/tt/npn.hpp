@@ -1,0 +1,51 @@
+#pragma once
+/// \file npn.hpp
+/// \brief NPN canonization of small truth tables.
+///
+/// Two functions are NPN-equivalent when one can be obtained from the
+/// other by Negating inputs, Permuting inputs, and/or Negating the
+/// output. NPN classes are the standard unit of reuse in rewriting
+/// databases and function classification (there are 222 classes of
+/// 4-variable functions). This module canonizes functions of up to 6
+/// variables by exhaustive transform enumeration — 2 output polarities ×
+/// 2^k input polarities × k! permutations, at most 92160 transforms for
+/// k = 6, each a cheap word-level permutation of a 64-bit table.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "tt/truth_table.hpp"
+
+namespace simsweep::tt {
+
+/// A concrete NPN transform: out = f(x_{perm[0]} ^ flip_0, ...) ^ out_neg.
+struct NpnTransform {
+  std::array<std::uint8_t, 6> perm{0, 1, 2, 3, 4, 5};
+  std::uint8_t input_neg = 0;  ///< bitmask, bit i = negate input i
+  bool output_neg = false;
+};
+
+/// Result of canonization: the class representative and the transform
+/// that maps the *original* function onto it.
+struct NpnCanon {
+  Word canon = 0;  ///< canonical table packed into the low 2^k bits
+  NpnTransform transform;
+};
+
+/// Applies a transform to a k-variable function packed in a word.
+Word npn_apply(Word func, unsigned k, const NpnTransform& t);
+
+/// Exhaustive NPN canonization (k <= 6): the canonical form is the
+/// numerically smallest transformed table.
+NpnCanon npn_canonize(Word func, unsigned k);
+
+/// Inverts a transform: npn_apply(npn_apply(f, t), inverse(t)) == f.
+NpnTransform npn_inverse(const NpnTransform& t, unsigned k);
+
+/// Number of distinct NPN classes among all 2^2^k functions (k <= 4 is
+/// cheap; k = 4 yields the textbook 222). Exposed mainly for tests and
+/// analysis tooling.
+std::size_t npn_class_count(unsigned k);
+
+}  // namespace simsweep::tt

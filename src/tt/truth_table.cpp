@@ -1,0 +1,182 @@
+#include "tt/truth_table.hpp"
+
+#include <bit>
+#include <cassert>
+
+namespace simsweep::tt {
+
+TruthTable TruthTable::projection(unsigned var, unsigned num_vars) {
+  assert(var < num_vars);
+  TruthTable t(num_vars);
+  for (std::size_t w = 0; w < t.words_.size(); ++w)
+    t.words_[w] = projection_word(var, w);
+  t.normalize();
+  return t;
+}
+
+TruthTable TruthTable::ones(unsigned num_vars) {
+  TruthTable t(num_vars);
+  for (auto& w : t.words_) w = ~Word{0};
+  t.normalize();
+  return t;
+}
+
+TruthTable TruthTable::from_bits(Word bits, unsigned num_vars) {
+  assert(num_vars <= 6);
+  TruthTable t(num_vars);
+  t.words_[0] = bits;
+  t.normalize();
+  return t;
+}
+
+std::uint64_t TruthTable::count_ones() const {
+  std::uint64_t n = 0;
+  for (Word w : words_) n += static_cast<std::uint64_t>(std::popcount(w));
+  return n;
+}
+
+bool TruthTable::is_const0() const {
+  for (Word w : words_)
+    if (w) return false;
+  return true;
+}
+
+bool TruthTable::is_const1() const {
+  const Word mask = word_mask(num_vars_);
+  if (words_.size() == 1) return words_[0] == mask;
+  for (Word w : words_)
+    if (w != ~Word{0}) return false;
+  return true;
+}
+
+bool TruthTable::is_dont_care(unsigned var) const {
+  assert(var < num_vars_);
+  if (var < 6) {
+    const Word proj = kProjWord[var];
+    const unsigned shift = 1u << var;
+    for (Word w : words_)
+      if (((w & proj) >> shift) != (w & (proj >> shift))) return false;
+    return true;
+  }
+  const std::size_t stride = std::size_t{1} << (var - 6);
+  for (std::size_t w = 0; w < words_.size(); ++w)
+    if (!((w >> (var - 6)) & 1) && words_[w] != words_[w + stride])
+      return false;
+  return true;
+}
+
+TruthTable TruthTable::cofactor0(unsigned var) const {
+  assert(var < num_vars_);
+  TruthTable t(*this);
+  if (var < 6) {
+    const unsigned shift = 1u << var;
+    const Word lo = ~kProjWord[var];
+    for (auto& w : t.words_) {
+      const Word v = w & lo;
+      w = v | (v << shift);
+    }
+  } else {
+    const std::size_t stride = std::size_t{1} << (var - 6);
+    for (std::size_t w = 0; w < t.words_.size(); ++w)
+      if ((w >> (var - 6)) & 1) t.words_[w] = t.words_[w - stride];
+  }
+  t.normalize();
+  return t;
+}
+
+TruthTable TruthTable::cofactor1(unsigned var) const {
+  assert(var < num_vars_);
+  TruthTable t(*this);
+  if (var < 6) {
+    const unsigned shift = 1u << var;
+    const Word hi = kProjWord[var];
+    for (auto& w : t.words_) {
+      const Word v = w & hi;
+      w = v | (v >> shift);
+    }
+  } else {
+    const std::size_t stride = std::size_t{1} << (var - 6);
+    for (std::size_t w = 0; w < t.words_.size(); ++w)
+      if (!((w >> (var - 6)) & 1)) t.words_[w] = t.words_[w + stride];
+  }
+  t.normalize();
+  return t;
+}
+
+TruthTable TruthTable::extend(unsigned new_num_vars) const {
+  assert(new_num_vars >= num_vars_);
+  if (new_num_vars == num_vars_) return *this;
+  TruthTable t(new_num_vars);
+  if (num_vars_ < 6) {
+    // Replicate the low 2^num_vars bits across word 0, then across words.
+    Word w = words_[0] & word_mask(num_vars_);
+    for (unsigned v = num_vars_; v < 6 && v < new_num_vars; ++v)
+      w |= w << (std::uint64_t{1} << v);
+    for (auto& dst : t.words_) dst = w;
+  } else {
+    const std::size_t src_words = words_.size();
+    for (std::size_t w = 0; w < t.words_.size(); ++w)
+      t.words_[w] = words_[w % src_words];
+  }
+  t.normalize();
+  return t;
+}
+
+TruthTable TruthTable::operator&(const TruthTable& o) const {
+  assert(num_vars_ == o.num_vars_);
+  TruthTable t(*this);
+  for (std::size_t w = 0; w < words_.size(); ++w) t.words_[w] &= o.words_[w];
+  return t;
+}
+
+TruthTable TruthTable::operator|(const TruthTable& o) const {
+  assert(num_vars_ == o.num_vars_);
+  TruthTable t(*this);
+  for (std::size_t w = 0; w < words_.size(); ++w) t.words_[w] |= o.words_[w];
+  return t;
+}
+
+TruthTable TruthTable::operator^(const TruthTable& o) const {
+  assert(num_vars_ == o.num_vars_);
+  TruthTable t(*this);
+  for (std::size_t w = 0; w < words_.size(); ++w) t.words_[w] ^= o.words_[w];
+  return t;
+}
+
+TruthTable TruthTable::operator~() const {
+  TruthTable t(*this);
+  for (auto& w : t.words_) w = ~w;
+  t.normalize();
+  return t;
+}
+
+std::uint64_t TruthTable::hash() const {
+  std::uint64_t h = 0x9E3779B97F4A7C15ULL + num_vars_;
+  for (Word w : words_) {
+    h ^= w + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+    h *= 0xFF51AFD7ED558CCDULL;
+  }
+  return h;
+}
+
+std::string TruthTable::to_hex() const {
+  static const char* digits = "0123456789abcdef";
+  const std::uint64_t nibbles =
+      num_vars_ <= 2 ? 1 : (num_bits(num_vars_) >> 2);
+  std::string s;
+  s.reserve(nibbles);
+  for (std::uint64_t i = nibbles; i-- > 0;) {
+    const Word w = words_[(i * 4) >> 6];
+    s.push_back(digits[(w >> ((i * 4) & 63)) & 0xF]);
+  }
+  return s;
+}
+
+std::string TruthTable::to_binary() const {
+  std::string s;
+  s.reserve(bits());
+  for (std::uint64_t i = bits(); i-- > 0;) s.push_back(get_bit(i) ? '1' : '0');
+  return s;
+}
+
+}  // namespace simsweep::tt

@@ -1,0 +1,147 @@
+#pragma once
+/// \file truth_table.hpp
+/// \brief Word-packed truth tables and projection-table arithmetic.
+///
+/// A truth table of a k-input Boolean function is a bit string of length
+/// 2^k (paper §II-A): bit i holds the function value under the input
+/// assignment whose binary encoding is i. Tables are packed into 64-bit
+/// words; for k < 6 only the low 2^k bits of word 0 are meaningful and are
+/// kept masked.
+///
+/// The exhaustive simulator (paper Alg. 1) never materializes whole tables
+/// for large supports. Instead it simulates word ranges [rE, (r+1)E) per
+/// round, so the *projection* truth tables of the window inputs must be
+/// generated one word at a time at arbitrary word indices. projection_word()
+/// provides that in O(1).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace simsweep::tt {
+
+using Word = std::uint64_t;
+
+/// Number of 64-bit words in a truth table over num_vars inputs.
+constexpr std::size_t num_words(unsigned num_vars) {
+  return num_vars <= 6 ? 1u : (std::size_t{1} << (num_vars - 6));
+}
+
+/// Number of bits (input assignments) of a table over num_vars inputs.
+constexpr std::uint64_t num_bits(unsigned num_vars) {
+  return std::uint64_t{1} << num_vars;
+}
+
+/// Mask selecting the meaningful bits of word 0 when num_vars < 6.
+constexpr Word word_mask(unsigned num_vars) {
+  return num_vars >= 6 ? ~Word{0}
+                       : ((Word{1} << (std::uint64_t{1} << num_vars)) - 1);
+}
+
+/// Canonical per-word patterns of the first six projection functions
+/// x0..x5: within any single word, variable v < 6 alternates in blocks of
+/// 2^v bits.
+constexpr Word kProjWord[6] = {
+    0xAAAAAAAAAAAAAAAAULL, 0xCCCCCCCCCCCCCCCCULL, 0xF0F0F0F0F0F0F0F0ULL,
+    0xFF00FF00FF00FF00ULL, 0xFFFF0000FFFF0000ULL, 0xFFFFFFFF00000000ULL};
+
+/// Word word_index of the projection truth table of variable var.
+///
+/// For var < 6 every word equals kProjWord[var]; for var >= 6 the word is
+/// all-ones iff bit (var - 6) of word_index is set. This is the on-the-fly
+/// generation used in Alg. 1 line 9 for simulating round r at word offset
+/// rE + i without storing 2^k-bit tables.
+inline Word projection_word(unsigned var, std::uint64_t word_index) {
+  if (var < 6) return kProjWord[var];
+  return (word_index >> (var - 6)) & 1 ? ~Word{0} : Word{0};
+}
+
+/// A dynamically sized truth table over an explicit number of variables.
+///
+/// Invariant: words().size() == num_words(num_vars()), and unused high bits
+/// of word 0 are zero when num_vars() < 6.
+class TruthTable {
+ public:
+  /// Constant-zero table over num_vars inputs.
+  explicit TruthTable(unsigned num_vars = 0)
+      : num_vars_(num_vars), words_(num_words(num_vars), 0) {}
+
+  /// Projection function x_var over num_vars inputs.
+  static TruthTable projection(unsigned var, unsigned num_vars);
+
+  /// Constant-one / constant-zero tables.
+  static TruthTable ones(unsigned num_vars);
+  static TruthTable zeros(unsigned num_vars) { return TruthTable(num_vars); }
+
+  /// Table built from the low 2^num_vars bits of the given value
+  /// (num_vars <= 6).
+  static TruthTable from_bits(Word bits, unsigned num_vars);
+
+  /// Uniformly random table (each bit i.i.d.), for tests.
+  template <typename Rng>
+  static TruthTable random(unsigned num_vars, Rng& rng) {
+    TruthTable t(num_vars);
+    for (auto& w : t.words_) w = rng.next64();
+    t.normalize();
+    return t;
+  }
+
+  unsigned num_vars() const { return num_vars_; }
+  std::uint64_t bits() const { return num_bits(num_vars_); }
+  const std::vector<Word>& words() const { return words_; }
+  std::vector<Word>& words() { return words_; }
+
+  bool get_bit(std::uint64_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+  void set_bit(std::uint64_t i, bool v) {
+    const Word m = Word{1} << (i & 63);
+    if (v) words_[i >> 6] |= m; else words_[i >> 6] &= ~m;
+  }
+
+  /// Number of satisfying assignments.
+  std::uint64_t count_ones() const;
+
+  bool is_const0() const;
+  bool is_const1() const;
+
+  /// True if the function does not depend on variable var.
+  bool is_dont_care(unsigned var) const;
+
+  /// Cofactors with respect to variable var (same num_vars).
+  TruthTable cofactor0(unsigned var) const;
+  TruthTable cofactor1(unsigned var) const;
+
+  /// Extends this table to more variables (the new variables are don't
+  /// cares). new_num_vars must be >= num_vars().
+  TruthTable extend(unsigned new_num_vars) const;
+
+  /// Bitwise operators. Operands must have equal num_vars.
+  TruthTable operator&(const TruthTable& o) const;
+  TruthTable operator|(const TruthTable& o) const;
+  TruthTable operator^(const TruthTable& o) const;
+  TruthTable operator~() const;
+
+  bool operator==(const TruthTable& o) const {
+    return num_vars_ == o.num_vars_ && words_ == o.words_;
+  }
+  bool operator!=(const TruthTable& o) const { return !(*this == o); }
+
+  /// 64-bit hash of the contents (used for signature bucketing in tests).
+  std::uint64_t hash() const;
+
+  /// Hex string, most significant word first (ABC convention).
+  std::string to_hex() const;
+
+  /// Binary string b_{l-1} ... b_0 as in paper §II-A.
+  std::string to_binary() const;
+
+ private:
+  /// Mask off bits above 2^num_vars when num_vars < 6.
+  void normalize() { words_[0] &= word_mask(num_vars_); }
+
+  unsigned num_vars_;
+  std::vector<Word> words_;
+};
+
+}  // namespace simsweep::tt

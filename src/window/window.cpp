@@ -1,0 +1,116 @@
+#include "window/window.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "aig/aig_analysis.hpp"
+
+namespace simsweep::window {
+
+std::optional<Window> build_window(const aig::Aig& aig,
+                                   std::vector<aig::Var> inputs,
+                                   std::vector<CheckItem> items) {
+  assert(std::is_sorted(inputs.begin(), inputs.end()));
+  Window w;
+  w.inputs = std::move(inputs);
+  w.items = std::move(items);
+
+  std::vector<aig::Var> roots;
+  for (const CheckItem& item : w.items) {
+    roots.push_back(aig::lit_var(item.a));
+    roots.push_back(aig::lit_var(item.b));
+  }
+  std::sort(roots.begin(), roots.end());
+  roots.erase(std::unique(roots.begin(), roots.end()), roots.end());
+
+  // Collect TFI(roots) stopping at inputs; validate that no foreign PI is
+  // reached (otherwise `inputs` is not a cut of the roots).
+  std::vector<aig::Var> cone = aig::tfi_cone(aig, roots, w.inputs);
+  for (aig::Var v : cone)
+    if (aig.is_pi(v)) return std::nullopt;
+
+  // Keep only AND nodes (the constant contributes no slot).
+  w.nodes.clear();
+  for (aig::Var v : cone)
+    if (aig.is_and(v)) w.nodes.push_back(v);
+
+  // Windows are built in huge numbers (one per buffered cut check), so
+  // the per-variable level/slot maps are epoch-stamped thread-local
+  // scratch arrays instead of hash maps.
+  thread_local std::vector<std::uint64_t> stamp;
+  thread_local std::vector<std::uint32_t> level_of_var;
+  thread_local std::vector<std::uint32_t> slot_of_var;
+  thread_local std::uint64_t epoch = 0;
+  if (stamp.size() < aig.num_nodes()) {
+    stamp.assign(aig.num_nodes(), 0);
+    level_of_var.assign(aig.num_nodes(), 0);
+    slot_of_var.assign(aig.num_nodes(), 0);
+  }
+  ++epoch;
+
+  // Local levels: inputs are level 0 (paper's "topological level").
+  auto set_level = [&](aig::Var v, std::uint32_t l) {
+    stamp[v] = epoch;
+    level_of_var[v] = l;
+  };
+  auto level = [&](aig::Var v) -> std::uint32_t {
+    assert(v == 0 || stamp[v] == epoch);
+    return v == 0 ? 0 : level_of_var[v];
+  };
+  for (aig::Var v : w.inputs) set_level(v, 0);
+  std::uint32_t max_level = 0;
+  for (aig::Var v : w.nodes) {  // ascending id = topological
+    const std::uint32_t l = 1 + std::max(level(aig::lit_var(aig.fanin0(v))),
+                                         level(aig::lit_var(aig.fanin1(v))));
+    set_level(v, l);
+    max_level = std::max(max_level, l);
+  }
+
+  // Level-major node order (stable within a level by id).
+  std::stable_sort(w.nodes.begin(), w.nodes.end(),
+                   [&](aig::Var a, aig::Var b) { return level(a) < level(b); });
+
+  // Slot assignment: inputs occupy 0..k-1, then nodes in level-major order.
+  for (std::size_t i = 0; i < w.inputs.size(); ++i)
+    slot_of_var[w.inputs[i]] = static_cast<std::uint32_t>(i);
+  for (std::size_t i = 0; i < w.nodes.size(); ++i)
+    slot_of_var[w.nodes[i]] = static_cast<std::uint32_t>(w.inputs.size() + i);
+
+  auto slot_of = [&](aig::Var v) -> std::uint32_t {
+    if (v == 0) return kSlotConst0;
+    assert(stamp[v] == epoch);
+    return slot_of_var[v];
+  };
+
+  w.wnodes.resize(w.nodes.size());
+  for (std::size_t i = 0; i < w.nodes.size(); ++i) {
+    const aig::Lit f0 = aig.fanin0(w.nodes[i]);
+    const aig::Lit f1 = aig.fanin1(w.nodes[i]);
+    w.wnodes[i] = WinNode{slot_of(aig::lit_var(f0)), slot_of(aig::lit_var(f1)),
+                          aig::lit_compl(f0), aig::lit_compl(f1)};
+  }
+
+  // Level offsets over the level-major node array.
+  w.level_offset.assign(max_level + 1, 0);
+  for (aig::Var v : w.nodes) ++w.level_offset[level(v)];
+  // level_offset[l] currently counts level l+1 nodes at index l+... redo:
+  // build prefix sums such that level l in [offset[l-1], offset[l]).
+  {
+    std::vector<std::uint32_t> counts(max_level + 1, 0);
+    for (aig::Var v : w.nodes) ++counts[level(v) - 1];
+    w.level_offset.assign(max_level + 1, 0);
+    for (std::uint32_t l = 1; l <= max_level; ++l)
+      w.level_offset[l] = w.level_offset[l - 1] + counts[l - 1];
+  }
+
+  w.item_slots.resize(w.items.size());
+  for (std::size_t i = 0; i < w.items.size(); ++i) {
+    const CheckItem& item = w.items[i];
+    w.item_slots[i] =
+        ItemSlots{slot_of(aig::lit_var(item.a)), slot_of(aig::lit_var(item.b)),
+                  aig::lit_compl(item.a), aig::lit_compl(item.b)};
+  }
+  return w;
+}
+
+}  // namespace simsweep::window

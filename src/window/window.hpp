@@ -1,0 +1,93 @@
+#pragma once
+/// \file window.hpp
+/// \brief Simulation windows (paper §III-B1).
+///
+/// A window is the set of intermediate nodes that drive the roots of a
+/// batch of equivalence checks: formally TFI(roots) ∩ TFO(inputs), plus the
+/// roots (paper Fig. 2). The inputs are either the (union of the)
+/// structural supports of the roots — global function checking — or a
+/// common cut of the pair — local function checking. Window inputs are
+/// kept sorted by increasing node id; that ordering defines the truth-table
+/// variable order and is what makes window merging's lexicographic sort
+/// meaningful (paper §III-B3).
+///
+/// Windows are preprocessed for the exhaustive simulator: nodes carry
+/// resolved fanin slot indices and are grouped by intra-window topological
+/// level (inputs at level 0), so a simulation round is a pure data-parallel
+/// sweep with no pointer chasing.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "aig/aig.hpp"
+
+namespace simsweep::window {
+
+/// Sentinel slot meaning "constant FALSE" (the constant node does not get
+/// a simulation-table entry).
+constexpr std::uint32_t kSlotConst0 = 0xFFFFFFFFu;
+
+/// One equivalence check hosted by a window: prove lit a == lit b. Both
+/// literals' variables must be window nodes or inputs (or the constant).
+/// `tag` is an opaque caller id used to report outcomes.
+struct CheckItem {
+  aig::Lit a = 0;
+  aig::Lit b = 0;
+  std::uint32_t tag = 0;
+};
+
+/// A node of a window with fanins resolved to window-local slots.
+struct WinNode {
+  std::uint32_t slot0 = 0;  ///< fanin0 slot (kSlotConst0 for constant)
+  std::uint32_t slot1 = 0;
+  std::uint8_t compl0 = 0;
+  std::uint8_t compl1 = 0;
+};
+
+/// Per-item root slots resolved at build time.
+struct ItemSlots {
+  std::uint32_t slot_a = kSlotConst0;
+  std::uint32_t slot_b = kSlotConst0;
+  std::uint8_t compl_a = 0;
+  std::uint8_t compl_b = 0;
+};
+
+struct Window {
+  /// Truth-table input variables, ascending ids; variable i of the table.
+  std::vector<aig::Var> inputs;
+  /// AND nodes of the window in level-major order (constant excluded).
+  std::vector<aig::Var> nodes;
+  /// Slot-resolved fanins, parallel to `nodes`. Node i owns slot
+  /// inputs.size() + i.
+  std::vector<WinNode> wnodes;
+  /// nodes grouped by local level: level l (1-based) occupies
+  /// [level_offset[l-1], level_offset[l]).
+  std::vector<std::uint32_t> level_offset;
+  /// Checks hosted by this window.
+  std::vector<CheckItem> items;
+  std::vector<ItemSlots> item_slots;
+
+  unsigned num_inputs() const {
+    return static_cast<unsigned>(inputs.size());
+  }
+  std::size_t num_slots() const { return inputs.size() + nodes.size(); }
+  unsigned num_levels() const {
+    return static_cast<unsigned>(level_offset.size()) - 1;
+  }
+  /// Truth-table length in 64-bit words.
+  std::size_t tt_words() const {
+    return num_inputs() <= 6 ? 1
+                             : (std::size_t{1} << (num_inputs() - 6));
+  }
+};
+
+/// Builds the window hosting `items` over the given input set (sorted
+/// ascending, no duplicates). Returns nullopt if the inputs do not block
+/// every PI path to some root (i.e. they are not a valid cut/support set),
+/// in which case exhaustive simulation over them would be unsound.
+std::optional<Window> build_window(const aig::Aig& aig,
+                                   std::vector<aig::Var> inputs,
+                                   std::vector<CheckItem> items);
+
+}  // namespace simsweep::window

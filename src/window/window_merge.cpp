@@ -1,0 +1,72 @@
+#include "window/window_merge.hpp"
+
+#include <algorithm>
+
+#include "aig/aig_analysis.hpp"
+
+namespace simsweep::window {
+
+std::vector<Window> merge_windows(const aig::Aig& aig,
+                                  std::vector<Window> windows, unsigned k_s,
+                                  MergeStats* stats, unsigned growth_slack) {
+  if (stats) {
+    *stats = MergeStats{};
+    stats->windows_before = windows.size();
+    for (const Window& w : windows)
+      stats->sim_nodes_before += w.num_slots();
+  }
+
+  // Lexicographic sort of the input-variable lists: windows with similar
+  // (id-sorted) input sets become consecutive (paper §III-B3).
+  std::sort(windows.begin(), windows.end(),
+            [](const Window& a, const Window& b) {
+              return std::lexicographical_compare(
+                  a.inputs.begin(), a.inputs.end(), b.inputs.begin(),
+                  b.inputs.end());
+            });
+
+  std::vector<Window> out;
+  std::size_t i = 0;
+  while (i < windows.size()) {
+    // Greedily extend the run [i, j) while the input union fits in k_s.
+    std::vector<aig::Var> merged_inputs = windows[i].inputs;
+    std::size_t j = i + 1;
+    for (; j < windows.size(); ++j) {
+      auto candidate = aig::sorted_union(merged_inputs, windows[j].inputs);
+      if (candidate.size() > k_s) break;
+      // Only accept merges between similar input sets: the union may grow
+      // past the larger operand by at most growth_slack variables.
+      const std::size_t larger =
+          std::max(merged_inputs.size(), windows[j].inputs.size());
+      if (candidate.size() > larger + growth_slack) break;
+      merged_inputs = std::move(candidate);
+    }
+    if (j == i + 1) {
+      out.push_back(std::move(windows[i]));  // nothing merged
+    } else {
+      std::vector<CheckItem> items;
+      for (std::size_t k = i; k < j; ++k)
+        items.insert(items.end(), windows[k].items.begin(),
+                     windows[k].items.end());
+      auto merged = build_window(aig, std::move(merged_inputs),
+                                 std::move(items));
+      if (merged) {
+        out.push_back(std::move(*merged));
+      } else {
+        // Defensive: the union of valid cuts is a valid cut, so this path
+        // should be unreachable; fall back to the unmerged windows.
+        for (std::size_t k = i; k < j; ++k)
+          out.push_back(std::move(windows[k]));
+      }
+    }
+    i = j;
+  }
+
+  if (stats) {
+    stats->windows_after = out.size();
+    for (const Window& w : out) stats->sim_nodes_after += w.num_slots();
+  }
+  return out;
+}
+
+}  // namespace simsweep::window

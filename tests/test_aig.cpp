@@ -1,0 +1,236 @@
+/// \file test_aig.cpp
+/// \brief Unit and property tests for the AIG and its analyses.
+
+#include "aig/aig.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <utility>
+
+#include "aig/aig_analysis.hpp"
+#include "test_util.hpp"
+#include "tt/truth_table.hpp"
+
+namespace simsweep::aig {
+namespace {
+
+TEST(Lit, Encoding) {
+  EXPECT_EQ(make_lit(3), 6u);
+  EXPECT_EQ(make_lit(3, true), 7u);
+  EXPECT_EQ(lit_var(make_lit(5, true)), 5u);
+  EXPECT_TRUE(lit_compl(make_lit(5, true)));
+  EXPECT_FALSE(lit_compl(make_lit(5)));
+  EXPECT_EQ(lit_not(make_lit(5)), make_lit(5, true));
+  EXPECT_EQ(lit_notcond(make_lit(5), true), make_lit(5, true));
+  EXPECT_EQ(lit_notcond(make_lit(5, true), true), make_lit(5));
+  EXPECT_EQ(lit_regular(make_lit(5, true)), make_lit(5));
+  EXPECT_EQ(kLitFalse, 0u);
+  EXPECT_EQ(kLitTrue, 1u);
+}
+
+TEST(Aig, BasicConstruction) {
+  Aig a(3);
+  EXPECT_EQ(a.num_pis(), 3u);
+  EXPECT_EQ(a.num_nodes(), 4u);  // constant + 3 PIs
+  EXPECT_EQ(a.num_ands(), 0u);
+  EXPECT_TRUE(a.is_const(0));
+  EXPECT_TRUE(a.is_pi(1));
+  EXPECT_TRUE(a.is_pi(3));
+  EXPECT_FALSE(a.is_and(3));
+  const Lit g = a.add_and(a.pi_lit(0), a.pi_lit(1));
+  EXPECT_TRUE(a.is_and(lit_var(g)));
+  EXPECT_EQ(a.num_ands(), 1u);
+}
+
+TEST(Aig, PiAfterAndThrows) {
+  Aig a(2);
+  a.add_and(a.pi_lit(0), a.pi_lit(1));
+  EXPECT_THROW(a.add_pi(), std::logic_error);
+}
+
+TEST(Aig, ConstantFolding) {
+  Aig a(2);
+  const Lit x = a.pi_lit(0);
+  EXPECT_EQ(a.add_and(kLitFalse, x), kLitFalse);
+  EXPECT_EQ(a.add_and(kLitTrue, x), x);
+  EXPECT_EQ(a.add_and(x, x), x);
+  EXPECT_EQ(a.add_and(x, lit_not(x)), kLitFalse);
+  EXPECT_EQ(a.num_ands(), 0u);
+}
+
+TEST(Aig, StructuralHashing) {
+  Aig a(2);
+  const Lit x = a.pi_lit(0), y = a.pi_lit(1);
+  const Lit g1 = a.add_and(x, y);
+  const Lit g2 = a.add_and(y, x);  // commuted
+  EXPECT_EQ(g1, g2);
+  EXPECT_EQ(a.num_ands(), 1u);
+  const Lit g3 = a.add_and(lit_not(x), y);
+  EXPECT_NE(g1, g3);
+  EXPECT_EQ(a.num_ands(), 2u);
+}
+
+TEST(Aig, DerivedGatesSemantics) {
+  Aig a(3);
+  const Lit x = a.pi_lit(0), y = a.pi_lit(1), z = a.pi_lit(2);
+  a.add_po(a.add_or(x, y));
+  a.add_po(a.add_xor(x, y));
+  a.add_po(a.add_mux(x, y, z));
+  a.add_po(a.add_maj3(x, y, z));
+  for (unsigned p = 0; p < 8; ++p) {
+    const bool vx = p & 1, vy = (p >> 1) & 1, vz = (p >> 2) & 1;
+    const auto out = a.evaluate({vx, vy, vz});
+    EXPECT_EQ(out[0], vx || vy);
+    EXPECT_EQ(out[1], vx != vy);
+    EXPECT_EQ(out[2], vx ? vy : vz);
+    EXPECT_EQ(out[3], (vx && vy) || (vx && vz) || (vy && vz));
+  }
+}
+
+TEST(Aig, EvaluateLitMatchesEvaluate) {
+  const Aig a = testutil::random_aig(5, 40, 4, 123);
+  for (unsigned p = 0; p < 32; ++p) {
+    std::vector<bool> pis(5);
+    for (unsigned i = 0; i < 5; ++i) pis[i] = (p >> i) & 1;
+    const auto outs = a.evaluate(pis);
+    for (std::size_t o = 0; o < a.num_pos(); ++o)
+      ASSERT_EQ(outs[o], a.evaluate_lit(a.po(o), pis));
+  }
+}
+
+TEST(Analysis, Levels) {
+  Aig a(2);
+  const Lit g1 = a.add_and(a.pi_lit(0), a.pi_lit(1));
+  const Lit g2 = a.add_and(g1, a.pi_lit(0));
+  const auto lv = compute_levels(a);
+  EXPECT_EQ(lv[0], 0u);
+  EXPECT_EQ(lv[1], 0u);
+  EXPECT_EQ(lv[lit_var(g1)], 1u);
+  EXPECT_EQ(lv[lit_var(g2)], 2u);
+}
+
+TEST(Analysis, Fanouts) {
+  Aig a(2);
+  const Lit g1 = a.add_and(a.pi_lit(0), a.pi_lit(1));
+  const Lit g2 = a.add_and(g1, a.pi_lit(0));
+  a.add_po(g2);
+  a.add_po(g1);
+  const auto fo = compute_fanouts(a);
+  EXPECT_EQ(fo[1], 2u);            // PI0 feeds g1 and g2
+  EXPECT_EQ(fo[lit_var(g1)], 2u);  // g2 + PO
+  EXPECT_EQ(fo[lit_var(g2)], 1u);  // PO
+}
+
+TEST(Analysis, SupportsExactAndCapped) {
+  Aig a(4);
+  const Lit g1 = a.add_and(a.pi_lit(0), a.pi_lit(1));
+  const Lit g2 = a.add_and(g1, a.pi_lit(2));
+  const Lit g3 = a.add_and(g2, lit_not(g1));
+  const auto info = compute_supports(a, 8);
+  EXPECT_EQ(info.sets[lit_var(g1)], (std::vector<Var>{1, 2}));
+  EXPECT_EQ(info.sets[lit_var(g2)], (std::vector<Var>{1, 2, 3}));
+  EXPECT_EQ(info.sets[lit_var(g3)], (std::vector<Var>{1, 2, 3}));
+  EXPECT_TRUE(info.small(lit_var(g3)));
+
+  const auto capped = compute_supports(a, 2);
+  EXPECT_TRUE(capped.small(lit_var(g1)));
+  EXPECT_FALSE(capped.small(lit_var(g2)));  // 3 > cap
+  EXPECT_FALSE(capped.small(lit_var(g3)));  // overflow propagates
+}
+
+TEST(Analysis, SupportOverflowPropagates) {
+  const Aig a = testutil::random_aig(12, 200, 4, 5);
+  const auto exact = compute_supports(a, 12);
+  const auto capped = compute_supports(a, 4);
+  for (Var v = 0; v < a.num_nodes(); ++v) {
+    if (!exact.small(v)) continue;
+    if (exact.sets[v].size() <= 4) {
+      ASSERT_TRUE(capped.small(v));
+      ASSERT_EQ(capped.sets[v], exact.sets[v]);
+    } else {
+      ASSERT_FALSE(capped.small(v));
+    }
+  }
+}
+
+TEST(Analysis, TfiCone) {
+  Aig a(3);
+  const Lit g1 = a.add_and(a.pi_lit(0), a.pi_lit(1));
+  const Lit g2 = a.add_and(g1, a.pi_lit(2));
+  const Var v1 = lit_var(g1), v2 = lit_var(g2);
+  // Full cone down to PIs.
+  EXPECT_EQ(tfi_cone(a, {v2}, {}), (std::vector<Var>{1, 2, 3, v1, v2}));
+  // Stop at g1: g1 excluded, its TFI not entered.
+  EXPECT_EQ(tfi_cone(a, {v2}, {v1}), (std::vector<Var>{3, v2}));
+}
+
+TEST(Analysis, ConeTruthTable) {
+  Aig a(3);
+  const Lit x = a.pi_lit(0), y = a.pi_lit(1), z = a.pi_lit(2);
+  const Lit f = a.add_or(a.add_and(x, lit_not(y)), a.add_and(y, z));
+  const tt::TruthTable t = cone_truth_table(a, f, {1, 2, 3});
+  for (unsigned p = 0; p < 8; ++p) {
+    const bool vx = p & 1, vy = (p >> 1) & 1, vz = (p >> 2) & 1;
+    ASSERT_EQ(t.get_bit(p), (vx && !vy) || (vy && vz));
+  }
+  // Complemented root.
+  EXPECT_EQ(cone_truth_table(a, lit_not(f), {1, 2, 3}), ~t);
+}
+
+TEST(Analysis, ConeTruthTableRejectsNonCut) {
+  Aig a(2);
+  const Lit g = a.add_and(a.pi_lit(0), a.pi_lit(1));
+  // {PI1} is not a cut of g (PI2 path not blocked).
+  EXPECT_THROW(cone_truth_table(a, g, {1}), std::invalid_argument);
+}
+
+TEST(Analysis, GlobalTruthTableMatchesEvaluate) {
+  const Aig a = testutil::random_aig(6, 60, 3, 99);
+  for (std::size_t o = 0; o < a.num_pos(); ++o) {
+    const tt::TruthTable t = global_truth_table(a, a.po(o));
+    for (std::uint64_t p = 0; p < 64; ++p)
+      ASSERT_EQ(t.get_bit(p), testutil::eval_lit(a, a.po(o), p));
+  }
+}
+
+TEST(Analysis, BruteForceEquivalence) {
+  const Aig a = testutil::random_aig(5, 30, 3, 1);
+  EXPECT_TRUE(brute_force_equivalent(a, a));
+  const Aig b = testutil::mutate(a, 2);
+  // The mutation flips one fanin polarity; check agreement with direct
+  // evaluation rather than assuming inequivalence.
+  bool differs = false;
+  for (unsigned p = 0; p < 32 && !differs; ++p) {
+    std::vector<bool> pis(5);
+    for (unsigned i = 0; i < 5; ++i) pis[i] = (p >> i) & 1;
+    differs = a.evaluate(pis) != b.evaluate(pis);
+  }
+  EXPECT_EQ(brute_force_equivalent(a, b), !differs);
+}
+
+class RandomAigProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomAigProperty, IdOrderIsTopological) {
+  const Aig a = testutil::random_aig(8, 120, 4, GetParam());
+  for (Var v = a.num_pis() + 1; v < a.num_nodes(); ++v) {
+    ASSERT_LT(lit_var(a.fanin0(v)), v);
+    ASSERT_LT(lit_var(a.fanin1(v)), v);
+  }
+}
+
+TEST_P(RandomAigProperty, StrashHasNoDuplicates) {
+  const Aig a = testutil::random_aig(8, 120, 4, GetParam());
+  std::set<std::pair<Lit, Lit>> seen;
+  for (Var v = a.num_pis() + 1; v < a.num_nodes(); ++v) {
+    Lit f0 = a.fanin0(v), f1 = a.fanin1(v);
+    if (f0 > f1) std::swap(f0, f1);
+    ASSERT_TRUE(seen.emplace(f0, f1).second) << "duplicate AND node";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomAigProperty,
+                         ::testing::Values(1, 2, 3, 17, 99));
+
+}  // namespace
+}  // namespace simsweep::aig

@@ -1,0 +1,103 @@
+/// \file test_aig_io.cpp
+/// \brief AIGER reader/writer round-trip and error-handling tests.
+
+#include "aig/aig_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "aig/aig_analysis.hpp"
+#include "test_util.hpp"
+
+namespace simsweep::aig {
+namespace {
+
+TEST(AigerIo, AsciiRoundTrip) {
+  const Aig a = testutil::random_aig(6, 50, 4, 11);
+  std::stringstream ss;
+  write_aiger_ascii(a, ss);
+  const Aig b = read_aiger(ss);
+  EXPECT_EQ(b.num_pis(), a.num_pis());
+  EXPECT_EQ(b.num_pos(), a.num_pos());
+  EXPECT_TRUE(brute_force_equivalent(a, b));
+}
+
+TEST(AigerIo, BinaryRoundTrip) {
+  const Aig a = testutil::random_aig(7, 80, 5, 12);
+  std::stringstream ss;
+  write_aiger(a, ss);
+  const Aig b = read_aiger(ss);
+  EXPECT_EQ(b.num_pis(), a.num_pis());
+  EXPECT_EQ(b.num_pos(), a.num_pos());
+  EXPECT_TRUE(brute_force_equivalent(a, b));
+}
+
+TEST(AigerIo, FileRoundTrip) {
+  const Aig a = testutil::random_aig(5, 30, 2, 13);
+  const std::string path = ::testing::TempDir() + "/simsweep_io_test.aig";
+  write_aiger_file(a, path);
+  const Aig b = read_aiger_file(path);
+  EXPECT_TRUE(brute_force_equivalent(a, b));
+}
+
+TEST(AigerIo, KnownAsciiExample) {
+  // AND of two inputs: aag 3 2 0 1 1; output literal 6 = node 3.
+  const std::string text = "aag 3 2 0 1 1\n2\n4\n6\n6 2 4\n";
+  std::istringstream in(text);
+  const Aig a = read_aiger(in);
+  EXPECT_EQ(a.num_pis(), 2u);
+  EXPECT_EQ(a.num_ands(), 1u);
+  EXPECT_EQ(a.evaluate({true, true})[0], true);
+  EXPECT_EQ(a.evaluate({true, false})[0], false);
+}
+
+TEST(AigerIo, ConstantOutputs) {
+  Aig a(2);
+  a.add_po(kLitFalse);
+  a.add_po(kLitTrue);
+  std::stringstream ss;
+  write_aiger(a, ss);
+  const Aig b = read_aiger(ss);
+  EXPECT_EQ(b.po(0), kLitFalse);
+  EXPECT_EQ(b.po(1), kLitTrue);
+}
+
+TEST(AigerIo, ComplementedEdgesSurvive) {
+  Aig a(2);
+  const Lit g = a.add_and(lit_not(a.pi_lit(0)), a.pi_lit(1));
+  a.add_po(lit_not(g));
+  std::stringstream ss;
+  write_aiger(a, ss);
+  const Aig b = read_aiger(ss);
+  EXPECT_TRUE(brute_force_equivalent(a, b));
+}
+
+TEST(AigerIo, RejectsLatches) {
+  std::istringstream in("aag 3 1 1 1 0\n2\n4 2\n4\n");
+  EXPECT_THROW(read_aiger(in), std::runtime_error);
+}
+
+TEST(AigerIo, RejectsBadMagic) {
+  std::istringstream in("wat 1 1 0 0 0\n2\n");
+  EXPECT_THROW(read_aiger(in), std::runtime_error);
+}
+
+TEST(AigerIo, RejectsTruncatedBinary) {
+  Aig a(3);
+  a.add_po(a.add_and(a.pi_lit(0), a.add_and(a.pi_lit(1), a.pi_lit(2))));
+  std::stringstream ss;
+  write_aiger(a, ss);
+  std::string text = ss.str();
+  text.resize(text.size() - 1);  // chop the delta stream
+  std::istringstream in(text);
+  EXPECT_THROW(read_aiger(in), std::runtime_error);
+}
+
+TEST(AigerIo, MissingFileThrows) {
+  EXPECT_THROW(read_aiger_file("/nonexistent/simsweep.aig"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace simsweep::aig

@@ -1,0 +1,111 @@
+/// \file test_cex.cpp
+/// \brief Tests for ternary simulation and counter-example minimization.
+
+#include "aig/cex.hpp"
+
+#include <gtest/gtest.h>
+
+#include "aig/miter.hpp"
+#include "gen/arith.hpp"
+#include "test_util.hpp"
+
+namespace simsweep::aig {
+namespace {
+
+TEST(Ternary, AndSemantics) {
+  Aig a(2);
+  const Lit g = a.add_and(a.pi_lit(0), a.pi_lit(1));
+  a.add_po(g);
+  auto val = [&](Ternary x, Ternary y) {
+    return ternary_value(ternary_simulate(a, {x, y}), g);
+  };
+  EXPECT_EQ(val(Ternary::k1, Ternary::k1), Ternary::k1);
+  EXPECT_EQ(val(Ternary::k0, Ternary::kX), Ternary::k0);  // 0 dominates X
+  EXPECT_EQ(val(Ternary::k1, Ternary::kX), Ternary::kX);
+  EXPECT_EQ(val(Ternary::kX, Ternary::kX), Ternary::kX);
+}
+
+TEST(Ternary, ComplementedEdges) {
+  Aig a(1);
+  const Lit g = a.add_and(aig::lit_not(a.pi_lit(0)), aig::kLitTrue);
+  a.add_po(g);
+  EXPECT_EQ(ternary_value(ternary_simulate(a, {Ternary::k0}), a.po(0)),
+            Ternary::k1);
+  EXPECT_EQ(ternary_value(ternary_simulate(a, {Ternary::kX}), a.po(0)),
+            Ternary::kX);
+}
+
+TEST(Ternary, AgreesWithBooleanSimulationOnFullAssignments) {
+  const Aig a = testutil::random_aig(7, 80, 4, 700);
+  for (unsigned p = 0; p < 128; p += 11) {
+    std::vector<bool> pis(7);
+    std::vector<Ternary> tpis(7);
+    for (unsigned i = 0; i < 7; ++i) {
+      pis[i] = (p >> i) & 1;
+      tpis[i] = pis[i] ? Ternary::k1 : Ternary::k0;
+    }
+    const auto tv = ternary_simulate(a, tpis);
+    const auto bv = a.evaluate(pis);
+    for (std::size_t o = 0; o < a.num_pos(); ++o)
+      ASSERT_EQ(ternary_value(tv, a.po(o)) == Ternary::k1, bv[o]);
+  }
+}
+
+TEST(MinimizeCex, DropsIrrelevantInputs) {
+  // Miter failing PO = x2 & !x5 over 8 PIs: only two care bits.
+  Aig m(8);
+  m.add_po(m.add_and(m.pi_lit(2), aig::lit_not(m.pi_lit(5))));
+  std::vector<bool> cex(8, true);
+  cex[5] = false;
+  const MinimizedCex r = minimize_cex(m, cex, 0);
+  EXPECT_EQ(r.num_care, 2u);
+  EXPECT_TRUE(r.care[2]);
+  EXPECT_TRUE(r.care[5]);
+  EXPECT_FALSE(r.care[0]);
+}
+
+TEST(MinimizeCex, MinimizedCubeStillFails) {
+  const Aig a = gen::ripple_adder(6);
+  Aig b = gen::ripple_adder(6);
+  b.set_po(3, b.add_and(b.po(3), b.pi_lit(0)));
+  const Aig m = make_miter(a, b);
+  // Find some failing assignment by scanning.
+  std::vector<bool> cex(m.num_pis());
+  int po = -1;
+  for (unsigned p = 0; p < 4096 && po < 0; ++p) {
+    for (unsigned i = 0; i < m.num_pis(); ++i) cex[i] = (p >> i) & 1;
+    po = find_failing_po(m, cex);
+  }
+  ASSERT_GE(po, 0);
+  const MinimizedCex r = minimize_cex(m, cex, static_cast<std::size_t>(po));
+  EXPECT_LT(r.num_care, m.num_pis());
+  // Every completion of the cube must fail: check all completions of the
+  // dropped bits (few enough here).
+  std::vector<unsigned> free_bits;
+  for (unsigned i = 0; i < m.num_pis(); ++i)
+    if (!r.care[i]) free_bits.push_back(i);
+  ASSERT_LE(free_bits.size(), 12u);
+  for (std::uint64_t mask = 0; mask < (1ull << free_bits.size()); ++mask) {
+    std::vector<bool> full = r.values;
+    for (std::size_t j = 0; j < free_bits.size(); ++j)
+      full[free_bits[j]] = (mask >> j) & 1;
+    ASSERT_TRUE(m.evaluate(full)[static_cast<std::size_t>(po)]);
+  }
+}
+
+TEST(MinimizeCex, RejectsNonFailingAssignment) {
+  Aig m(2);
+  m.add_po(m.add_and(m.pi_lit(0), m.pi_lit(1)));
+  EXPECT_THROW(minimize_cex(m, {false, false}, 0), std::invalid_argument);
+}
+
+TEST(FindFailingPo, Basics) {
+  Aig m(2);
+  m.add_po(aig::kLitFalse);
+  m.add_po(m.pi_lit(1));
+  EXPECT_EQ(find_failing_po(m, {true, false}), -1);
+  EXPECT_EQ(find_failing_po(m, {false, true}), 1);
+}
+
+}  // namespace
+}  // namespace simsweep::aig

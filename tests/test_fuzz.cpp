@@ -1,0 +1,114 @@
+/// \file test_fuzz.cpp
+/// \brief Robustness fuzzing: the AIGER reader and DIMACS parser must
+/// reject corrupted inputs with exceptions — never crash, hang or accept
+/// garbage silently — and randomized pipeline compositions must stay
+/// sound.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "aig/aig_analysis.hpp"
+#include "aig/aig_io.hpp"
+#include "common/random.hpp"
+#include "opt/balance.hpp"
+#include "opt/exact3.hpp"
+#include "opt/refactor.hpp"
+#include "sat/dimacs.hpp"
+#include "test_util.hpp"
+
+namespace simsweep {
+namespace {
+
+class AigerFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AigerFuzz, MutatedBinaryFilesNeverCrashTheReader) {
+  const aig::Aig a = testutil::random_aig(6, 60, 4, GetParam());
+  std::stringstream ss;
+  aig::write_aiger(a, ss);
+  const std::string good = ss.str();
+
+  Rng rng(GetParam() * 77 + 1);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string bad = good;
+    // Corrupt 1-4 random bytes (header or delta stream).
+    const int corruptions = 1 + static_cast<int>(rng.below(4));
+    for (int c = 0; c < corruptions; ++c)
+      bad[rng.below(bad.size())] = static_cast<char>(rng.next64());
+    std::istringstream in(bad);
+    try {
+      const aig::Aig parsed = aig::read_aiger(in);
+      // If it parsed, it must at least be structurally sane.
+      ASSERT_LE(parsed.num_pos(), 1u << 20);
+      for (aig::Var v = parsed.num_pis() + 1; v < parsed.num_nodes(); ++v) {
+        ASSERT_LT(aig::lit_var(parsed.fanin0(v)), v);
+        ASSERT_LT(aig::lit_var(parsed.fanin1(v)), v);
+      }
+    } catch (const std::exception&) {
+      // Rejection is the expected outcome.
+    }
+  }
+}
+
+TEST_P(AigerFuzz, TruncatedFilesAreRejectedOrSane) {
+  const aig::Aig a = testutil::random_aig(5, 40, 3, GetParam() + 9);
+  std::stringstream ss;
+  aig::write_aiger(a, ss);
+  const std::string good = ss.str();
+  for (std::size_t keep = 0; keep < good.size(); keep += 3) {
+    std::istringstream in(good.substr(0, keep));
+    try {
+      (void)aig::read_aiger(in);
+    } catch (const std::exception&) {
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AigerFuzz, ::testing::Values(900, 901, 902));
+
+TEST(DimacsFuzz, GarbageRejectedGracefully) {
+  Rng rng(55);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string text = "p cnf 4 3\n";
+    for (int i = 0; i < 20; ++i) {
+      switch (rng.below(6)) {
+        case 0: text += "p cnf 2 2\n"; break;
+        case 1: text += std::to_string(static_cast<int>(rng.below(19)) - 9);
+                text += " ";
+                break;
+        case 2: text += "0\n"; break;
+        case 3: text += "c junk\n"; break;
+        case 4: text += "%\n"; break;
+        default: text += "\n"; break;
+      }
+    }
+    try {
+      (void)sat::parse_dimacs_string(text);
+    } catch (const std::exception&) {
+    }
+  }
+}
+
+class PipelineFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PipelineFuzz, RandomOptimizationChainsPreserveFunction) {
+  // Compose random sequences of optimization passes; the result must stay
+  // functionally identical to the input.
+  Rng rng(GetParam());
+  aig::Aig a = testutil::random_aig(7, 80, 4, GetParam() + 40);
+  const aig::Aig original = a;
+  for (int step = 0; step < 4; ++step) {
+    switch (rng.below(3)) {
+      case 0: a = opt::balance(a); break;
+      case 1: a = opt::rewrite(a); break;
+      default: a = opt::exact_rewrite3(a); break;
+    }
+  }
+  EXPECT_TRUE(aig::brute_force_equivalent(original, a));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineFuzz,
+                         ::testing::Values(910, 911, 912, 913));
+
+}  // namespace
+}  // namespace simsweep

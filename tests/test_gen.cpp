@@ -1,0 +1,234 @@
+/// \file test_gen.cpp
+/// \brief Tests for the benchmark circuit generators: every arithmetic
+/// circuit is validated against integer reference math.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "aig/aig_analysis.hpp"
+#include "common/random.hpp"
+#include "gen/arith.hpp"
+#include "gen/control.hpp"
+#include "gen/suite.hpp"
+#include "gen/transforms.hpp"
+
+namespace simsweep::gen {
+namespace {
+
+using aig::Aig;
+
+/// Drives the circuit with integer operands (LSB-first buses) and decodes
+/// the outputs as an unsigned integer.
+std::uint64_t run(const Aig& a, std::uint64_t input_bits) {
+  std::vector<bool> pis(a.num_pis());
+  for (unsigned i = 0; i < a.num_pis(); ++i) pis[i] = (input_bits >> i) & 1;
+  const auto outs = a.evaluate(pis);
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < outs.size(); ++i)
+    v |= static_cast<std::uint64_t>(outs[i]) << i;
+  return v;
+}
+
+TEST(Arith, RippleAdder) {
+  const Aig a = ripple_adder(4);
+  ASSERT_EQ(a.num_pis(), 8u);
+  ASSERT_EQ(a.num_pos(), 5u);
+  for (unsigned x = 0; x < 16; ++x)
+    for (unsigned y = 0; y < 16; ++y)
+      ASSERT_EQ(run(a, x | (y << 4)), x + y) << x << "+" << y;
+}
+
+TEST(Arith, KoggeStoneAdder) {
+  const Aig a = kogge_stone_adder(5);
+  for (unsigned x = 0; x < 32; x += 3)
+    for (unsigned y = 0; y < 32; y += 5)
+      ASSERT_EQ(run(a, x | (y << 5)), x + y);
+}
+
+TEST(Arith, AdderVariantsAreEquivalent) {
+  EXPECT_TRUE(
+      aig::brute_force_equivalent(ripple_adder(4), kogge_stone_adder(4)));
+}
+
+TEST(Arith, ArrayMultiplier) {
+  const Aig a = array_multiplier(4);
+  ASSERT_EQ(a.num_pos(), 8u);
+  for (unsigned x = 0; x < 16; ++x)
+    for (unsigned y = 0; y < 16; ++y)
+      ASSERT_EQ(run(a, x | (y << 4)), x * y) << x << "*" << y;
+}
+
+TEST(Arith, WallaceMultiplier) {
+  const Aig a = wallace_multiplier(4);
+  for (unsigned x = 0; x < 16; ++x)
+    for (unsigned y = 0; y < 16; ++y)
+      ASSERT_EQ(run(a, x | (y << 4)), x * y);
+}
+
+TEST(Arith, MultiplierVariantsAreEquivalent) {
+  EXPECT_TRUE(aig::brute_force_equivalent(array_multiplier(4),
+                                          wallace_multiplier(4)));
+}
+
+TEST(Arith, Square) {
+  const Aig a = square(5);
+  ASSERT_EQ(a.num_pis(), 5u);
+  ASSERT_EQ(a.num_pos(), 10u);
+  for (unsigned x = 0; x < 32; ++x) ASSERT_EQ(run(a, x), x * x);
+}
+
+TEST(Arith, Isqrt) {
+  const Aig a = isqrt(8);
+  ASSERT_EQ(a.num_pos(), 4u);
+  for (unsigned x = 0; x < 256; ++x)
+    ASSERT_EQ(run(a, x),
+              static_cast<std::uint64_t>(std::floor(std::sqrt(x))))
+        << "sqrt(" << x << ")";
+}
+
+TEST(Arith, Hyp) {
+  const Aig a = hyp(4);
+  for (unsigned x = 0; x < 16; ++x)
+    for (unsigned y = 0; y < 16; ++y) {
+      const auto expect = static_cast<std::uint64_t>(
+          std::floor(std::sqrt(static_cast<double>(x * x + y * y))));
+      ASSERT_EQ(run(a, x | (y << 4)), expect) << "hyp(" << x << "," << y << ")";
+    }
+}
+
+TEST(Arith, Log2Exponent) {
+  const Aig a = log2_approx(16, 4);
+  ASSERT_EQ(a.num_pos(), 8u);  // 4 exponent + 4 fraction bits
+  for (unsigned x = 1; x < 65536; x = x * 2 + 1) {
+    const std::uint64_t out = run(a, x);
+    const unsigned exponent = out & 0xF;
+    ASSERT_EQ(exponent, static_cast<unsigned>(std::floor(std::log2(x))))
+        << "x=" << x;
+  }
+}
+
+TEST(Arith, Log2Fraction) {
+  const Aig a = log2_approx(16, 4);
+  // For x = 0b11000 (24): exponent 4; the bits after the leading one of
+  // the normalized mantissa are 1,0,0,0. Fraction PO j carries the j-th
+  // bit after the leading one, so the packed nibble is 0b0001.
+  const std::uint64_t out = run(a, 24);
+  EXPECT_EQ(out & 0xF, 4u);
+  EXPECT_EQ((out >> 4) & 0xF, 0b0001u);
+  // x = 0b101 (5): exponent 2, following bits 0,1 -> nibble 0b0010.
+  const std::uint64_t out5 = run(a, 5);
+  EXPECT_EQ(out5 & 0xF, 2u);
+  EXPECT_EQ((out5 >> 4) & 0xF, 0b0010u);
+}
+
+TEST(Arith, Voter) {
+  const Aig a = voter(7);
+  ASSERT_EQ(a.num_pos(), 1u);
+  for (unsigned x = 0; x < 128; ++x) {
+    const unsigned ones = static_cast<unsigned>(__builtin_popcount(x));
+    ASSERT_EQ(run(a, x), ones >= 4 ? 1u : 0u) << "x=" << x;
+  }
+}
+
+TEST(Arith, CordicSinApproximatesSine) {
+  const unsigned n = 12, fbits = n - 2;
+  const Aig a = cordic_sin(n, 10);
+  // Angles in [0, pi/2): CORDIC converges within ~2^-(iters-1).
+  for (double angle : {0.1, 0.3, 0.7, 1.0, 1.4}) {
+    const std::uint64_t zfix =
+        static_cast<std::uint64_t>(std::llround(std::ldexp(angle, fbits)));
+    std::uint64_t out = run(a, zfix);
+    // Interpret as signed fixed point.
+    double y = static_cast<double>(out);
+    if (out >> (n - 1)) y -= std::ldexp(1.0, n);
+    y = std::ldexp(y, -static_cast<int>(fbits));
+    EXPECT_NEAR(y, std::sin(angle), 0.02) << "angle " << angle;
+  }
+}
+
+TEST(Control, DeterministicAndWellFormed) {
+  ControlParams p;
+  p.num_pis = 64;
+  p.num_pos = 48;
+  p.seed = 5;
+  const Aig a = control_logic(p);
+  const Aig b = control_logic(p);
+  ASSERT_EQ(a.num_pos(), 48u);
+  EXPECT_EQ(a.num_nodes(), b.num_nodes());
+  // Shallow: levels bounded by depth + small gate trees.
+  const auto lv = aig::compute_levels(a);
+  EXPECT_LE(*std::max_element(lv.begin(), lv.end()), 16u);
+}
+
+TEST(Control, ProfilesDiffer) {
+  const Aig a = ac97_like(1, 3);
+  const Aig v = vga_like(1, 3);
+  EXPECT_GT(a.num_pis(), 100u);
+  EXPECT_GT(v.num_pis(), 100u);
+  EXPECT_NE(a.num_nodes(), v.num_nodes());
+}
+
+TEST(Transforms, DoubleCircuit) {
+  const Aig base = ripple_adder(3);
+  const Aig d = double_circuit(base);
+  EXPECT_EQ(d.num_pis(), 2 * base.num_pis());
+  EXPECT_EQ(d.num_pos(), 2 * base.num_pos());
+  // Both halves behave like the base circuit.
+  for (unsigned x = 0; x < 8; ++x)
+    for (unsigned y = 0; y < 8; ++y) {
+      std::vector<bool> pis(d.num_pis(), false);
+      for (unsigned i = 0; i < 3; ++i) pis[i] = (x >> i) & 1;
+      for (unsigned i = 0; i < 3; ++i) pis[3 + i] = (y >> i) & 1;
+      // Second copy gets different operands to prove independence.
+      for (unsigned i = 0; i < 3; ++i) pis[6 + i] = ((x ^ 5) >> i) & 1;
+      for (unsigned i = 0; i < 3; ++i) pis[9 + i] = ((y ^ 3) >> i) & 1;
+      const auto outs = d.evaluate(pis);
+      std::uint64_t s1 = 0, s2 = 0;
+      for (unsigned i = 0; i < 4; ++i) s1 |= std::uint64_t{outs[i]} << i;
+      for (unsigned i = 0; i < 4; ++i)
+        s2 |= std::uint64_t{outs[4 + i]} << i;
+      ASSERT_EQ(s1, x + y);
+      ASSERT_EQ(s2, (x ^ 5) + (y ^ 3));
+    }
+}
+
+TEST(Transforms, DoubleKTimes) {
+  const Aig base = voter(7);
+  const Aig d3 = double_circuit(base, 3);
+  EXPECT_EQ(d3.num_pis(), 8 * base.num_pis());
+  EXPECT_EQ(d3.num_pos(), 8u);
+}
+
+TEST(Suite, FamiliesAndNaming) {
+  EXPECT_EQ(table2_families().size(), 9u);
+  SuiteParams p;
+  p.doublings = 1;
+  const BenchCase c = make_case("multiplier", p);
+  EXPECT_EQ(c.name, "multiplier_1xd");
+  EXPECT_EQ(c.original.num_pis(), c.optimized.num_pis());
+  EXPECT_EQ(c.original.num_pos(), c.optimized.num_pos());
+  EXPECT_THROW(make_case("nonsense", p), std::invalid_argument);
+}
+
+TEST(Suite, PairsAreEquivalentOnSampledPatterns) {
+  // Full brute force is too big; sample patterns on every family at
+  // doublings=0-equivalent scale (the suite itself uses resyn2, already
+  // proven function-preserving in test_opt).
+  SuiteParams p;
+  p.doublings = 0;
+  Rng rng(31);
+  for (const std::string& family : table2_families()) {
+    const BenchCase c = make_case(family, p);
+    for (int trial = 0; trial < 16; ++trial) {
+      std::vector<bool> pis(c.original.num_pis());
+      for (auto&& b : pis) b = rng.flip();
+      ASSERT_EQ(c.original.evaluate(pis), c.optimized.evaluate(pis))
+          << family;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace simsweep::gen

@@ -1,0 +1,147 @@
+/// \file test_npn_utils.cpp
+/// \brief Tests for NPN canonization and the AIG reporting utilities.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "aig/aig_utils.hpp"
+#include "common/random.hpp"
+#include "gen/arith.hpp"
+#include "tt/npn.hpp"
+
+namespace simsweep {
+namespace {
+
+TEST(Npn, ApplyIdentity) {
+  const tt::NpnTransform id;
+  for (tt::Word f : {0x8u, 0x6u, 0xCAu})
+    EXPECT_EQ(tt::npn_apply(f, 3, id), f & tt::word_mask(3));
+}
+
+TEST(Npn, ApplyPermutationSwapsVariables) {
+  // f = x0 over 2 vars (table 1010); swapping variables gives x1 (1100).
+  tt::NpnTransform t;
+  t.perm = {1, 0, 2, 3, 4, 5};
+  EXPECT_EQ(tt::npn_apply(0b1010, 2, t), 0b1100u);
+}
+
+TEST(Npn, ApplyInputNegation) {
+  // f = x0 (1010); negating input 0 gives !x0 (0101).
+  tt::NpnTransform t;
+  t.input_neg = 1;
+  EXPECT_EQ(tt::npn_apply(0b1010, 2, t), 0b0101u);
+}
+
+TEST(Npn, ApplyOutputNegation) {
+  tt::NpnTransform t;
+  t.output_neg = true;
+  EXPECT_EQ(tt::npn_apply(0b1000, 2, t), 0b0111u);
+}
+
+TEST(Npn, CanonizeEquivalentFunctionsAgree) {
+  // AND-like functions of 2 variables: all NPN-equivalent to each other.
+  const tt::Word and2 = 0b1000, or2 = 0b1110, nand2 = 0b0111;
+  const tt::Word with_neg_in = 0b0100;  // x0 & !x1
+  const auto c1 = tt::npn_canonize(and2, 2);
+  EXPECT_EQ(tt::npn_canonize(or2, 2).canon, c1.canon);
+  EXPECT_EQ(tt::npn_canonize(nand2, 2).canon, c1.canon);
+  EXPECT_EQ(tt::npn_canonize(with_neg_in, 2).canon, c1.canon);
+  // XOR is in a different class.
+  EXPECT_NE(tt::npn_canonize(0b0110, 2).canon, c1.canon);
+}
+
+TEST(Npn, TransformMapsOntoCanon) {
+  Rng rng(55);
+  for (unsigned k : {2u, 3u, 4u}) {
+    for (int trial = 0; trial < 20; ++trial) {
+      const tt::Word f = rng.next64() & tt::word_mask(k);
+      const tt::NpnCanon c = tt::npn_canonize(f, k);
+      EXPECT_EQ(tt::npn_apply(f, k, c.transform), c.canon);
+    }
+  }
+}
+
+TEST(Npn, InverseRoundTrip) {
+  Rng rng(56);
+  for (unsigned k : {2u, 3u, 4u}) {
+    for (int trial = 0; trial < 20; ++trial) {
+      const tt::Word f = rng.next64() & tt::word_mask(k);
+      tt::NpnTransform t;
+      // Random transform.
+      std::array<std::uint8_t, 6> p{0, 1, 2, 3, 4, 5};
+      for (unsigned j = k; j-- > 1;)
+        std::swap(p[j], p[rng.below(j + 1)]);
+      t.perm = p;
+      t.input_neg = static_cast<std::uint8_t>(rng.below(1u << k));
+      t.output_neg = rng.flip();
+      const tt::Word g = tt::npn_apply(f, k, t);
+      EXPECT_EQ(tt::npn_apply(g, k, tt::npn_inverse(t, k)), f);
+    }
+  }
+}
+
+TEST(Npn, CanonizationIsClassInvariant) {
+  // Canonizing any transformed version of f yields the same canon.
+  Rng rng(57);
+  const unsigned k = 3;
+  const tt::Word f = rng.next64() & tt::word_mask(k);
+  const tt::Word canon = tt::npn_canonize(f, k).canon;
+  for (int trial = 0; trial < 30; ++trial) {
+    tt::NpnTransform t;
+    std::array<std::uint8_t, 6> p{0, 1, 2, 3, 4, 5};
+    for (unsigned j = k; j-- > 1;) std::swap(p[j], p[rng.below(j + 1)]);
+    t.perm = p;
+    t.input_neg = static_cast<std::uint8_t>(rng.below(1u << k));
+    t.output_neg = rng.flip();
+    EXPECT_EQ(tt::npn_canonize(tt::npn_apply(f, k, t), k).canon, canon);
+  }
+}
+
+TEST(Npn, TextbookClassCounts) {
+  // Known values: 2 classes of 1-var funcs... enumerated: k=0:2 funcs->?
+  // Standard results: k=2 -> 4 classes, k=3 -> 14, k=4 -> 222.
+  EXPECT_EQ(tt::npn_class_count(2), 4u);
+  EXPECT_EQ(tt::npn_class_count(3), 14u);
+}
+
+TEST(NpnSlow, FourVariableClassesAre222) {
+  EXPECT_EQ(tt::npn_class_count(4), 222u);
+}
+
+TEST(AigUtils, Stats) {
+  const aig::Aig a = gen::ripple_adder(4);
+  const aig::AigStats s = aig::compute_stats(a);
+  EXPECT_EQ(s.num_pis, 8u);
+  EXPECT_EQ(s.num_pos, 5u);
+  EXPECT_EQ(s.num_ands, a.num_ands());
+  EXPECT_GT(s.max_level, 3u);
+  EXPECT_EQ(s.num_dangling, 0u);
+  EXPECT_GT(s.avg_fanout, 0.9);
+  EXPECT_NE(aig::stats_line(a).find("pi=8"), std::string::npos);
+}
+
+TEST(AigUtils, StatsCountsDanglingAndConstPos) {
+  aig::Aig a(2);
+  a.add_and(a.pi_lit(0), a.pi_lit(1));  // dangling
+  a.add_po(aig::kLitFalse);
+  const aig::AigStats s = aig::compute_stats(a);
+  EXPECT_EQ(s.num_dangling, 1u);
+  EXPECT_EQ(s.num_const_pos, 1u);
+}
+
+TEST(AigUtils, DotExport) {
+  aig::Aig a(2);
+  const aig::Lit g = a.add_and(a.pi_lit(0), aig::lit_not(a.pi_lit(1)));
+  a.add_po(aig::lit_not(g));
+  std::ostringstream os;
+  aig::write_dot(a, os);
+  const std::string dot = os.str();
+  EXPECT_NE(dot.find("digraph aig"), std::string::npos);
+  EXPECT_NE(dot.find("x0"), std::string::npos);
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);
+  EXPECT_NE(dot.find("doublecircle"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace simsweep

@@ -1,0 +1,167 @@
+/// \file test_opt.cpp
+/// \brief Tests for ISOP, SOP synthesis, balancing, refactoring and the
+/// resyn2 pipeline (functional preservation is the critical property:
+/// these transforms fabricate the "optimized" halves of CEC instances).
+
+#include <gtest/gtest.h>
+
+#include "aig/aig_analysis.hpp"
+#include "opt/balance.hpp"
+#include "opt/isop.hpp"
+#include "opt/refactor.hpp"
+#include "opt/resyn.hpp"
+#include "test_util.hpp"
+
+namespace simsweep::opt {
+namespace {
+
+using aig::Aig;
+using aig::Lit;
+
+TEST(Isop, ConstantsAndProjections) {
+  EXPECT_TRUE(isop(tt::TruthTable::zeros(3)).empty());
+  const auto taut = isop(tt::TruthTable::ones(3));
+  ASSERT_EQ(taut.size(), 1u);
+  EXPECT_EQ(taut[0].num_literals(), 0u);
+  const auto proj = isop(tt::TruthTable::projection(1, 3));
+  ASSERT_EQ(proj.size(), 1u);
+  EXPECT_EQ(proj[0].pos, 1u << 1);
+  EXPECT_EQ(proj[0].neg, 0u);
+}
+
+TEST(Isop, KnownFunction) {
+  // f = x0 x1 + !x2 over 3 vars.
+  const tt::TruthTable f =
+      (tt::TruthTable::projection(0, 3) & tt::TruthTable::projection(1, 3)) |
+      ~tt::TruthTable::projection(2, 3);
+  const auto cover = isop(f);
+  EXPECT_EQ(cover_to_tt(cover, 3), f);
+  EXPECT_LE(cover.size(), 2u);  // the minimal cover has 2 cubes
+}
+
+class IsopProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IsopProperty, CoverEqualsFunction) {
+  Rng rng(GetParam());
+  for (unsigned k : {2u, 4u, 6u, 8u}) {
+    for (int trial = 0; trial < 6; ++trial) {
+      const tt::TruthTable f = tt::TruthTable::random(k, rng);
+      const auto cover = isop(f);
+      ASSERT_EQ(cover_to_tt(cover, k), f) << "k=" << k;
+    }
+  }
+}
+
+TEST_P(IsopProperty, CoverIsIrredundant) {
+  // Removing any single cube must lose at least one minterm.
+  Rng rng(GetParam() + 7);
+  const tt::TruthTable f = tt::TruthTable::random(5, rng);
+  const auto cover = isop(f);
+  for (std::size_t drop = 0; drop < cover.size(); ++drop) {
+    std::vector<Cube> reduced;
+    for (std::size_t i = 0; i < cover.size(); ++i)
+      if (i != drop) reduced.push_back(cover[i]);
+    EXPECT_NE(cover_to_tt(reduced, 5), f) << "cube " << drop << " redundant";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IsopProperty, ::testing::Values(1, 2, 3));
+
+TEST(Isop, SopToAigMatches) {
+  Rng rng(9);
+  for (unsigned k : {3u, 5u}) {
+    const tt::TruthTable f = tt::TruthTable::random(k, rng);
+    const auto cover = isop(f);
+    Aig a(k);
+    std::vector<Lit> leaves;
+    for (unsigned i = 0; i < k; ++i) leaves.push_back(a.pi_lit(i));
+    const Lit out = sop_to_aig(a, cover, leaves);
+    a.add_po(out);
+    EXPECT_EQ(aig::global_truth_table(a, out), f);
+  }
+}
+
+TEST(Isop, CostEstimates) {
+  std::vector<Cube> cover;
+  Cube c1;
+  c1.pos = 0b011;  // x0 x1
+  cover.push_back(c1);
+  Cube c2;
+  c2.neg = 0b100;  // !x2
+  cover.push_back(c2);
+  EXPECT_EQ(cover_literals(cover), 3u);
+  EXPECT_EQ(cover_aig_cost(cover), 2u);  // one AND + one OR
+}
+
+TEST(Balance, PreservesFunctionAndReducesDepth) {
+  // A long AND chain must become logarithmic.
+  Aig a(8);
+  Lit chain = a.pi_lit(0);
+  for (unsigned i = 1; i < 8; ++i) chain = a.add_and(chain, a.pi_lit(i));
+  a.add_po(chain);
+  const Aig b = balance(a);
+  EXPECT_TRUE(aig::brute_force_equivalent(a, b));
+  const auto la = aig::compute_levels(a);
+  const auto lb = aig::compute_levels(b);
+  const auto max_of = [](const std::vector<std::uint32_t>& l) {
+    return *std::max_element(l.begin(), l.end());
+  };
+  EXPECT_EQ(max_of(la), 7u);
+  EXPECT_EQ(max_of(lb), 3u);
+}
+
+class OptPreservation : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OptPreservation, BalancePreservesRandomAigs) {
+  const Aig a = testutil::random_aig(7, 90, 5, GetParam());
+  EXPECT_TRUE(aig::brute_force_equivalent(a, balance(a)));
+}
+
+TEST_P(OptPreservation, RewritePreservesRandomAigs) {
+  const Aig a = testutil::random_aig(7, 90, 5, GetParam() + 1);
+  EXPECT_TRUE(aig::brute_force_equivalent(a, rewrite(a)));
+}
+
+TEST_P(OptPreservation, RefactorPreservesRandomAigs) {
+  const Aig a = testutil::random_aig(7, 90, 5, GetParam() + 2);
+  EXPECT_TRUE(aig::brute_force_equivalent(a, refactor(a)));
+}
+
+TEST_P(OptPreservation, Resyn2PreservesRandomAigs) {
+  const Aig a = testutil::random_aig(7, 80, 5, GetParam() + 3);
+  EXPECT_TRUE(aig::brute_force_equivalent(a, resyn2(a)));
+}
+
+TEST_P(OptPreservation, ResynLightPreservesRandomAigs) {
+  const Aig a = testutil::random_aig(7, 80, 5, GetParam() + 4);
+  EXPECT_TRUE(aig::brute_force_equivalent(a, resyn_light(a)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OptPreservation,
+                         ::testing::Values(130, 140, 150, 160));
+
+TEST(Resyn, ProducesStructurallyDifferentCircuit) {
+  // The whole point of the pipeline: same function, different structure.
+  const Aig a = testutil::random_aig(8, 200, 6, 170);
+  const Aig b = resyn2(a);
+  EXPECT_TRUE(aig::brute_force_equivalent(a, b));
+  // Different node counts (or, if equal by luck, different fanin lists).
+  bool different = a.num_ands() != b.num_ands();
+  if (!different) {
+    for (aig::Var v = a.num_pis() + 1; v < a.num_nodes() && !different; ++v)
+      different = a.fanin0(v) != b.fanin0(v) || a.fanin1(v) != b.fanin1(v);
+  }
+  EXPECT_TRUE(different) << "resyn2 was the identity on this AIG";
+}
+
+TEST(Refactor, ZeroSlackNeverGrowsMuch) {
+  const Aig a = testutil::random_aig(8, 150, 5, 171);
+  RefactorParams p;  // slack 0
+  const Aig b = refactor(a, p);
+  // Per-cone growth is bounded by slack=0; global size can only shrink or
+  // stay (up to strashing interactions, allow small noise).
+  EXPECT_LE(b.num_ands(), a.num_ands() + 5);
+}
+
+}  // namespace
+}  // namespace simsweep::opt

@@ -1,0 +1,125 @@
+/// \file test_parallel.cpp
+/// \brief Thread-pool correctness tests.
+
+#include "parallel/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace simsweep::parallel {
+namespace {
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(10000);
+  pool.parallel_for(0, hits.size(),
+                    [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) ASSERT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, EmptyAndTinyRanges) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.parallel_for(5, 5, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 0);
+  pool.parallel_for(0, 3, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ThreadPool, NonzeroBegin) {
+  ThreadPool pool(2);
+  std::atomic<std::uint64_t> sum{0};
+  pool.parallel_for(100, 1100, [&](std::size_t i) { sum.fetch_add(i); });
+  std::uint64_t expect = 0;
+  for (std::size_t i = 100; i < 1100; ++i) expect += i;
+  EXPECT_EQ(sum.load(), expect);
+}
+
+TEST(ThreadPool, ChunkedVariantSeesContiguousBlocks) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(5000);
+  pool.parallel_for_chunks(0, hits.size(), [&](std::size_t lo,
+                                               std::size_t hi) {
+    ASSERT_LE(lo, hi);
+    for (std::size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) ASSERT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ReusableAcrossManyJobs) {
+  ThreadPool pool(2);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<std::uint64_t> sum{0};
+    pool.parallel_for(0, 1000, [&](std::size_t i) { sum.fetch_add(i + 1); });
+    ASSERT_EQ(sum.load(), 1000u * 1001 / 2);
+  }
+}
+
+TEST(ThreadPool, ZeroWorkerPoolRunsInline) {
+  ThreadPool pool(0);
+  // hardware_concurrency-based default may still create workers; force a
+  // genuinely inline pool via a 1-thread machine emulation: concurrency is
+  // at least 1 either way, and the call must still be correct.
+  std::atomic<int> count{0};
+  pool.parallel_for(0, 100, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 100);
+  EXPECT_GE(pool.concurrency(), 1u);
+}
+
+TEST(ThreadPool, GlobalPoolSingleton) {
+  ThreadPool& a = ThreadPool::global();
+  ThreadPool& b = ThreadPool::global();
+  EXPECT_EQ(&a, &b);
+  std::atomic<int> count{0};
+  parallel_for(0, 256, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 256);
+}
+
+TEST(ThreadPool, LargeGrainWork) {
+  ThreadPool pool(3);
+  std::vector<std::uint64_t> out(64, 0);
+  pool.parallel_for(0, out.size(), [&](std::size_t i) {
+    std::uint64_t acc = 0;
+    for (std::uint64_t k = 0; k < 10000; ++k) acc += (i + 1) * k % 97;
+    out[i] = acc;
+  });
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    std::uint64_t acc = 0;
+    for (std::uint64_t k = 0; k < 10000; ++k) acc += (i + 1) * k % 97;
+    ASSERT_EQ(out[i], acc);
+  }
+}
+
+TEST(ThreadPool, ConcurrentClientThreadsAreSerializedSafely) {
+  // Regression test: the portfolio checker calls parallel_for on the
+  // global pool from several client threads at once; jobs must not
+  // corrupt each other's ranges (this found a real bug).
+  ThreadPool pool(2);
+  constexpr int kClients = 4;
+  constexpr std::size_t kN = 20000;
+  std::vector<std::vector<std::atomic<int>>> hits(kClients);
+  for (auto& h : hits) {
+    std::vector<std::atomic<int>> v(kN);
+    h = std::move(v);
+  }
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int round = 0; round < 20; ++round)
+        pool.parallel_for(0, kN, [&, c](std::size_t i) {
+          hits[c][i].fetch_add(1, std::memory_order_relaxed);
+        });
+    });
+  }
+  for (auto& t : clients) t.join();
+  for (int c = 0; c < kClients; ++c)
+    for (std::size_t i = 0; i < kN; ++i)
+      ASSERT_EQ(hits[c][i].load(), 20) << "client " << c << " index " << i;
+}
+
+}  // namespace
+}  // namespace simsweep::parallel

@@ -1,0 +1,134 @@
+/// \file test_portfolio.cpp
+/// \brief Tests for the combined (engine + SAT) and portfolio checkers.
+
+#include "portfolio/portfolio.hpp"
+
+#include <gtest/gtest.h>
+
+#include "aig/aig_analysis.hpp"
+#include "gen/arith.hpp"
+#include "opt/resyn.hpp"
+#include "test_util.hpp"
+
+namespace simsweep::portfolio {
+namespace {
+
+using aig::Aig;
+
+CombinedParams small_combined() {
+  CombinedParams p;
+  p.engine.k_P = 16;
+  p.engine.k_p = 10;
+  p.engine.k_g = 10;
+  p.engine.k_l = 6;
+  p.engine.memory_words = 1 << 16;
+  return p;
+}
+
+TEST(Combined, EngineAloneSolvesEasyCase) {
+  const Aig a = gen::ripple_adder(5);
+  const Aig b = gen::kogge_stone_adder(5);
+  const CombinedResult r = combined_check(a, b, small_combined());
+  EXPECT_EQ(r.verdict, Verdict::kEquivalent);
+  EXPECT_FALSE(r.used_sat);  // 10-PI supports fit the one-shot P phase
+  EXPECT_DOUBLE_EQ(r.reduction_percent, 100.0);
+}
+
+TEST(Combined, SatFinishesWhatEngineLeaves) {
+  // Cripple the engine so it must hand a residue to the SAT sweeper.
+  const Aig a = testutil::random_aig(12, 260, 6, 300);
+  const Aig b = opt::resyn_light(a);
+  if (aig::miter_proved(aig::make_miter(a, b)))
+    GTEST_SKIP() << "strash solved it";
+  CombinedParams p = small_combined();
+  p.engine.k_P = 4;
+  p.engine.k_p = 3;
+  p.engine.k_g = 3;
+  p.engine.k_l = 3;
+  p.engine.max_local_phases = 1;
+  const CombinedResult r = combined_check(a, b, p);
+  EXPECT_EQ(r.verdict, Verdict::kEquivalent);
+  // Either the engine managed alone or SAT ran; both are acceptable, but
+  // the timing columns must be consistent with the path taken.
+  if (r.used_sat) EXPECT_GT(r.sat_seconds, 0.0);
+}
+
+TEST(Combined, DisproofPropagates) {
+  const Aig a = testutil::random_aig(8, 120, 5, 304);
+  const Aig b = testutil::mutate(a, 305);
+  if (aig::brute_force_equivalent(a, b)) GTEST_SKIP() << "mutation no-op";
+  const CombinedResult r = combined_check(a, b, small_combined());
+  ASSERT_EQ(r.verdict, Verdict::kNotEquivalent);
+  if (r.cex) EXPECT_NE(a.evaluate(*r.cex), b.evaluate(*r.cex));
+}
+
+class CombinedOracle : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CombinedOracle, AlwaysDecidesSmallMitersCorrectly) {
+  const Aig a = testutil::random_aig(8, 110, 5, GetParam());
+  const Aig b = (GetParam() % 2) ? testutil::mutate(a, GetParam() + 5)
+                                 : opt::resyn_light(a);
+  const bool equivalent = aig::brute_force_equivalent(a, b);
+  const CombinedResult r = combined_check(a, b, small_combined());
+  ASSERT_NE(r.verdict, Verdict::kUndecided);
+  EXPECT_EQ(r.verdict == Verdict::kEquivalent, equivalent);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CombinedOracle,
+                         ::testing::Values(310, 311, 312, 313, 314, 315));
+
+TEST(Portfolio, FirstDecisiveEngineWins) {
+  const Aig a = gen::array_multiplier(4);
+  const Aig b = gen::wallace_multiplier(4);
+  PortfolioParams p;
+  p.combined = small_combined();
+  const PortfolioResult r = portfolio_check(a, b, p);
+  EXPECT_EQ(r.verdict, Verdict::kEquivalent);
+  EXPECT_FALSE(r.winner.empty());
+  EXPECT_GT(r.seconds, 0.0);
+}
+
+TEST(Portfolio, DisproofWithCex) {
+  const Aig a = testutil::random_aig(8, 100, 4, 330);
+  const Aig b = testutil::mutate(a, 331);
+  if (aig::brute_force_equivalent(a, b)) GTEST_SKIP() << "mutation no-op";
+  PortfolioParams p;
+  p.combined = small_combined();
+  const PortfolioResult r = portfolio_check(a, b, p);
+  ASSERT_EQ(r.verdict, Verdict::kNotEquivalent);
+  if (r.cex) EXPECT_NE(a.evaluate(*r.cex), b.evaluate(*r.cex));
+}
+
+TEST(Portfolio, SubsetOfEnginesStillWorks) {
+  const Aig a = gen::ripple_adder(4);
+  const Aig b = gen::kogge_stone_adder(4);
+  PortfolioParams p;
+  p.combined = small_combined();
+  p.run_combined = false;
+  p.run_sat = false;
+  p.run_bdd_sweep = false;  // only the monolithic BDD engine
+  const PortfolioResult r = portfolio_check(a, b, p);
+  EXPECT_EQ(r.verdict, Verdict::kEquivalent);
+  EXPECT_EQ(r.winner, "bdd");
+}
+
+TEST(Portfolio, AllUndecidedReportsUndecided) {
+  const Aig a = testutil::random_aig(12, 260, 6, 322);
+  const Aig b = opt::resyn_light(a);
+  if (aig::miter_proved(aig::make_miter(a, b)))
+    GTEST_SKIP() << "strash solved it";
+  PortfolioParams p;
+  p.run_combined = false;
+  p.run_sat = true;
+  p.run_bdd = true;
+  p.run_bdd_sweep = true;
+  p.sweeper.time_limit = 1e-9;
+  p.bdd.node_limit = 8;
+  p.bdd_sweep.manager_limit = 8;
+  const PortfolioResult r = portfolio_check(a, b, p);
+  EXPECT_EQ(r.verdict, Verdict::kUndecided);
+  EXPECT_TRUE(r.winner.empty());
+}
+
+}  // namespace
+}  // namespace simsweep::portfolio

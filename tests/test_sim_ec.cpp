@@ -1,0 +1,242 @@
+/// \file test_sim_ec.cpp
+/// \brief Tests for partial simulation, pattern banks, CEX collection and
+/// equivalence-class management.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "aig/aig_analysis.hpp"
+#include "sim/ec_manager.hpp"
+#include "sim/partial_sim.hpp"
+#include "test_util.hpp"
+
+namespace simsweep::sim {
+namespace {
+
+using aig::Aig;
+using aig::Lit;
+using aig::Var;
+
+TEST(PatternBank, RandomDeterministicPerSeed) {
+  const PatternBank a = PatternBank::random(4, 3, 9);
+  const PatternBank b = PatternBank::random(4, 3, 9);
+  const PatternBank c = PatternBank::random(4, 3, 10);
+  bool all_equal = true, any_diff_c = false;
+  for (unsigned pi = 0; pi < 4; ++pi)
+    for (std::size_t w = 0; w < 3; ++w) {
+      all_equal &= a.word(pi, w) == b.word(pi, w);
+      any_diff_c |= a.word(pi, w) != c.word(pi, w);
+    }
+  EXPECT_TRUE(all_equal);
+  EXPECT_TRUE(any_diff_c);
+}
+
+TEST(PatternBank, AppendAndTruncate) {
+  PatternBank bank(3, 2);
+  bank.word(1, 0) = 0xAA;
+  bank.append_words({1, 2, 3});
+  EXPECT_EQ(bank.num_words(), 3u);
+  EXPECT_EQ(bank.word(1, 0), 0xAAu);
+  EXPECT_EQ(bank.word(0, 2), 1u);
+  EXPECT_EQ(bank.word(2, 2), 3u);
+  bank.truncate_front(2);
+  EXPECT_EQ(bank.num_words(), 2u);
+  // Oldest word dropped: word 0 is the former word 1.
+  EXPECT_EQ(bank.word(0, 1), 1u);
+  EXPECT_EQ(bank.word(2, 1), 3u);
+}
+
+TEST(CexCollector, PacksAssignmentsIntoBits) {
+  CexCollector c(4);
+  c.add({{0, true}, {2, true}});
+  c.add({{1, true}});
+  EXPECT_EQ(c.num_cexes(), 2u);
+  PatternBank bank(4, 0);
+  c.flush_into(bank);
+  EXPECT_TRUE(c.empty());
+  ASSERT_EQ(bank.num_words(), 1u);
+  EXPECT_EQ(bank.word(0, 0) & 3, 1u);  // CEX0: pi0=1; CEX1: pi0=0
+  EXPECT_EQ(bank.word(1, 0) & 3, 2u);  // CEX0: pi1=0; CEX1: pi1=1
+  EXPECT_EQ(bank.word(2, 0) & 3, 1u);
+  EXPECT_EQ(bank.word(3, 0) & 3, 0u);
+}
+
+TEST(CexCollector, SpillsIntoMultipleWords) {
+  CexCollector c(2);
+  for (int i = 0; i < 70; ++i) c.add({{0, true}});
+  PatternBank bank(2, 0);
+  c.flush_into(bank);
+  EXPECT_EQ(bank.num_words(), 2u);
+  EXPECT_EQ(bank.word(0, 0), ~Word{0});
+  EXPECT_EQ(bank.word(0, 1), (Word{1} << 6) - 1);  // 6 leftover CEXs
+}
+
+TEST(Simulate, MatchesReferenceEvaluator) {
+  const Aig a = testutil::random_aig(6, 80, 4, 77);
+  const PatternBank bank = PatternBank::random(6, 2, 5);
+  const Signatures sigs = simulate(a, bank);
+  ASSERT_EQ(sigs.num_words, 2u);
+  for (Var v = 0; v < a.num_nodes(); ++v) {
+    for (unsigned bit = 0; bit < 128; bit += 17) {
+      const std::size_t w = bit / 64;
+      std::vector<bool> pis(6);
+      for (unsigned i = 0; i < 6; ++i)
+        pis[i] = (bank.word(i, w) >> (bit % 64)) & 1;
+      const bool expect =
+          v == 0 ? false : a.evaluate_lit(aig::make_lit(v), pis);
+      ASSERT_EQ(static_cast<bool>((sigs.word(v, w) >> (bit % 64)) & 1),
+                expect)
+          << "node " << v << " bit " << bit;
+    }
+  }
+}
+
+TEST(Simulate, ComplementedFanins) {
+  Aig a(2);
+  const Lit g = a.add_and(aig::lit_not(a.pi_lit(0)), a.pi_lit(1));
+  a.add_po(g);
+  PatternBank bank(2, 1);
+  bank.word(0, 0) = 0b0101;
+  bank.word(1, 0) = 0b0011;
+  const Signatures sigs = simulate(a, bank);
+  EXPECT_EQ(sigs.word(aig::lit_var(g), 0) & 0xF, 0b0010u);
+}
+
+TEST(EcManager, GroupsEqualSignatures) {
+  Aig a(3);
+  const Lit x = a.pi_lit(0), y = a.pi_lit(1);
+  const Lit f1 = a.add_and(x, y);
+  const Lit f2 = a.add_and(a.add_or(x, y), f1);  // == f1
+  const Lit g = a.add_xor(x, y);
+  a.add_po(f2);
+  a.add_po(g);
+  const PatternBank bank = PatternBank::random(3, 4, 3);
+  EcManager ec;
+  ec.build(a, simulate(a, bank));
+  bool found = false;
+  for (const auto& cls : ec.classes()) {
+    const bool has1 = std::count(cls.begin(), cls.end(), aig::lit_var(f1));
+    const bool has2 = std::count(cls.begin(), cls.end(), aig::lit_var(f2));
+    if (has1 && has2) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(EcManager, DetectsComplementedEquivalence) {
+  // XOR and XNOR are both AND-rooted nodes here (OR-rooted functions are
+  // complemented AND literals in an AIG), with complementary functions.
+  Aig a(2);
+  const Lit x = a.pi_lit(0), y = a.pi_lit(1);
+  const Lit f = a.add_xor(x, y);                 // node computes x ^ y
+  const Lit g = a.add_xor(x, aig::lit_not(y));   // node computes !(x ^ y)
+  a.add_po(f);
+  a.add_po(g);
+  const PatternBank bank = PatternBank::random(2, 4, 3);
+  EcManager ec;
+  ec.build(a, simulate(a, bank));
+  const Var vf = aig::lit_var(f), vg = aig::lit_var(g);
+  bool same_class = false;
+  for (const auto& cls : ec.classes())
+    if (std::count(cls.begin(), cls.end(), vf) &&
+        std::count(cls.begin(), cls.end(), vg)) {
+      same_class = true;
+      EXPECT_NE(ec.phase(vf), ec.phase(vg));
+    }
+  EXPECT_TRUE(same_class);
+}
+
+TEST(EcManager, CandidatePairsUseMinIdRepresentative) {
+  const Aig a = testutil::random_aig(5, 60, 3, 42);
+  const PatternBank bank = PatternBank::random(5, 1, 4);
+  EcManager ec;
+  ec.build(a, simulate(a, bank));
+  for (const CandidatePair& p : ec.candidate_pairs())
+    ASSERT_LT(p.repr, p.node);
+}
+
+TEST(EcManager, NeverSeparatesTrulyEquivalentNodes) {
+  // Soundness of build+refine: nodes with equal (or complementary) global
+  // functions must stay in one class no matter the patterns.
+  const Aig a = testutil::random_aig(5, 60, 3, 43);
+  const PatternBank bank = PatternBank::random(5, 2, 4);
+  EcManager ec;
+  ec.build(a, simulate(a, bank));
+  ec.refine(simulate(a, PatternBank::random(5, 2, 99)));
+
+  std::vector<tt::TruthTable> tts;
+  for (Var v = 0; v < a.num_nodes(); ++v)
+    tts.push_back(aig::global_truth_table(a, aig::make_lit(v)));
+  std::vector<int> class_of(a.num_nodes(), -1);
+  for (std::size_t c = 0; c < ec.classes().size(); ++c)
+    for (Var v : ec.classes()[c]) class_of[v] = static_cast<int>(c);
+  for (Var u = 0; u < a.num_nodes(); ++u)
+    for (Var v = u + 1; v < a.num_nodes(); ++v)
+      if (tts[u] == tts[v] || tts[u] == ~tts[v])
+        ASSERT_TRUE(class_of[u] >= 0 && class_of[u] == class_of[v])
+            << "equivalent nodes " << u << "," << v << " separated";
+}
+
+TEST(EcManager, RefineSplitsOnDistinguishingPattern) {
+  Aig a(2);
+  const Lit x = a.pi_lit(0), y = a.pi_lit(1);
+  const Lit f = a.add_and(x, y);
+  const Lit g = a.add_or(x, y);
+  a.add_po(f);
+  a.add_po(g);
+  // A bank where x==y on every pattern: AND and OR look identical.
+  PatternBank bank(2, 1);
+  bank.word(0, 0) = 0b0110;
+  bank.word(1, 0) = 0b0110;
+  EcManager ec;
+  ec.build(a, simulate(a, bank));
+  const Var vf = aig::lit_var(f), vg = aig::lit_var(g);
+  auto same_class = [&] {
+    for (const auto& cls : ec.classes())
+      if (std::count(cls.begin(), cls.end(), vf) &&
+          std::count(cls.begin(), cls.end(), vg))
+        return true;
+    return false;
+  };
+  ASSERT_TRUE(same_class());
+  PatternBank refine_bank(2, 1);
+  refine_bank.word(0, 0) = 1;
+  refine_bank.word(1, 0) = 0;
+  ec.refine(simulate(a, refine_bank));
+  EXPECT_FALSE(same_class());
+}
+
+TEST(EcManager, MarkProvedSuppressesPair) {
+  const Aig a = testutil::random_aig(5, 60, 3, 44);
+  const PatternBank bank = PatternBank::random(5, 1, 4);
+  EcManager ec;
+  ec.build(a, simulate(a, bank));
+  auto pairs = ec.candidate_pairs();
+  ASSERT_FALSE(pairs.empty());
+  const Var victim = pairs[0].node;
+  ec.mark_proved(victim);
+  for (const CandidatePair& p : ec.candidate_pairs())
+    ASSERT_NE(p.node, victim);
+}
+
+TEST(EcManager, ConstantClassContainsConstLikeNodes) {
+  Aig a(2);
+  const Lit x = a.pi_lit(0);
+  const Lit y = a.pi_lit(1);
+  // Semantically-constant node strashing cannot fold:
+  // (x & y) & (x & !y) == 0.
+  const Lit g = a.add_and(a.add_and(x, y), a.add_and(x, aig::lit_not(y)));
+  a.add_po(g);
+  const PatternBank bank = PatternBank::random(2, 4, 5);
+  EcManager ec;
+  ec.build(a, simulate(a, bank));
+  bool with_const = false;
+  for (const auto& cls : ec.classes())
+    if (std::count(cls.begin(), cls.end(), Var{0}) &&
+        std::count(cls.begin(), cls.end(), aig::lit_var(g)))
+      with_const = true;
+  EXPECT_TRUE(with_const);
+}
+
+}  // namespace
+}  // namespace simsweep::sim

@@ -1,0 +1,179 @@
+/// \file test_tt.cpp
+/// \brief Unit and property tests for the truth-table substrate.
+
+#include "tt/truth_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/random.hpp"
+
+namespace simsweep::tt {
+namespace {
+
+TEST(TruthTable, SizesAndMasks) {
+  EXPECT_EQ(num_words(0), 1u);
+  EXPECT_EQ(num_words(6), 1u);
+  EXPECT_EQ(num_words(7), 2u);
+  EXPECT_EQ(num_words(10), 16u);
+  EXPECT_EQ(num_bits(3), 8u);
+  EXPECT_EQ(word_mask(0), 0x1u);
+  EXPECT_EQ(word_mask(2), 0xFu);
+  EXPECT_EQ(word_mask(5), 0xFFFFFFFFu);
+  EXPECT_EQ(word_mask(6), ~Word{0});
+  EXPECT_EQ(word_mask(12), ~Word{0});
+}
+
+TEST(TruthTable, PaperProjectionExamples) {
+  // Paper §II-A: for k = 3 the projection tables of x0, x1, x2 are
+  // 10101010, 11001100, 11110000.
+  EXPECT_EQ(TruthTable::projection(0, 3).to_binary(), "10101010");
+  EXPECT_EQ(TruthTable::projection(1, 3).to_binary(), "11001100");
+  EXPECT_EQ(TruthTable::projection(2, 3).to_binary(), "11110000");
+}
+
+TEST(TruthTable, ProjectionWordMatchesMaterializedTables) {
+  for (unsigned k : {7u, 8u, 10u}) {
+    for (unsigned v = 0; v < k; ++v) {
+      const TruthTable t = TruthTable::projection(v, k);
+      for (std::size_t w = 0; w < t.words().size(); ++w)
+        ASSERT_EQ(t.words()[w], projection_word(v, w))
+            << "k=" << k << " v=" << v << " w=" << w;
+    }
+  }
+}
+
+TEST(TruthTable, ProjectionBitSemantics) {
+  // Bit i of projection v must equal bit v of the index i.
+  for (unsigned k : {3u, 6u, 8u}) {
+    for (unsigned v = 0; v < k; ++v) {
+      const TruthTable t = TruthTable::projection(v, k);
+      for (std::uint64_t i = 0; i < num_bits(k); ++i)
+        ASSERT_EQ(t.get_bit(i), static_cast<bool>((i >> v) & 1));
+    }
+  }
+}
+
+TEST(TruthTable, ConstantsAndCounting) {
+  EXPECT_TRUE(TruthTable::zeros(4).is_const0());
+  EXPECT_TRUE(TruthTable::ones(4).is_const1());
+  EXPECT_FALSE(TruthTable::ones(4).is_const0());
+  EXPECT_EQ(TruthTable::ones(4).count_ones(), 16u);
+  EXPECT_EQ(TruthTable::zeros(9).count_ones(), 0u);
+  EXPECT_TRUE(TruthTable::ones(9).is_const1());
+  EXPECT_EQ(TruthTable::projection(2, 5).count_ones(), 16u);
+}
+
+TEST(TruthTable, BitwiseOps) {
+  const TruthTable a = TruthTable::projection(0, 3);
+  const TruthTable b = TruthTable::projection(1, 3);
+  EXPECT_EQ((a & b).to_binary(), "10001000");
+  EXPECT_EQ((a | b).to_binary(), "11101110");
+  EXPECT_EQ((a ^ b).to_binary(), "01100110");
+  EXPECT_EQ((~a).to_binary(), "01010101");
+  // Complement respects the mask (no garbage above 2^k).
+  EXPECT_EQ((~TruthTable::zeros(2)).words()[0], 0xFu);
+}
+
+TEST(TruthTable, DeMorganProperty) {
+  Rng rng(42);
+  for (unsigned k : {4u, 7u, 9u}) {
+    for (int trial = 0; trial < 10; ++trial) {
+      const TruthTable a = TruthTable::random(k, rng);
+      const TruthTable b = TruthTable::random(k, rng);
+      EXPECT_EQ(~(a & b), (~a | ~b));
+      EXPECT_EQ(~(a | b), (~a & ~b));
+      EXPECT_EQ(a ^ b, (a | b) & ~(a & b));
+    }
+  }
+}
+
+TEST(TruthTable, Cofactors) {
+  Rng rng(7);
+  for (unsigned k : {3u, 6u, 8u}) {
+    for (int trial = 0; trial < 8; ++trial) {
+      const TruthTable f = TruthTable::random(k, rng);
+      for (unsigned v = 0; v < k; ++v) {
+        const TruthTable f0 = f.cofactor0(v);
+        const TruthTable f1 = f.cofactor1(v);
+        for (std::uint64_t i = 0; i < num_bits(k); ++i) {
+          const std::uint64_t i0 = i & ~(std::uint64_t{1} << v);
+          const std::uint64_t i1 = i | (std::uint64_t{1} << v);
+          ASSERT_EQ(f0.get_bit(i), f.get_bit(i0));
+          ASSERT_EQ(f1.get_bit(i), f.get_bit(i1));
+        }
+        // Shannon expansion: f = (!v & f0) | (v & f1).
+        const TruthTable proj = TruthTable::projection(v, k);
+        EXPECT_EQ(f, (~proj & f0) | (proj & f1));
+      }
+    }
+  }
+}
+
+TEST(TruthTable, DontCareDetection) {
+  // f = x0 & x1 over 4 vars: depends on 0,1 only.
+  const TruthTable f =
+      TruthTable::projection(0, 4) & TruthTable::projection(1, 4);
+  EXPECT_FALSE(f.is_dont_care(0));
+  EXPECT_FALSE(f.is_dont_care(1));
+  EXPECT_TRUE(f.is_dont_care(2));
+  EXPECT_TRUE(f.is_dont_care(3));
+  // Wide case: var 7 of an 8-var function.
+  const TruthTable g =
+      TruthTable::projection(6, 8) ^ TruthTable::projection(2, 8);
+  EXPECT_TRUE(g.is_dont_care(7));
+  EXPECT_FALSE(g.is_dont_care(6));
+  EXPECT_FALSE(g.is_dont_care(2));
+}
+
+TEST(TruthTable, ExtendPreservesFunction) {
+  Rng rng(11);
+  for (unsigned k : {2u, 5u, 7u}) {
+    const TruthTable f = TruthTable::random(k, rng);
+    for (unsigned k2 : {k + 1, k + 3}) {
+      const TruthTable g = f.extend(k2);
+      EXPECT_EQ(g.num_vars(), k2);
+      for (std::uint64_t i = 0; i < num_bits(k2); ++i)
+        ASSERT_EQ(g.get_bit(i), f.get_bit(i & (num_bits(k) - 1)));
+      for (unsigned v = k; v < k2; ++v) EXPECT_TRUE(g.is_dont_care(v));
+    }
+  }
+}
+
+TEST(TruthTable, HexAndBinary) {
+  const TruthTable f = TruthTable::projection(1, 3);
+  EXPECT_EQ(f.to_hex(), "cc");
+  EXPECT_EQ(TruthTable::from_bits(0b0010, 2).to_binary(), "0010");
+  EXPECT_EQ(TruthTable::from_bits(0b0010, 2).to_hex(), "2");
+  EXPECT_EQ(TruthTable::ones(6).to_hex(), "ffffffffffffffff");
+}
+
+TEST(TruthTable, PaperFunctionExample) {
+  // Paper §III-B1: xy' + xy'z has truth table 00100010 under (x,y,z) and
+  // the equivalent xy' has table 0010 under (x,y). Variable order in our
+  // tables: projection index 0 is the LSB variable, so map x->v0, y->v1,
+  // z->v2.
+  const TruthTable x = TruthTable::projection(0, 3);
+  const TruthTable y = TruthTable::projection(1, 3);
+  const TruthTable z = TruthTable::projection(2, 3);
+  const TruthTable f = (x & ~y) | (x & ~y & z);
+  EXPECT_EQ(f.to_binary(), "00100010");
+  const TruthTable x2 = TruthTable::projection(0, 2);
+  const TruthTable y2 = TruthTable::projection(1, 2);
+  EXPECT_EQ((x2 & ~y2).to_binary(), "0010");
+  // And the reduced function extended back to 3 vars equals f.
+  EXPECT_EQ((x2 & ~y2).extend(3), f);
+}
+
+TEST(TruthTable, SetBitAndHashStability) {
+  TruthTable f(7);
+  f.set_bit(100, true);
+  EXPECT_TRUE(f.get_bit(100));
+  const std::uint64_t h1 = f.hash();
+  f.set_bit(100, false);
+  EXPECT_FALSE(f.get_bit(100));
+  EXPECT_NE(h1, f.hash());
+  EXPECT_EQ(f, TruthTable::zeros(7));
+}
+
+}  // namespace
+}  // namespace simsweep::tt

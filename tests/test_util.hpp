@@ -1,0 +1,69 @@
+#pragma once
+/// \file test_util.hpp
+/// \brief Shared helpers for the SimSweep test suite.
+
+#include <cstdint>
+#include <vector>
+
+#include "aig/aig.hpp"
+#include "aig/aig_analysis.hpp"
+#include "common/random.hpp"
+
+namespace simsweep::testutil {
+
+/// A random AIG: each AND node combines two random existing literals with
+/// random complementation; `num_pos` random literals become POs.
+/// Deterministic for a seed. Structural hashing may make the result
+/// smaller than num_ands.
+inline aig::Aig random_aig(unsigned num_pis, unsigned num_ands,
+                           unsigned num_pos, std::uint64_t seed) {
+  Rng rng(seed);
+  aig::Aig a(num_pis);
+  std::vector<aig::Lit> lits;
+  for (unsigned i = 0; i < num_pis; ++i) lits.push_back(a.pi_lit(i));
+  for (unsigned i = 0; i < num_ands; ++i) {
+    const aig::Lit x =
+        aig::lit_notcond(lits[rng.below(lits.size())], rng.flip());
+    const aig::Lit y =
+        aig::lit_notcond(lits[rng.below(lits.size())], rng.flip());
+    const aig::Lit g = a.add_and(x, y);
+    if (aig::lit_var(g) != 0) lits.push_back(g);
+  }
+  for (unsigned i = 0; i < num_pos; ++i)
+    a.add_po(aig::lit_notcond(lits[rng.below(lits.size())], rng.flip()));
+  return a;
+}
+
+/// Flips the complement of one AND fanin — a classic "introduced bug"
+/// that usually (not always) changes the function.
+inline aig::Aig mutate(const aig::Aig& src, std::uint64_t seed) {
+  Rng rng(seed);
+  aig::Aig dst(src.num_pis());
+  const aig::Var victim = static_cast<aig::Var>(
+      src.num_pis() + 1 + rng.below(src.num_ands()));
+  std::vector<aig::Lit> lit_of(src.num_nodes());
+  lit_of[0] = aig::kLitFalse;
+  for (unsigned i = 0; i < src.num_pis(); ++i)
+    lit_of[i + 1] = dst.pi_lit(i);
+  for (aig::Var v = src.num_pis() + 1; v < src.num_nodes(); ++v) {
+    aig::Lit f0 = src.fanin0(v), f1 = src.fanin1(v);
+    if (v == victim) f0 = aig::lit_not(f0);
+    lit_of[v] = dst.add_and(
+        aig::lit_notcond(lit_of[aig::lit_var(f0)], aig::lit_compl(f0)),
+        aig::lit_notcond(lit_of[aig::lit_var(f1)], aig::lit_compl(f1)));
+  }
+  for (aig::Lit po : src.pos())
+    dst.add_po(
+        aig::lit_notcond(lit_of[aig::lit_var(po)], aig::lit_compl(po)));
+  return dst;
+}
+
+/// Evaluates one literal of `a` under the PI assignment encoded in the
+/// bits of `pattern`.
+inline bool eval_lit(const aig::Aig& a, aig::Lit lit, std::uint64_t pattern) {
+  std::vector<bool> pis(a.num_pis());
+  for (unsigned i = 0; i < a.num_pis(); ++i) pis[i] = (pattern >> i) & 1;
+  return a.evaluate_lit(lit, pis);
+}
+
+}  // namespace simsweep::testutil

@@ -1,0 +1,169 @@
+/// \file test_window.cpp
+/// \brief Tests for window construction and window merging.
+
+#include "window/window.hpp"
+#include "window/window_merge.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "aig/aig_analysis.hpp"
+#include "test_util.hpp"
+
+namespace simsweep::window {
+namespace {
+
+using aig::Aig;
+using aig::Lit;
+using aig::Var;
+
+/// A small diamond: f = (x&y) | (y&z), checked against itself.
+Aig diamond(Lit* out_f) {
+  Aig a(3);
+  const Lit x = a.pi_lit(0), y = a.pi_lit(1), z = a.pi_lit(2);
+  const Lit f = a.add_or(a.add_and(x, y), a.add_and(y, z));
+  a.add_po(f);
+  if (out_f) *out_f = f;
+  return a;
+}
+
+TEST(Window, GlobalWindowContainsConeOnly) {
+  Lit f;
+  const Aig a = diamond(&f);
+  auto w = build_window(a, {1, 2, 3},
+                        {CheckItem{f, aig::kLitFalse, 0}});
+  ASSERT_TRUE(w.has_value());
+  EXPECT_EQ(w->num_inputs(), 3u);
+  // Window nodes = all AND nodes in the cone of f.
+  const auto cone = aig::tfi_cone(a, {aig::lit_var(f)}, {1, 2, 3});
+  std::size_t cone_ands = 0;
+  for (Var v : cone) cone_ands += a.is_and(v);
+  EXPECT_EQ(w->nodes.size(), cone_ands);
+  EXPECT_EQ(w->tt_words(), 1u);
+}
+
+TEST(Window, InvalidCutReturnsNullopt) {
+  Lit f;
+  const Aig a = diamond(&f);
+  // {PI1} does not block PI2/PI3 paths to f.
+  EXPECT_FALSE(build_window(a, {1}, {CheckItem{f, aig::kLitFalse, 0}}));
+}
+
+TEST(Window, InternalCutWindow) {
+  Lit f;
+  const Aig a = diamond(&f);
+  // The two AND nodes form a cut of the OR root.
+  const Var or_node = aig::lit_var(f);
+  const Var and1 = aig::lit_var(a.fanin0(or_node));
+  const Var and2 = aig::lit_var(a.fanin1(or_node));
+  std::vector<Var> cut{std::min(and1, and2), std::max(and1, and2)};
+  auto w = build_window(a, cut, {CheckItem{f, aig::kLitFalse, 7}});
+  ASSERT_TRUE(w.has_value());
+  EXPECT_EQ(w->num_inputs(), 2u);
+  EXPECT_EQ(w->nodes.size(), 1u);  // only the OR root
+  EXPECT_EQ(w->items[0].tag, 7u);
+}
+
+TEST(Window, LevelGroupingIsTopological) {
+  const Aig a = testutil::random_aig(6, 60, 2, 50);
+  std::vector<Var> pis{1, 2, 3, 4, 5, 6};
+  auto w = build_window(a, pis, {CheckItem{a.po(0), a.po(1), 0}});
+  ASSERT_TRUE(w.has_value());
+  // Slot of every fanin must precede the node's own slot.
+  for (std::size_t i = 0; i < w->wnodes.size(); ++i) {
+    const std::uint32_t self = static_cast<std::uint32_t>(
+        w->inputs.size() + i);
+    if (w->wnodes[i].slot0 != kSlotConst0)
+      ASSERT_LT(w->wnodes[i].slot0, self);
+    if (w->wnodes[i].slot1 != kSlotConst0)
+      ASSERT_LT(w->wnodes[i].slot1, self);
+  }
+  // Level offsets are monotone and cover all nodes.
+  ASSERT_FALSE(w->level_offset.empty());
+  EXPECT_EQ(w->level_offset.back(), w->nodes.size());
+  for (std::size_t l = 1; l < w->level_offset.size(); ++l)
+    ASSERT_LE(w->level_offset[l - 1], w->level_offset[l]);
+}
+
+TEST(Window, RootCanBeAnInput) {
+  Aig a(2);
+  const Lit x = a.pi_lit(0);
+  const Lit g = a.add_and(x, a.pi_lit(1));
+  a.add_po(g);
+  // Check pair (x, g) over inputs {1, 2}: root x is itself an input.
+  auto w = build_window(a, {1, 2}, {CheckItem{x, g, 0}});
+  ASSERT_TRUE(w.has_value());
+  EXPECT_EQ(w->item_slots[0].slot_a, 0u);  // input slot of PI 1
+}
+
+TEST(WindowMerge, MergesIdenticalInputSets) {
+  const Aig a = testutil::random_aig(4, 40, 2, 51);
+  std::vector<Var> inputs{1, 2, 3, 4};
+  std::vector<Window> ws;
+  for (int i = 0; i < 5; ++i) {
+    auto w = build_window(
+        a, inputs,
+        {CheckItem{a.po(0), a.po(1), static_cast<std::uint32_t>(i)}});
+    ASSERT_TRUE(w);
+    ws.push_back(std::move(*w));
+  }
+  MergeStats stats;
+  auto merged = merge_windows(a, std::move(ws), 4, &stats);
+  EXPECT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].items.size(), 5u);
+  EXPECT_EQ(stats.windows_before, 5u);
+  EXPECT_EQ(stats.windows_after, 1u);
+  EXPECT_LT(stats.sim_nodes_after, stats.sim_nodes_before);
+}
+
+TEST(WindowMerge, RespectsKs) {
+  // Windows over disjoint PI sets: merging all would need 4 inputs.
+  Aig a(4);
+  const Lit g1 = a.add_and(a.pi_lit(0), a.pi_lit(1));
+  const Lit g2 = a.add_and(a.pi_lit(2), a.pi_lit(3));
+  a.add_po(g1);
+  a.add_po(g2);
+  std::vector<Window> ws;
+  auto w1 = build_window(a, {1, 2}, {CheckItem{g1, aig::kLitFalse, 0}});
+  auto w2 = build_window(a, {3, 4}, {CheckItem{g2, aig::kLitFalse, 1}});
+  ws.push_back(std::move(*w1));
+  ws.push_back(std::move(*w2));
+  // k_s = 3 forbids the merge; k_s = 4 allows it.
+  auto kept = merge_windows(a, ws, 3);
+  EXPECT_EQ(kept.size(), 2u);
+  auto merged = merge_windows(a, std::move(ws), 4);
+  EXPECT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].num_inputs(), 4u);
+}
+
+TEST(WindowMerge, PaperExampleGrouping) {
+  // Paper §III-B3: inputs {a,b}, {a,b,c}, {a,c}, {a,e}, {a,f} with k_s=3:
+  // the first three merge, the last two merge.
+  Aig a(6);  // PIs: a=1 b=2 c=3 e=4 f=5 (plus one spare)
+  // Build tiny cones so each window is valid over its stated inputs.
+  auto mk = [&](std::vector<Var> ins, std::uint32_t tag) {
+    aig::Lit g = aig::kLitTrue;
+    for (Var v : ins) g = a.add_and(g, aig::make_lit(v));
+    auto w = build_window(a, std::move(ins),
+                          {CheckItem{g, aig::kLitFalse, tag}});
+    EXPECT_TRUE(w.has_value());
+    return std::move(*w);
+  };
+  std::vector<Window> ws;
+  ws.push_back(mk({1, 2}, 0));
+  ws.push_back(mk({1, 2, 3}, 1));
+  ws.push_back(mk({1, 3}, 2));
+  ws.push_back(mk({1, 4}, 3));
+  ws.push_back(mk({1, 5}, 4));
+  auto merged = merge_windows(a, std::move(ws), 3);
+  ASSERT_EQ(merged.size(), 2u);
+  // Lexicographic order puts {1,2} {1,2,3} {1,3} first then {1,4} {1,5}.
+  EXPECT_EQ(merged[0].inputs, (std::vector<Var>{1, 2, 3}));
+  EXPECT_EQ(merged[0].items.size(), 3u);
+  EXPECT_EQ(merged[1].inputs, (std::vector<Var>{1, 4, 5}));
+  EXPECT_EQ(merged[1].items.size(), 2u);
+}
+
+}  // namespace
+}  // namespace simsweep::window
