@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_window_merge.dir/bench_window_merge.cpp.o"
+  "CMakeFiles/bench_window_merge.dir/bench_window_merge.cpp.o.d"
+  "bench_window_merge"
+  "bench_window_merge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_window_merge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

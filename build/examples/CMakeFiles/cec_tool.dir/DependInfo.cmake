@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/cec_tool.cpp" "examples/CMakeFiles/cec_tool.dir/cec_tool.cpp.o" "gcc" "examples/CMakeFiles/cec_tool.dir/cec_tool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/simsweep_portfolio.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simsweep_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simsweep_sweep.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simsweep_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simsweep_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simsweep_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simsweep_cut.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simsweep_exhaustive.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simsweep_window.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simsweep_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simsweep_cnf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simsweep_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simsweep_aig.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simsweep_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simsweep_tt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simsweep_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cec_tool.dir/cec_tool.cpp.o"
+  "CMakeFiles/cec_tool.dir/cec_tool.cpp.o.d"
+  "cec_tool"
+  "cec_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cec_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_anatomy.dir/engine_anatomy.cpp.o"
+  "CMakeFiles/engine_anatomy.dir/engine_anatomy.cpp.o.d"
+  "engine_anatomy"
+  "engine_anatomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_anatomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

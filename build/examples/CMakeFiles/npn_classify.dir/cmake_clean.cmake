@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/npn_classify.dir/npn_classify.cpp.o"
+  "CMakeFiles/npn_classify.dir/npn_classify.cpp.o.d"
+  "npn_classify"
+  "npn_classify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/npn_classify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/aig/aig.cpp" "src/CMakeFiles/simsweep_aig.dir/aig/aig.cpp.o" "gcc" "src/CMakeFiles/simsweep_aig.dir/aig/aig.cpp.o.d"
+  "/root/repo/src/aig/aig_analysis.cpp" "src/CMakeFiles/simsweep_aig.dir/aig/aig_analysis.cpp.o" "gcc" "src/CMakeFiles/simsweep_aig.dir/aig/aig_analysis.cpp.o.d"
+  "/root/repo/src/aig/aig_io.cpp" "src/CMakeFiles/simsweep_aig.dir/aig/aig_io.cpp.o" "gcc" "src/CMakeFiles/simsweep_aig.dir/aig/aig_io.cpp.o.d"
+  "/root/repo/src/aig/aig_utils.cpp" "src/CMakeFiles/simsweep_aig.dir/aig/aig_utils.cpp.o" "gcc" "src/CMakeFiles/simsweep_aig.dir/aig/aig_utils.cpp.o.d"
+  "/root/repo/src/aig/cex.cpp" "src/CMakeFiles/simsweep_aig.dir/aig/cex.cpp.o" "gcc" "src/CMakeFiles/simsweep_aig.dir/aig/cex.cpp.o.d"
+  "/root/repo/src/aig/miter.cpp" "src/CMakeFiles/simsweep_aig.dir/aig/miter.cpp.o" "gcc" "src/CMakeFiles/simsweep_aig.dir/aig/miter.cpp.o.d"
+  "/root/repo/src/aig/rebuild.cpp" "src/CMakeFiles/simsweep_aig.dir/aig/rebuild.cpp.o" "gcc" "src/CMakeFiles/simsweep_aig.dir/aig/rebuild.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/simsweep_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simsweep_tt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simsweep_aig.dir/aig/aig.cpp.o"
+  "CMakeFiles/simsweep_aig.dir/aig/aig.cpp.o.d"
+  "CMakeFiles/simsweep_aig.dir/aig/aig_analysis.cpp.o"
+  "CMakeFiles/simsweep_aig.dir/aig/aig_analysis.cpp.o.d"
+  "CMakeFiles/simsweep_aig.dir/aig/aig_io.cpp.o"
+  "CMakeFiles/simsweep_aig.dir/aig/aig_io.cpp.o.d"
+  "CMakeFiles/simsweep_aig.dir/aig/aig_utils.cpp.o"
+  "CMakeFiles/simsweep_aig.dir/aig/aig_utils.cpp.o.d"
+  "CMakeFiles/simsweep_aig.dir/aig/cex.cpp.o"
+  "CMakeFiles/simsweep_aig.dir/aig/cex.cpp.o.d"
+  "CMakeFiles/simsweep_aig.dir/aig/miter.cpp.o"
+  "CMakeFiles/simsweep_aig.dir/aig/miter.cpp.o.d"
+  "CMakeFiles/simsweep_aig.dir/aig/rebuild.cpp.o"
+  "CMakeFiles/simsweep_aig.dir/aig/rebuild.cpp.o.d"
+  "libsimsweep_aig.a"
+  "libsimsweep_aig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simsweep_aig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simsweep_bdd.dir/bdd/bdd.cpp.o"
+  "CMakeFiles/simsweep_bdd.dir/bdd/bdd.cpp.o.d"
+  "CMakeFiles/simsweep_bdd.dir/bdd/bdd_cec.cpp.o"
+  "CMakeFiles/simsweep_bdd.dir/bdd/bdd_cec.cpp.o.d"
+  "CMakeFiles/simsweep_bdd.dir/bdd/bdd_sweep.cpp.o"
+  "CMakeFiles/simsweep_bdd.dir/bdd/bdd_sweep.cpp.o.d"
+  "libsimsweep_bdd.a"
+  "libsimsweep_bdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simsweep_bdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

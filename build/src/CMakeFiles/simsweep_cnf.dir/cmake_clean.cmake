@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simsweep_cnf.dir/cnf/tseitin.cpp.o"
+  "CMakeFiles/simsweep_cnf.dir/cnf/tseitin.cpp.o.d"
+  "libsimsweep_cnf.a"
+  "libsimsweep_cnf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simsweep_cnf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simsweep_common.dir/common/log.cpp.o"
+  "CMakeFiles/simsweep_common.dir/common/log.cpp.o.d"
+  "CMakeFiles/simsweep_common.dir/common/random.cpp.o"
+  "CMakeFiles/simsweep_common.dir/common/random.cpp.o.d"
+  "CMakeFiles/simsweep_common.dir/common/timer.cpp.o"
+  "CMakeFiles/simsweep_common.dir/common/timer.cpp.o.d"
+  "libsimsweep_common.a"
+  "libsimsweep_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simsweep_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

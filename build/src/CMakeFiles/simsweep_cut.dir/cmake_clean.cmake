@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simsweep_cut.dir/cut/checking_pass.cpp.o"
+  "CMakeFiles/simsweep_cut.dir/cut/checking_pass.cpp.o.d"
+  "CMakeFiles/simsweep_cut.dir/cut/common_cuts.cpp.o"
+  "CMakeFiles/simsweep_cut.dir/cut/common_cuts.cpp.o.d"
+  "CMakeFiles/simsweep_cut.dir/cut/cut_enum.cpp.o"
+  "CMakeFiles/simsweep_cut.dir/cut/cut_enum.cpp.o.d"
+  "CMakeFiles/simsweep_cut.dir/cut/cut_set.cpp.o"
+  "CMakeFiles/simsweep_cut.dir/cut/cut_set.cpp.o.d"
+  "libsimsweep_cut.a"
+  "libsimsweep_cut.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simsweep_cut.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for simsweep_cut.
+# This may be replaced when dependencies are built.

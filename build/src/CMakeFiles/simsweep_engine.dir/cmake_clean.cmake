@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simsweep_engine.dir/engine/engine.cpp.o"
+  "CMakeFiles/simsweep_engine.dir/engine/engine.cpp.o.d"
+  "CMakeFiles/simsweep_engine.dir/engine/phase_global.cpp.o"
+  "CMakeFiles/simsweep_engine.dir/engine/phase_global.cpp.o.d"
+  "CMakeFiles/simsweep_engine.dir/engine/phase_local.cpp.o"
+  "CMakeFiles/simsweep_engine.dir/engine/phase_local.cpp.o.d"
+  "CMakeFiles/simsweep_engine.dir/engine/phase_po.cpp.o"
+  "CMakeFiles/simsweep_engine.dir/engine/phase_po.cpp.o.d"
+  "libsimsweep_engine.a"
+  "libsimsweep_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simsweep_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

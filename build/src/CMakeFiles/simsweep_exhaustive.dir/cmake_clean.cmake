@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simsweep_exhaustive.dir/exhaustive/exhaustive_sim.cpp.o"
+  "CMakeFiles/simsweep_exhaustive.dir/exhaustive/exhaustive_sim.cpp.o.d"
+  "libsimsweep_exhaustive.a"
+  "libsimsweep_exhaustive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simsweep_exhaustive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

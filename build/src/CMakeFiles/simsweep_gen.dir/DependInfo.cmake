@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gen/arith.cpp" "src/CMakeFiles/simsweep_gen.dir/gen/arith.cpp.o" "gcc" "src/CMakeFiles/simsweep_gen.dir/gen/arith.cpp.o.d"
+  "/root/repo/src/gen/arith2.cpp" "src/CMakeFiles/simsweep_gen.dir/gen/arith2.cpp.o" "gcc" "src/CMakeFiles/simsweep_gen.dir/gen/arith2.cpp.o.d"
+  "/root/repo/src/gen/control.cpp" "src/CMakeFiles/simsweep_gen.dir/gen/control.cpp.o" "gcc" "src/CMakeFiles/simsweep_gen.dir/gen/control.cpp.o.d"
+  "/root/repo/src/gen/suite.cpp" "src/CMakeFiles/simsweep_gen.dir/gen/suite.cpp.o" "gcc" "src/CMakeFiles/simsweep_gen.dir/gen/suite.cpp.o.d"
+  "/root/repo/src/gen/transforms.cpp" "src/CMakeFiles/simsweep_gen.dir/gen/transforms.cpp.o" "gcc" "src/CMakeFiles/simsweep_gen.dir/gen/transforms.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/simsweep_aig.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simsweep_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simsweep_cut.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simsweep_exhaustive.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simsweep_window.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simsweep_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simsweep_tt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simsweep_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simsweep_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simsweep_gen.dir/gen/arith.cpp.o"
+  "CMakeFiles/simsweep_gen.dir/gen/arith.cpp.o.d"
+  "CMakeFiles/simsweep_gen.dir/gen/arith2.cpp.o"
+  "CMakeFiles/simsweep_gen.dir/gen/arith2.cpp.o.d"
+  "CMakeFiles/simsweep_gen.dir/gen/control.cpp.o"
+  "CMakeFiles/simsweep_gen.dir/gen/control.cpp.o.d"
+  "CMakeFiles/simsweep_gen.dir/gen/suite.cpp.o"
+  "CMakeFiles/simsweep_gen.dir/gen/suite.cpp.o.d"
+  "CMakeFiles/simsweep_gen.dir/gen/transforms.cpp.o"
+  "CMakeFiles/simsweep_gen.dir/gen/transforms.cpp.o.d"
+  "libsimsweep_gen.a"
+  "libsimsweep_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simsweep_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/balance.cpp" "src/CMakeFiles/simsweep_opt.dir/opt/balance.cpp.o" "gcc" "src/CMakeFiles/simsweep_opt.dir/opt/balance.cpp.o.d"
+  "/root/repo/src/opt/exact3.cpp" "src/CMakeFiles/simsweep_opt.dir/opt/exact3.cpp.o" "gcc" "src/CMakeFiles/simsweep_opt.dir/opt/exact3.cpp.o.d"
+  "/root/repo/src/opt/isop.cpp" "src/CMakeFiles/simsweep_opt.dir/opt/isop.cpp.o" "gcc" "src/CMakeFiles/simsweep_opt.dir/opt/isop.cpp.o.d"
+  "/root/repo/src/opt/refactor.cpp" "src/CMakeFiles/simsweep_opt.dir/opt/refactor.cpp.o" "gcc" "src/CMakeFiles/simsweep_opt.dir/opt/refactor.cpp.o.d"
+  "/root/repo/src/opt/resyn.cpp" "src/CMakeFiles/simsweep_opt.dir/opt/resyn.cpp.o" "gcc" "src/CMakeFiles/simsweep_opt.dir/opt/resyn.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/simsweep_aig.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simsweep_cut.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simsweep_exhaustive.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simsweep_window.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simsweep_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simsweep_tt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simsweep_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simsweep_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simsweep_opt.dir/opt/balance.cpp.o"
+  "CMakeFiles/simsweep_opt.dir/opt/balance.cpp.o.d"
+  "CMakeFiles/simsweep_opt.dir/opt/exact3.cpp.o"
+  "CMakeFiles/simsweep_opt.dir/opt/exact3.cpp.o.d"
+  "CMakeFiles/simsweep_opt.dir/opt/isop.cpp.o"
+  "CMakeFiles/simsweep_opt.dir/opt/isop.cpp.o.d"
+  "CMakeFiles/simsweep_opt.dir/opt/refactor.cpp.o"
+  "CMakeFiles/simsweep_opt.dir/opt/refactor.cpp.o.d"
+  "CMakeFiles/simsweep_opt.dir/opt/resyn.cpp.o"
+  "CMakeFiles/simsweep_opt.dir/opt/resyn.cpp.o.d"
+  "libsimsweep_opt.a"
+  "libsimsweep_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simsweep_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

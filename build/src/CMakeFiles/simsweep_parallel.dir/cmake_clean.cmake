@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simsweep_parallel.dir/parallel/thread_pool.cpp.o"
+  "CMakeFiles/simsweep_parallel.dir/parallel/thread_pool.cpp.o.d"
+  "libsimsweep_parallel.a"
+  "libsimsweep_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simsweep_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

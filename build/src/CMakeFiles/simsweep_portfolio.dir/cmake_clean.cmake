@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simsweep_portfolio.dir/portfolio/portfolio.cpp.o"
+  "CMakeFiles/simsweep_portfolio.dir/portfolio/portfolio.cpp.o.d"
+  "libsimsweep_portfolio.a"
+  "libsimsweep_portfolio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simsweep_portfolio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

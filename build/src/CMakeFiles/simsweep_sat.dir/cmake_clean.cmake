@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simsweep_sat.dir/sat/dimacs.cpp.o"
+  "CMakeFiles/simsweep_sat.dir/sat/dimacs.cpp.o.d"
+  "CMakeFiles/simsweep_sat.dir/sat/solver.cpp.o"
+  "CMakeFiles/simsweep_sat.dir/sat/solver.cpp.o.d"
+  "libsimsweep_sat.a"
+  "libsimsweep_sat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simsweep_sat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

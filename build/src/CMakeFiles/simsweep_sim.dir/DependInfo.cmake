@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/ec_manager.cpp" "src/CMakeFiles/simsweep_sim.dir/sim/ec_manager.cpp.o" "gcc" "src/CMakeFiles/simsweep_sim.dir/sim/ec_manager.cpp.o.d"
+  "/root/repo/src/sim/partial_sim.cpp" "src/CMakeFiles/simsweep_sim.dir/sim/partial_sim.cpp.o" "gcc" "src/CMakeFiles/simsweep_sim.dir/sim/partial_sim.cpp.o.d"
+  "/root/repo/src/sim/quality_patterns.cpp" "src/CMakeFiles/simsweep_sim.dir/sim/quality_patterns.cpp.o" "gcc" "src/CMakeFiles/simsweep_sim.dir/sim/quality_patterns.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/simsweep_aig.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simsweep_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simsweep_tt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simsweep_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simsweep_sim.dir/sim/ec_manager.cpp.o"
+  "CMakeFiles/simsweep_sim.dir/sim/ec_manager.cpp.o.d"
+  "CMakeFiles/simsweep_sim.dir/sim/partial_sim.cpp.o"
+  "CMakeFiles/simsweep_sim.dir/sim/partial_sim.cpp.o.d"
+  "CMakeFiles/simsweep_sim.dir/sim/quality_patterns.cpp.o"
+  "CMakeFiles/simsweep_sim.dir/sim/quality_patterns.cpp.o.d"
+  "libsimsweep_sim.a"
+  "libsimsweep_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simsweep_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

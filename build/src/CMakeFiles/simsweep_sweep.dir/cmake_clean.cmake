@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simsweep_sweep.dir/sweep/sat_sweeper.cpp.o"
+  "CMakeFiles/simsweep_sweep.dir/sweep/sat_sweeper.cpp.o.d"
+  "libsimsweep_sweep.a"
+  "libsimsweep_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simsweep_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

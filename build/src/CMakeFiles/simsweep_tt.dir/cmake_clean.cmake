@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simsweep_tt.dir/tt/npn.cpp.o"
+  "CMakeFiles/simsweep_tt.dir/tt/npn.cpp.o.d"
+  "CMakeFiles/simsweep_tt.dir/tt/truth_table.cpp.o"
+  "CMakeFiles/simsweep_tt.dir/tt/truth_table.cpp.o.d"
+  "libsimsweep_tt.a"
+  "libsimsweep_tt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simsweep_tt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

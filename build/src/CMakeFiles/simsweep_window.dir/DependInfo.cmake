@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/window/window.cpp" "src/CMakeFiles/simsweep_window.dir/window/window.cpp.o" "gcc" "src/CMakeFiles/simsweep_window.dir/window/window.cpp.o.d"
+  "/root/repo/src/window/window_merge.cpp" "src/CMakeFiles/simsweep_window.dir/window/window_merge.cpp.o" "gcc" "src/CMakeFiles/simsweep_window.dir/window/window_merge.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/simsweep_aig.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simsweep_tt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simsweep_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

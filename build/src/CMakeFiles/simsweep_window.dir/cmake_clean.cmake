@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simsweep_window.dir/window/window.cpp.o"
+  "CMakeFiles/simsweep_window.dir/window/window.cpp.o.d"
+  "CMakeFiles/simsweep_window.dir/window/window_merge.cpp.o"
+  "CMakeFiles/simsweep_window.dir/window/window_merge.cpp.o.d"
+  "libsimsweep_window.a"
+  "libsimsweep_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simsweep_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

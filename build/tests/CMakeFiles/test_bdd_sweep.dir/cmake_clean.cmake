@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bdd_sweep.dir/test_bdd_sweep.cpp.o"
+  "CMakeFiles/test_bdd_sweep.dir/test_bdd_sweep.cpp.o.d"
+  "test_bdd_sweep"
+  "test_bdd_sweep.pdb"
+  "test_bdd_sweep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bdd_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cex.dir/test_cex.cpp.o"
+  "CMakeFiles/test_cex.dir/test_cex.cpp.o.d"
+  "test_cex"
+  "test_cex.pdb"
+  "test_cex[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cnf_sweep.dir/test_cnf_sweep.cpp.o"
+  "CMakeFiles/test_cnf_sweep.dir/test_cnf_sweep.cpp.o.d"
+  "test_cnf_sweep"
+  "test_cnf_sweep.pdb"
+  "test_cnf_sweep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cnf_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

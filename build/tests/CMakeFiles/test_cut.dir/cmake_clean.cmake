@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cut.dir/test_cut.cpp.o"
+  "CMakeFiles/test_cut.dir/test_cut.cpp.o.d"
+  "test_cut"
+  "test_cut.pdb"
+  "test_cut[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cut.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

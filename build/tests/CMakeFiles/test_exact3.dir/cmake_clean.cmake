@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_exact3.dir/test_exact3.cpp.o"
+  "CMakeFiles/test_exact3.dir/test_exact3.cpp.o.d"
+  "test_exact3"
+  "test_exact3.pdb"
+  "test_exact3[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_exact3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

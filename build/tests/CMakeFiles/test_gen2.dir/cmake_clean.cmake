@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gen2.dir/test_gen2.cpp.o"
+  "CMakeFiles/test_gen2.dir/test_gen2.cpp.o.d"
+  "test_gen2"
+  "test_gen2.pdb"
+  "test_gen2[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gen2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

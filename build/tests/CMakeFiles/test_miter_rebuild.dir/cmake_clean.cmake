@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_miter_rebuild.dir/test_miter_rebuild.cpp.o"
+  "CMakeFiles/test_miter_rebuild.dir/test_miter_rebuild.cpp.o.d"
+  "test_miter_rebuild"
+  "test_miter_rebuild.pdb"
+  "test_miter_rebuild[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_miter_rebuild.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_miter_rebuild.
+# This may be replaced when dependencies are built.

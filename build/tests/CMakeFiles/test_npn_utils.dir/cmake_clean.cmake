@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_npn_utils.dir/test_npn_utils.cpp.o"
+  "CMakeFiles/test_npn_utils.dir/test_npn_utils.cpp.o.d"
+  "test_npn_utils"
+  "test_npn_utils.pdb"
+  "test_npn_utils[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_npn_utils.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_quality_patterns.dir/test_quality_patterns.cpp.o"
+  "CMakeFiles/test_quality_patterns.dir/test_quality_patterns.cpp.o.d"
+  "test_quality_patterns"
+  "test_quality_patterns.pdb"
+  "test_quality_patterns[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_quality_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

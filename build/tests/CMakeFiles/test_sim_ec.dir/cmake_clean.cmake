@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_ec.dir/test_sim_ec.cpp.o"
+  "CMakeFiles/test_sim_ec.dir/test_sim_ec.cpp.o.d"
+  "test_sim_ec"
+  "test_sim_ec.pdb"
+  "test_sim_ec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_ec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tt.dir/test_tt.cpp.o"
+  "CMakeFiles/test_tt.dir/test_tt.cpp.o.d"
+  "test_tt"
+  "test_tt.pdb"
+  "test_tt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_tt[1]_include.cmake")
+include("/root/repo/build/tests/test_aig[1]_include.cmake")
+include("/root/repo/build/tests/test_aig_io[1]_include.cmake")
+include("/root/repo/build/tests/test_miter_rebuild[1]_include.cmake")
+include("/root/repo/build/tests/test_parallel[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_ec[1]_include.cmake")
+include("/root/repo/build/tests/test_window[1]_include.cmake")
+include("/root/repo/build/tests/test_exhaustive[1]_include.cmake")
+include("/root/repo/build/tests/test_cut[1]_include.cmake")
+include("/root/repo/build/tests/test_sat[1]_include.cmake")
+include("/root/repo/build/tests/test_cnf_sweep[1]_include.cmake")
+include("/root/repo/build/tests/test_bdd[1]_include.cmake")
+include("/root/repo/build/tests/test_opt[1]_include.cmake")
+include("/root/repo/build/tests/test_gen[1]_include.cmake")
+include("/root/repo/build/tests/test_engine[1]_include.cmake")
+include("/root/repo/build/tests/test_portfolio[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_gen2[1]_include.cmake")
+include("/root/repo/build/tests/test_npn_utils[1]_include.cmake")
+include("/root/repo/build/tests/test_quality_patterns[1]_include.cmake")
+include("/root/repo/build/tests/test_bdd_sweep[1]_include.cmake")
+include("/root/repo/build/tests/test_cex[1]_include.cmake")
+include("/root/repo/build/tests/test_exact3[1]_include.cmake")
+include("/root/repo/build/tests/test_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_determinism[1]_include.cmake")
