@@ -2,8 +2,21 @@
 /// \brief Microbenchmarks of the exhaustive simulator (paper Alg. 1):
 /// throughput versus support size, batch size, memory budget (round
 /// decomposition) and window merging.
+///
+/// Besides the google-benchmark suite, the binary has a JSON emitter mode
+/// (`--json FILE [--smoke]`) that measures the two canonical parallelism
+/// shapes of paper Fig. 3 — many small windows (window-dimension
+/// parallelism) and few large windows (level-batch dimension) — and writes
+/// words-simulated/sec plus wall time per config, so the perf trajectory of
+/// the simulator is tracked in CI (`ctest -L bench`, target `bench_smoke`).
 
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "aig/aig_analysis.hpp"
 #include "aig/miter.hpp"
@@ -30,6 +43,33 @@ std::vector<window::Window> po_windows(const aig::Aig& miter,
     if (w) out.push_back(std::move(*w));
   }
   return out;
+}
+
+/// `copies` independent XOR-tree circuits over `width` PIs each: the
+/// many-small-windows shape (third parallelism dimension of paper Fig. 3).
+aig::Aig xor_forest(unsigned copies, unsigned width) {
+  aig::Aig a(copies * width);
+  for (unsigned c = 0; c < copies; ++c) {
+    aig::Lit acc = a.pi_lit(width * c);
+    for (unsigned i = 1; i < width; ++i)
+      acc = a.add_xor(acc, a.pi_lit(width * c + i));
+    a.add_po(acc);
+  }
+  return a;
+}
+
+std::vector<window::Window> xor_forest_windows(const aig::Aig& a,
+                                               unsigned width) {
+  const auto supports = aig::compute_supports(a, width);
+  std::vector<window::Window> windows;
+  for (std::size_t i = 0; i < a.num_pos(); ++i) {
+    auto w = window::build_window(
+        a, supports.sets[aig::lit_var(a.po(i))],
+        {window::CheckItem{a.po(i), a.po(i),
+                           static_cast<std::uint32_t>(i)}});
+    windows.push_back(std::move(*w));
+  }
+  return windows;
 }
 
 /// Throughput of exhaustive PO checking vs adder width (support = 2n).
@@ -85,22 +125,8 @@ BENCHMARK(BM_WindowMerging)->Arg(0)->Arg(1);
 /// dimension of paper Fig. 3).
 void BM_ExhaustiveBatchSize(benchmark::State& state) {
   const unsigned copies = static_cast<unsigned>(state.range(0));
-  aig::Aig a(8 * copies);
-  for (unsigned c = 0; c < copies; ++c) {
-    aig::Lit acc = a.pi_lit(8 * c);
-    for (unsigned i = 1; i < 8; ++i)
-      acc = a.add_xor(acc, a.pi_lit(8 * c + i));
-    a.add_po(acc);
-  }
-  const auto supports = aig::compute_supports(a, 8);
-  std::vector<window::Window> windows;
-  for (std::size_t i = 0; i < a.num_pos(); ++i) {
-    const aig::Var v = aig::lit_var(a.po(i));
-    auto w = window::build_window(
-        a, supports.sets[v],
-        {window::CheckItem{a.po(i), a.po(i), static_cast<std::uint32_t>(i)}});
-    windows.push_back(std::move(*w));
-  }
+  const aig::Aig a = xor_forest(copies, 8);
+  const auto windows = xor_forest_windows(a, 8);
   for (auto _ : state) {
     const auto r = exhaustive::check_batch(a, windows, {});
     benchmark::DoNotOptimize(r.outcomes.data());
@@ -110,4 +136,132 @@ void BM_ExhaustiveBatchSize(benchmark::State& state) {
 }
 BENCHMARK(BM_ExhaustiveBatchSize)->RangeMultiplier(4)->Range(4, 256);
 
+// ---------------------------------------------------------------------------
+// JSON emitter (--json FILE [--smoke]): fixed configs, stable metric.
+// ---------------------------------------------------------------------------
+
+struct JsonRow {
+  std::string name;
+  std::size_t windows = 0;
+  std::size_t reps = 0;
+  double wall_seconds = 0.0;
+  std::size_t words_simulated = 0;
+  double words_per_sec = 0.0;
+  std::size_t rounds = 0;
+  std::size_t entry_words = 0;
+};
+
+JsonRow measure(const char* name, const aig::Aig& a,
+                const std::vector<window::Window>& windows,
+                std::size_t min_reps, double min_seconds) {
+  JsonRow row;
+  row.name = name;
+  row.windows = windows.size();
+  // Warm-up rep (first-touch page faults, cache fill).
+  (void)exhaustive::check_batch(a, windows, {});
+  const auto start = std::chrono::steady_clock::now();
+  double elapsed = 0.0;
+  do {
+    const auto r = exhaustive::check_batch(a, windows, {});
+    benchmark::DoNotOptimize(r.outcomes.data());
+    row.words_simulated += r.words_simulated;
+    row.rounds = r.rounds;
+    row.entry_words = r.entry_words;
+    ++row.reps;
+    elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            start)
+                  .count();
+  } while (row.reps < min_reps || elapsed < min_seconds);
+  row.wall_seconds = elapsed;
+  row.words_per_sec =
+      static_cast<double>(row.words_simulated) / row.wall_seconds;
+  return row;
+}
+
+int run_json(const char* path, bool smoke) {
+  std::vector<JsonRow> rows;
+
+  // Config 1: many small windows. 128 independent 10-input XOR trees; the
+  // adaptive simulator should pick window-dimension parallelism (each
+  // worker sweeps whole windows serially, zero cross-window barriers).
+  {
+    const aig::Aig a = xor_forest(128, 10);
+    const auto windows = xor_forest_windows(a, 10);
+    rows.push_back(measure("many_small_windows", a, windows,
+                           smoke ? 3 : 20, smoke ? 0.2 : 2.0));
+  }
+
+  // Config 2: few large windows. PO checks of a 9-bit ripple-vs-Kogge-Stone
+  // adder miter: ~11 windows with up to 19 inputs (8192-word tables) and
+  // deep level structure — the level-batch parallelism dimension, decomposed
+  // into multiple rounds by the memory cap.
+  {
+    const aig::Aig m = aig::make_miter(gen::ripple_adder(9),
+                                       gen::kogge_stone_adder(9));
+    const auto windows = po_windows(m, 19);
+    rows.push_back(measure("few_large_windows", m, windows,
+                           smoke ? 2 : 5, smoke ? 0.2 : 2.0));
+  }
+
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_exhaustive: cannot open %s for writing\n",
+                 path);
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"bench_exhaustive\",\n");
+  std::fprintf(f, "  \"mode\": \"%s\",\n  \"configs\": [\n",
+               smoke ? "smoke" : "full");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const JsonRow& r = rows[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"windows\": %zu, \"reps\": %zu, "
+                 "\"wall_seconds\": %.6f, \"words_simulated\": %zu, "
+                 "\"words_per_sec\": %.3e, \"rounds\": %zu, "
+                 "\"entry_words\": %zu}%s\n",
+                 r.name.c_str(), r.windows, r.reps, r.wall_seconds,
+                 r.words_simulated, r.words_per_sec, r.rounds, r.entry_words,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  if (std::ferror(f) != 0 || std::fclose(f) != 0) {
+    std::fprintf(stderr, "bench_exhaustive: write to %s failed\n", path);
+    return 1;
+  }
+
+  for (const JsonRow& r : rows)
+    std::printf("%-22s %8zu reps  %9.3f s  %.3e words/sec\n", r.name.c_str(),
+                r.reps, r.wall_seconds, r.words_per_sec);
+  std::printf("wrote %s\n", path);
+  return 0;
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  const char* json_path = nullptr;
+  bool smoke = false;
+  std::vector<char*> rest;
+  rest.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --json requires an output path\n");
+        return 1;
+      }
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      rest.push_back(argv[i]);
+    }
+  }
+  if (json_path != nullptr) return run_json(json_path, smoke);
+  int rest_argc = static_cast<int>(rest.size());
+  benchmark::Initialize(&rest_argc, rest.data());
+  if (benchmark::ReportUnrecognizedArguments(rest_argc, rest.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

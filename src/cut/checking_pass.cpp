@@ -29,16 +29,19 @@ void flush_buffer(const aig::Aig& aig, const std::vector<PairTask>& tasks,
 
   // Build one single-item window per buffered cut, in parallel.
   std::vector<std::optional<window::Window>> built(buffer.size());
-  parallel::parallel_for(0, buffer.size(), [&](std::size_t i) {
-    const BufEntry& e = buffer[i];
-    if (proved[e.task]) return;
-    const PairTask& t = tasks[e.task];
-    std::vector<aig::Var> inputs(e.cut.leaves.begin(),
-                                 e.cut.leaves.begin() + e.cut.size);
-    window::CheckItem item{aig::make_lit(t.repr, t.phase),
-                           aig::make_lit(t.node), e.task};
-    built[i] = window::build_window(aig, std::move(inputs), {item});
-  });
+  parallel::parallel_for_chunks(
+      0, buffer.size(), [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          const BufEntry& e = buffer[i];
+          if (proved[e.task]) continue;
+          const PairTask& t = tasks[e.task];
+          std::vector<aig::Var> inputs(e.cut.leaves.begin(),
+                                       e.cut.leaves.begin() + e.cut.size);
+          window::CheckItem item{aig::make_lit(t.repr, t.phase),
+                                 aig::make_lit(t.node), e.task};
+          built[i] = window::build_window(aig, std::move(inputs), {item});
+        }
+      });
 
   std::vector<window::Window> windows;
   windows.reserve(buffer.size());
@@ -136,29 +139,41 @@ PassResult run_checking_pass(const aig::Aig& aig,
   std::vector<BufEntry> buffer;
   buffer.reserve(params.buffer_capacity);
 
+  const std::atomic<bool>* cancel = params.sim_params.cancel;
   for (std::uint32_t l = 1; l <= max_el; ++l) {
+    // A pass over a deep miter can spend a long time in this loop; honour
+    // the engine's cancellation between levels (proofs found so far stay
+    // valid — the caller just sees fewer of them).
+    if (cancel != nullptr && cancel->load(std::memory_order_relaxed))
+      return result;
     const std::size_t lo = offset[l], hi = offset[l + 1];
     if (lo == hi) continue;
 
     // Lines 9-10: parallel priority-cut computation for this level.
-    parallel::parallel_for(lo, hi, [&](std::size_t k) {
-      const aig::Var n = order[k];
-      const aig::Var r = repr_of[n];
-      const CutSet* sim_target =
-          (r != kNoRepr && r != 0) ? &pc.cuts(r) : nullptr;
-      pc.compute_node(n, scorer, sim_target);
+    parallel::parallel_for_chunks(lo, hi, [&](std::size_t clo,
+                                              std::size_t chi) {
+      for (std::size_t k = clo; k < chi; ++k) {
+        const aig::Var n = order[k];
+        const aig::Var r = repr_of[n];
+        const CutSet* sim_target =
+            (r != kNoRepr && r != 0) ? &pc.cuts(r) : nullptr;
+        pc.compute_node(n, scorer, sim_target);
+      }
     });
 
     // Lines 11-16: common cuts of this level's pairs into the buffer.
     // Generated in parallel, inserted sequentially (order is
     // deterministic: ascending node id within the level).
     std::vector<std::vector<Cut>> generated(hi - lo);
-    parallel::parallel_for(lo, hi, [&](std::size_t k) {
-      const aig::Var n = order[k];
-      const std::uint32_t t = task_of[n];
-      if (t == 0xFFFFFFFFu || result.proved[t]) return;
-      generated[k - lo] = common_cuts(pc, scorer, tasks[t].repr, n,
-                                      params.max_cuts_per_pair);
+    parallel::parallel_for_chunks(lo, hi, [&](std::size_t clo,
+                                              std::size_t chi) {
+      for (std::size_t k = clo; k < chi; ++k) {
+        const aig::Var n = order[k];
+        const std::uint32_t t = task_of[n];
+        if (t == 0xFFFFFFFFu || result.proved[t]) continue;
+        generated[k - lo] = common_cuts(pc, scorer, tasks[t].repr, n,
+                                        params.max_cuts_per_pair);
+      }
     });
     for (std::size_t k = lo; k < hi; ++k) {
       const auto& cuts = generated[k - lo];

@@ -20,6 +20,12 @@ EngineResult SimCecEngine::check_miter(aig::Aig miter) const {
   EngineParams effective = params_;
   if (params_.time_limit > 0 || params_.cancel != nullptr) {
     effective.cancel = &stop;
+    // Seed the folded flag synchronously: if the caller cancelled before
+    // the call, no phase may run at all (the watchdog alone would leave a
+    // 20 ms window in which a fast miter could still be decided).
+    if (params_.cancel != nullptr &&
+        params_.cancel->load(std::memory_order_relaxed))
+      stop.store(true, std::memory_order_relaxed);
     watchdog = std::thread([&] {
       while (!done.load(std::memory_order_relaxed)) {
         if (params_.cancel != nullptr &&
@@ -56,6 +62,12 @@ EngineResult SimCecEngine::check_miter(aig::Aig miter) const {
   if (aig::miter_disproved(ctx.miter)) return finish(Verdict::kNotEquivalent);
   if (aig::miter_proved(ctx.miter)) return finish(Verdict::kEquivalent);
 
+  auto cancelled = [&] {
+    return ctx.params.cancel != nullptr &&
+           ctx.params.cancel->load(std::memory_order_relaxed);
+  };
+  if (cancelled()) return finish(Verdict::kUndecided);
+
   // --- P phase: PO checking (paper §III-D). ---
   if (params_.enable_po_phase) {
     const bool ok = detail::run_po_phase(ctx);
@@ -66,10 +78,6 @@ EngineResult SimCecEngine::check_miter(aig::Aig miter) const {
     ctx.snapshots.emplace_back("P", ctx.miter);
   }
 
-  auto cancelled = [&] {
-    return ctx.params.cancel != nullptr &&
-           ctx.params.cancel->load(std::memory_order_relaxed);
-  };
   if (cancelled()) return finish(Verdict::kUndecided);
 
   // --- G phase: global function checking. ---

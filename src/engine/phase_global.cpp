@@ -66,14 +66,17 @@ std::size_t run_global_phase(EngineContext& ctx, unsigned k_g) {
 
     // Window per pair, built in parallel.
     std::vector<std::optional<window::Window>> built(eligible.size());
-    parallel::parallel_for(0, eligible.size(), [&](std::size_t i) {
-      const sim::CandidatePair& pair = eligible[i];
-      built[i] = window::build_window(
-          miter, inputs_of[i],
-          {window::CheckItem{aig::make_lit(pair.repr, pair.phase),
-                             aig::make_lit(pair.node),
-                             static_cast<std::uint32_t>(i)}});
-    });
+    parallel::parallel_for_chunks(
+        0, eligible.size(), [&](std::size_t lo, std::size_t hi) {
+          for (std::size_t i = lo; i < hi; ++i) {
+            const sim::CandidatePair& pair = eligible[i];
+            built[i] = window::build_window(
+                miter, inputs_of[i],
+                {window::CheckItem{aig::make_lit(pair.repr, pair.phase),
+                                   aig::make_lit(pair.node),
+                                   static_cast<std::uint32_t>(i)}});
+          }
+        });
     std::vector<window::Window> windows;
     windows.reserve(eligible.size());
     for (auto& w : built)

@@ -6,6 +6,7 @@
 #include <optional>
 
 #include "common/log.hpp"
+#include "common/word_kernels.hpp"
 #include "parallel/thread_pool.hpp"
 #include "tt/truth_table.hpp"
 
@@ -23,6 +24,60 @@ struct WinState {
   bool alive = true;         ///< still has undecided items
 };
 
+/// Simulates one window node into its slot row (word-dimension kernel).
+inline void sim_node(const window::WinNode& node, std::uint64_t* base,
+                     std::size_t out_slot, std::size_t E, std::size_t nw) {
+  std::uint64_t* out = base + out_slot * E;
+  const std::uint64_t c0 = node.compl0 ? ~std::uint64_t{0} : 0;
+  const std::uint64_t c1 = node.compl1 ? ~std::uint64_t{0} : 0;
+  if (node.slot0 == kSlotConst0) {
+    if (node.slot1 == kSlotConst0)
+      kernels::fill_words(out, c0 & c1, nw);
+    else
+      kernels::and1_words(out, c0, base + node.slot1 * E, c1, nw);
+  } else if (node.slot1 == kSlotConst0) {
+    kernels::and1_words(out, c1, base + node.slot0 * E, c0, nw);
+  } else {
+    kernels::and2_words(out, base + node.slot0 * E, c0,
+                        base + node.slot1 * E, c1, nw);
+  }
+}
+
+/// Compares one item's root segments over this round's nw words. Returns
+/// true on a mismatch and stores the global bit index (for CEX decoding).
+/// `mask` is the valid-bit mask for single-word tables, 0 otherwise.
+inline bool compare_item(const window::ItemSlots& s,
+                         const std::uint64_t* base, std::size_t E,
+                         std::size_t nw, std::uint64_t word0,
+                         std::uint64_t mask, std::uint64_t* mismatch_out) {
+  const std::uint64_t ca = s.compl_a ? ~std::uint64_t{0} : 0;
+  const std::uint64_t cb = s.compl_b ? ~std::uint64_t{0} : 0;
+  const std::uint64_t* pa =
+      s.slot_a == kSlotConst0 ? nullptr : base + s.slot_a * E;
+  const std::uint64_t* pb =
+      s.slot_b == kSlotConst0 ? nullptr : base + s.slot_b * E;
+  if (pa != nullptr && pb != nullptr && mask == 0) {
+    std::uint64_t diff = 0;
+    const std::size_t k = kernels::mismatch_words(pa, ca, pb, cb, nw, &diff);
+    if (k == nw) return false;
+    *mismatch_out = ((word0 + k) << 6) +
+                    static_cast<std::uint64_t>(std::countr_zero(diff));
+    return true;
+  }
+  for (std::size_t k = 0; k < nw; ++k) {
+    const std::uint64_t va = (pa != nullptr ? pa[k] : 0) ^ ca;
+    const std::uint64_t vb = (pb != nullptr ? pb[k] : 0) ^ cb;
+    std::uint64_t diff = va ^ vb;
+    if (mask != 0) diff &= mask;
+    if (diff != 0) {
+      *mismatch_out = ((word0 + k) << 6) +
+                      static_cast<std::uint64_t>(std::countr_zero(diff));
+      return true;
+    }
+  }
+  return false;
+}
+
 }  // namespace
 
 BatchResult check_batch(const aig::Aig& aig,
@@ -37,16 +92,24 @@ BatchResult check_batch(const aig::Aig& aig,
   std::size_t num_slots = 0;
   std::size_t max_tt = 0;
   std::size_t num_items = 0;
+  std::size_t total_nodes = 0;
+  std::size_t max_win_nodes = 0;
   for (std::size_t i = 0; i < windows.size(); ++i) {
     state[i].base = num_slots;
     state[i].tt_words = windows[i].tt_words();
     num_slots += windows[i].num_slots();
     max_tt = std::max(max_tt, state[i].tt_words);
     num_items += windows[i].items.size();
+    total_nodes += windows[i].nodes.size();
+    max_win_nodes = std::max(max_win_nodes, windows[i].nodes.size());
   }
   std::size_t entry = 1;
   while (entry * 2 * num_slots <= params.memory_words && entry * 2 <= max_tt)
     entry *= 2;
+  // Cache-residency clamp: a smaller table swept in more rounds beats a
+  // DRAM-resident one (pure perf; the outcomes are round-independent).
+  if (params.cache_words != 0)
+    while (entry > 1 && entry * num_slots > params.cache_words) entry /= 2;
   const std::size_t E = entry;
   const std::size_t rounds = (max_tt + E - 1) / E;
   result.entry_words = E;
@@ -63,124 +126,188 @@ BatchResult check_batch(const aig::Aig& aig,
   for (std::size_t i = 0; i < windows.size(); ++i)
     mismatch_bit[i].assign(windows[i].items.size(), 0);
 
-  // Flattened per-level work lists across all windows (computed once; the
-  // active filter is applied per round).
-  std::uint32_t max_levels = 0;
-  for (const Window& w : windows)
-    max_levels = std::max(max_levels, w.num_levels());
-  std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>> level_work(
-      max_levels + 1);
-  for (std::size_t wi = 0; wi < windows.size(); ++wi) {
-    const Window& w = windows[wi];
-    for (std::uint32_t l = 1; l <= w.num_levels(); ++l)
-      for (std::uint32_t n = w.level_offset[l - 1]; n < w.level_offset[l];
-           ++n)
-        level_work[l].emplace_back(static_cast<std::uint32_t>(wi), n);
+  // --- Parallelism-dimension choice (paper Fig. 3, adaptive). ---
+  parallel::ThreadPool& pool = parallel::ThreadPool::global();
+  const std::size_t P = pool.concurrency();
+  bool window_parallel = false;
+  switch (params.strategy) {
+    case Strategy::kWindowParallel:
+      window_parallel = true;
+      break;
+    case Strategy::kLevelStaged:
+      window_parallel = false;
+      break;
+    case Strategy::kAuto:
+      // Whole-window serial sweeps win whenever the windows themselves can
+      // load every execution context and no single window dominates the
+      // batch; with one context there are no barriers to amortize at all,
+      // so the serial sweep's locality always wins. Otherwise (few large
+      // windows) parallelize inside the windows, level batch by level
+      // batch, with the fused staged launch.
+      window_parallel =
+          P <= 1 || (windows.size() >= 2 * P &&
+                     max_win_nodes * 4 <= total_nodes);
+      break;
   }
+  result.window_parallel = window_parallel;
 
-  // --- Alg. 1 lines 5-14: multi-round simulation. ---
-  for (std::size_t r = 0; r < rounds; ++r) {
-    if (params.cancel != nullptr &&
-        params.cancel->load(std::memory_order_relaxed)) {
+  // Shared per-round kernels (both dimension choices use the same code).
+  auto project_window = [&](const Window& w, std::uint64_t* base,
+                            std::size_t r, std::size_t nw) {
+    const std::uint64_t word0 = r * E;
+    for (unsigned j = 0; j < w.num_inputs(); ++j) {
+      std::uint64_t* dst = base + j * E;
+      for (std::size_t k = 0; k < nw; ++k)
+        dst[k] = tt::projection_word(j, word0 + k);
+    }
+  };
+  auto compare_window = [&](std::size_t wi, std::size_t r, std::size_t nw) {
+    const Window& w = windows[wi];
+    const std::uint64_t* base = simt.data() + state[wi].base * E;
+    const std::uint64_t mask =
+        state[wi].tt_words == 1 ? tt::word_mask(w.num_inputs()) : 0;
+    bool all_decided = true;
+    for (std::size_t ii = 0; ii < w.items.size(); ++ii) {
+      if (decided[wi][ii]) continue;
+      if (compare_item(w.item_slots[ii], base, E, nw, r * E, mask,
+                       &mismatch_bit[wi][ii]))
+        decided[wi][ii] = 1;  // disproved
+      else
+        all_decided = false;
+    }
+    if (all_decided) state[wi].alive = false;  // skip remaining rounds
+  };
+  const auto cancel_fired = [&] {
+    return params.cancel != nullptr &&
+           params.cancel->load(std::memory_order_relaxed);
+  };
+
+  if (window_parallel) {
+    // --- Window dimension: every worker sweeps whole windows serially
+    // through their full level order AND all their rounds — zero
+    // cross-window barriers, maximal table locality. ---
+    std::vector<std::uint32_t> win_rounds(windows.size(), 0);
+    std::vector<std::size_t> win_words(windows.size(), 0);
+    parallel::parallel_for_chunks(
+        0, windows.size(), [&](std::size_t lo, std::size_t hi) {
+          for (std::size_t wi = lo; wi < hi; ++wi) {
+            const Window& w = windows[wi];
+            const std::size_t tt = state[wi].tt_words;
+            std::uint64_t* base = simt.data() + state[wi].base * E;
+            const unsigned in = w.num_inputs();
+            const std::size_t wrounds = (tt + E - 1) / E;
+            for (std::size_t r = 0; r < wrounds && state[wi].alive; ++r) {
+              if (cancel_fired()) return;  // abandon the chunk
+              const std::size_t nw = std::min(E, tt - r * E);
+              project_window(w, base, r, nw);
+              for (std::size_t ni = 0; ni < w.wnodes.size(); ++ni)
+                sim_node(w.wnodes[ni], base, in + ni, E, nw);
+              compare_window(wi, r, nw);
+              win_words[wi] += w.nodes.size() * nw;
+              win_rounds[wi] = r + 1;
+            }
+          }
+        });
+    if (cancel_fired()) {
       result.cancelled = true;
       return result;
     }
-    // Windows needing simulation this round (Alg. 1 line 6).
-    bool any_active = false;
     for (std::size_t wi = 0; wi < windows.size(); ++wi) {
-      const bool active = state[wi].alive && state[wi].tt_words > r * E;
-      state[wi].alive = state[wi].alive && active;
-      any_active |= active;
+      result.words_simulated += win_words[wi];
+      result.rounds = std::max<std::size_t>(result.rounds, win_rounds[wi]);
     }
-    if (!any_active) break;
+  } else {
+    // --- Level-batch dimension (Alg. 1 lines 5-14): each round's kernel
+    // sequence — input projection, level 1..L, root compare — is ONE
+    // fused staged launch; the per-level work lists are flattened across
+    // windows and chunks hoist per-window setup over runs of nodes. ---
+    std::uint32_t max_levels = 0;
+    for (const Window& w : windows)
+      max_levels = std::max(max_levels, w.num_levels());
+    std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>>
+        level_work(max_levels + 1);
+    for (std::size_t wi = 0; wi < windows.size(); ++wi) {
+      const Window& w = windows[wi];
+      for (std::uint32_t l = 1; l <= w.num_levels(); ++l)
+        for (std::uint32_t n = w.level_offset[l - 1]; n < w.level_offset[l];
+             ++n)
+          level_work[l].emplace_back(static_cast<std::uint32_t>(wi), n);
+    }
 
+    std::size_t cur_round = 0;
     auto words_this_round = [&](std::size_t wi) {
-      return std::min(E, state[wi].tt_words - r * E);
+      return std::min(E, state[wi].tt_words - cur_round * E);
     };
 
-    for (std::size_t wi = 0; wi < windows.size(); ++wi)
-      if (state[wi].alive)
-        result.words_simulated +=
-            windows[wi].nodes.size() * words_this_round(wi);
-
-    // Line 9: write projection-table segments for the inputs.
-    parallel::parallel_for(0, windows.size(), [&](std::size_t wi) {
-      if (!state[wi].alive) return;
-      const Window& w = windows[wi];
-      const std::size_t nw = words_this_round(wi);
-      for (unsigned j = 0; j < w.num_inputs(); ++j) {
-        std::uint64_t* dst = &simt[(state[wi].base + j) * E];
-        for (std::size_t k = 0; k < nw; ++k)
-          dst[k] = tt::projection_word(j, r * E + k);
-      }
-    });
-
-    // Lines 10-11: level-wise parallel node simulation.
+    // The plan is built once; every round re-runs it with cur_round
+    // rebound. Stage bodies see the current round through the captured
+    // references.
+    parallel::StagePlan plan;
+    plan.set_cancel(params.cancel);
+    plan.stage_chunks(0, windows.size(),
+                      [&](std::size_t lo, std::size_t hi) {
+                        for (std::size_t wi = lo; wi < hi; ++wi) {
+                          if (!state[wi].alive) continue;
+                          project_window(windows[wi],
+                                         simt.data() + state[wi].base * E,
+                                         cur_round, words_this_round(wi));
+                        }
+                      });
     for (std::uint32_t l = 1; l <= max_levels; ++l) {
-      const auto& work = level_work[l];
-      if (work.empty()) continue;
-      parallel::parallel_for(0, work.size(), [&](std::size_t t) {
-        const auto [wi, ni] = work[t];
-        if (!state[wi].alive) return;
-        const Window& w = windows[wi];
-        const std::size_t nw = words_this_round(wi);
-        const window::WinNode& node = w.wnodes[ni];
-        const std::size_t base = state[wi].base;
-        std::uint64_t* out = &simt[(base + w.num_inputs() + ni) * E];
-        const std::uint64_t c0 = node.compl0 ? ~std::uint64_t{0} : 0;
-        const std::uint64_t c1 = node.compl1 ? ~std::uint64_t{0} : 0;
-        if (node.slot0 == kSlotConst0 && node.slot1 == kSlotConst0) {
-          for (std::size_t k = 0; k < nw; ++k) out[k] = c0 & c1;
-        } else if (node.slot0 == kSlotConst0) {
-          const std::uint64_t* b = &simt[(base + node.slot1) * E];
-          for (std::size_t k = 0; k < nw; ++k) out[k] = c0 & (b[k] ^ c1);
-        } else if (node.slot1 == kSlotConst0) {
-          const std::uint64_t* a = &simt[(base + node.slot0) * E];
-          for (std::size_t k = 0; k < nw; ++k) out[k] = (a[k] ^ c0) & c1;
-        } else {
-          const std::uint64_t* a = &simt[(base + node.slot0) * E];
-          const std::uint64_t* b = &simt[(base + node.slot1) * E];
-          for (std::size_t k = 0; k < nw; ++k)
-            out[k] = (a[k] ^ c0) & (b[k] ^ c1);
-        }
-      });
+      if (level_work[l].empty()) continue;
+      plan.stage_chunks(
+          0, level_work[l].size(),
+          [&, work = &level_work[l]](std::size_t lo, std::size_t hi) {
+            std::size_t t = lo;
+            while (t < hi) {
+              const std::uint32_t wi = (*work)[t].first;
+              std::size_t run = t + 1;
+              while (run < hi && (*work)[run].first == wi) ++run;
+              if (state[wi].alive) {
+                const Window& w = windows[wi];
+                std::uint64_t* base = simt.data() + state[wi].base * E;
+                const std::size_t nw = words_this_round(wi);
+                const unsigned in = w.num_inputs();
+                for (std::size_t q = t; q < run; ++q)
+                  sim_node(w.wnodes[(*work)[q].second], base,
+                           in + (*work)[q].second, E, nw);
+              }
+              t = run;
+            }
+          });
     }
+    plan.stage_chunks(0, windows.size(),
+                      [&](std::size_t lo, std::size_t hi) {
+                        for (std::size_t wi = lo; wi < hi; ++wi)
+                          if (state[wi].alive)
+                            compare_window(wi, cur_round,
+                                           words_this_round(wi));
+                      });
 
-    // Lines 12-14: compare root truth-table segments per item.
-    parallel::parallel_for(0, windows.size(), [&](std::size_t wi) {
-      if (!state[wi].alive) return;
-      const Window& w = windows[wi];
-      const std::size_t nw = words_this_round(wi);
-      const std::size_t base = state[wi].base;
-      const std::uint64_t mask = tt::word_mask(w.num_inputs());
-      bool all_decided = true;
-      for (std::size_t ii = 0; ii < w.items.size(); ++ii) {
-        if (decided[wi][ii]) continue;
-        const window::ItemSlots& s = w.item_slots[ii];
-        const std::uint64_t ca = s.compl_a ? ~std::uint64_t{0} : 0;
-        const std::uint64_t cb = s.compl_b ? ~std::uint64_t{0} : 0;
-        for (std::size_t k = 0; k < nw; ++k) {
-          const std::uint64_t va =
-              (s.slot_a == kSlotConst0 ? 0 : simt[(base + s.slot_a) * E + k]) ^
-              ca;
-          const std::uint64_t vb =
-              (s.slot_b == kSlotConst0 ? 0 : simt[(base + s.slot_b) * E + k]) ^
-              cb;
-          std::uint64_t diff = va ^ vb;
-          if (nw == 1 && state[wi].tt_words == 1) diff &= mask;
-          if (diff) {
-            decided[wi][ii] = 1;  // disproved
-            mismatch_bit[wi][ii] =
-                ((r * E + k) << 6) +
-                static_cast<std::uint64_t>(std::countr_zero(diff));
-            break;
-          }
-        }
-        all_decided = all_decided && decided[wi][ii];
+    for (std::size_t r = 0; r < rounds; ++r) {
+      if (cancel_fired()) {
+        result.cancelled = true;
+        return result;
       }
-      if (all_decided) state[wi].alive = false;  // skip remaining rounds
-    });
-    ++result.rounds;
+      // Windows needing simulation this round (Alg. 1 line 6).
+      bool any_active = false;
+      for (std::size_t wi = 0; wi < windows.size(); ++wi) {
+        const bool active = state[wi].alive && state[wi].tt_words > r * E;
+        state[wi].alive = state[wi].alive && active;
+        any_active |= active;
+      }
+      if (!any_active) break;
+      cur_round = r;
+      for (std::size_t wi = 0; wi < windows.size(); ++wi)
+        if (state[wi].alive)
+          result.words_simulated +=
+              windows[wi].nodes.size() * words_this_round(wi);
+      if (!pool.run_stages(plan)) {
+        result.cancelled = true;
+        return result;
+      }
+      ++result.rounds;
+    }
   }
 
   // --- Collect outcomes and CEXs. ---

@@ -11,11 +11,19 @@
 /// round r simulating word range [rE, (r+1)E).
 ///
 /// The three dimensions of parallelism of paper Fig. 3 map to the CPU
-/// substrate as follows: windows × level-batch nodes are flattened into
-/// per-level work lists processed by parallel_for (dimensions 2 and 3);
-/// the per-entry word loop (dimension 1) is a tight sequential loop that
-/// the compiler vectorizes — on a GPU it would be the intra-warp thread
-/// dimension.
+/// substrate adaptively, per batch (see Params::strategy):
+///  - window dimension: when the batch has many windows relative to the
+///    executor width (or the executor is a single context), each worker
+///    simulates whole windows serially — full level order, all rounds —
+///    with zero cross-window barriers and maximal locality;
+///  - level-batch dimension: when the batch has few large windows, each
+///    round's kernel sequence (input projection -> level 1..L -> root
+///    compare) is fused into ONE staged launch (parallel_stages) over
+///    flattened per-level work lists, with lightweight internal barriers
+///    instead of per-level submission handshakes;
+///  - word dimension: the per-entry word loops are 4-wide unrolled
+///    restrict-qualified kernels (common/word_kernels.hpp) — on a GPU
+///    they would be the intra-warp thread dimension.
 
 #include <atomic>
 #include <cstdint>
@@ -27,17 +35,35 @@
 
 namespace simsweep::exhaustive {
 
+/// Which parallelism dimension check_batch uses (paper Fig. 3).
+enum class Strategy : std::uint8_t {
+  kAuto,            ///< pick per batch from batch shape and executor width
+  kWindowParallel,  ///< always whole-window serial sweeps across windows
+  kLevelStaged,     ///< always fused level-staged rounds
+};
+
 struct Params {
   /// Memory budget M for the simulation table, in 64-bit words (Alg. 1
   /// input). Default 2^22 words = 32 MiB.
   std::size_t memory_words = std::size_t{1} << 22;
+  /// Soft cache-residency cap on the simulation table: the entry size E is
+  /// halved (adding rounds) until slots*E fits in this many words. A purely
+  /// performance-motivated refinement of Alg. 1 line 2 — the round
+  /// decomposition changes, outcomes never do — that keeps the table
+  /// streaming from cache instead of DRAM (measured ~2.8x on large-table
+  /// batches). 0 disables the clamp. Default 2^17 words = 1 MiB.
+  std::size_t cache_words = std::size_t{1} << 17;
   /// Whether to extract a counter-example pattern per disproved item.
   bool collect_cex = true;
   /// Cap on collected CEXs per batch (one per item at most).
   std::size_t max_cex = 256;
-  /// Cooperative cancellation: checked between rounds. When it fires the
-  /// batch returns with `cancelled` set and its outcomes MUST be ignored.
+  /// Cooperative cancellation: checked between rounds AND between the
+  /// fused stages / window-rounds inside a round, so even long
+  /// single-round batches cancel promptly. When it fires the batch returns
+  /// with `cancelled` set and its outcomes MUST be ignored.
   const std::atomic<bool>* cancel = nullptr;
+  /// Parallelism-dimension choice (see Strategy).
+  Strategy strategy = Strategy::kAuto;
 };
 
 enum class ItemStatus : std::uint8_t {
@@ -60,6 +86,7 @@ struct BatchResult {
   std::size_t entry_words = 0;      ///< chosen E
   std::size_t rounds = 0;           ///< executed rounds
   std::size_t words_simulated = 0;  ///< Σ node-words computed
+  bool window_parallel = false;     ///< dimension the batch actually used
   /// True iff params.cancel fired mid-batch; outcomes are then invalid.
   bool cancelled = false;
 };

@@ -4,6 +4,29 @@
 
 namespace simsweep::parallel {
 
+namespace {
+
+/// One step of a short busy-wait. On x86 `pause` keeps the spin cheap and
+/// polite to the sibling hyperthread; everywhere (and periodically on x86
+/// too) we yield so single-core hosts make progress instead of burning the
+/// waiter's whole timeslice.
+inline void relax(unsigned& spins) {
+#if defined(__x86_64__) || defined(__i386__)
+  if ((++spins & 7u) != 0) {
+    __builtin_ia32_pause();
+    return;
+  }
+#else
+  ++spins;
+#endif
+  std::this_thread::yield();
+}
+
+/// Idle spins before a worker parks on the condition variable.
+constexpr unsigned kIdleSpins = 256;
+
+}  // namespace
+
 ThreadPool::ThreadPool(unsigned num_workers) {
   if (num_workers == 0) {
     const unsigned hw = std::thread::hardware_concurrency();
@@ -15,11 +38,11 @@ ThreadPool::ThreadPool(unsigned num_workers) {
 }
 
 ThreadPool::~ThreadPool() {
+  stop_.store(true, std::memory_order_seq_cst);
   {
-    std::lock_guard lock(mutex_);
-    stop_ = true;
+    std::lock_guard lock(park_mutex_);
   }
-  wake_.notify_all();
+  park_cv_.notify_all();
   for (auto& t : workers_) t.join();
 }
 
@@ -28,63 +51,151 @@ ThreadPool& ThreadPool::global() {
   return pool;
 }
 
-void ThreadPool::run_range(std::size_t begin, std::size_t end, BlockFn block) {
-  if (begin >= end) return;
-  const std::size_t n = end - begin;
-  // Small ranges or a worker-less pool: run inline, no synchronization.
-  if (workers_.empty() || n < 2 * concurrency()) {
-    block(begin, end);
-    return;
-  }
-  std::lock_guard submit_lock(submit_mutex_);
-  {
-    std::lock_guard lock(mutex_);
-    job_ = std::move(block);
-    job_end_ = end;
-    chunk_ = std::max<std::size_t>(1, n / (concurrency() * 8));
-    cursor_.store(begin, std::memory_order_relaxed);
-    active_.store(static_cast<unsigned>(workers_.size()),
-                  std::memory_order_relaxed);
-    ++generation_;
-  }
-  wake_.notify_all();
-  work_until_done();
+bool ThreadPool::run_stages(const StagePlan& plan) {
+  const auto* cancel = plan.cancel_;
+  if (plan.stages_.empty())
+    return !(cancel != nullptr && cancel->load(std::memory_order_relaxed));
+  std::vector<StageRef> refs;
+  refs.reserve(plan.stages_.size());
+  for (const auto& s : plan.stages_)
+    refs.push_back(StageRef{s.begin, s.end, &s.block});
+  return execute(refs.data(), refs.size(), cancel);
 }
 
-void ThreadPool::work_until_done() {
-  // The calling thread processes chunks too, then waits for the workers.
-  for (;;) {
-    const std::size_t lo = cursor_.fetch_add(chunk_, std::memory_order_relaxed);
-    if (lo >= job_end_) break;
-    job_(lo, std::min(lo + chunk_, job_end_));
+bool ThreadPool::execute(const StageRef* stages, std::size_t n,
+                         const std::atomic<bool>* cancel) {
+  const auto cancelled = [cancel] {
+    return cancel != nullptr && cancel->load(std::memory_order_relaxed);
+  };
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    if (stages[i].begin < stages[i].end) total += stages[i].end - stages[i].begin;
+  // Inline path: no workers, or too little work to amortize a launch. The
+  // cancellation flag is still honoured between stages.
+  if (workers_.empty() || total < 2 * concurrency()) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (cancelled()) return false;
+      if (stages[i].begin < stages[i].end)
+        (*stages[i].block)(stages[i].begin, stages[i].end);
+    }
+    return !cancelled();
   }
-  std::unique_lock lock(mutex_);
-  done_.wait(lock, [this] {
-    return active_.load(std::memory_order_acquire) == 0;
-  });
-  job_ = nullptr;
+
+  std::lock_guard submit(submit_mutex_);
+  if (cancelled()) return false;
+
+  // Stage slots may be (re)allocated here: quiescence is guaranteed — the
+  // previous job's submitter only returned once active_ hit 0.
+  if (n > slot_capacity_) {
+    slot_capacity_ = std::max<std::size_t>(2 * slot_capacity_, n);
+    slots_ = std::make_unique<StageSlot[]>(slot_capacity_);
+  }
+  const unsigned threads = concurrency();
+  for (std::size_t i = 0; i < n; ++i) {
+    StageSlot& slot = slots_[i];
+    slot.begin = stages[i].begin;
+    slot.end = stages[i].end;
+    const std::size_t items =
+        slot.end > slot.begin ? slot.end - slot.begin : 0;
+    slot.chunk = std::max<std::size_t>(1, items / (threads * 8));
+    slot.block = stages[i].block;
+    slot.cursor.store(slot.begin, std::memory_order_relaxed);
+    slot.remaining.store(items, std::memory_order_relaxed);
+  }
+  num_stages_ = n;
+  cancel_ = cancel;
+  std::uint32_t first = 0;
+  while (first < n && stages[first].begin >= stages[first].end) ++first;
+  const std::uint32_t e = ++epoch_;
+  control_.store(pack(e, first), std::memory_order_seq_cst);
+  if (num_parked_.load(std::memory_order_seq_cst) > 0) {
+    {
+      std::lock_guard lock(park_mutex_);
+    }
+    park_cv_.notify_all();
+  }
+
+  // The calling thread participates, then waits for stragglers to leave
+  // the job before the stage slots may be reused.
+  run_job(e);
+  unsigned spins = 0;
+  while (active_.load(std::memory_order_acquire) != 0) relax(spins);
+  return !cancelled();
+}
+
+void ThreadPool::run_job(std::uint32_t epoch) {
+  unsigned spins = 0;
+  for (;;) {
+    const std::uint64_t ctl = control_.load(std::memory_order_acquire);
+    if (ctl_epoch(ctl) != epoch) return;
+    const std::uint32_t s = ctl_stage(ctl);
+    if (s == kStageDone) return;
+    StageSlot& slot = slots_[s];
+    const std::size_t lo =
+        slot.cursor.fetch_add(slot.chunk, std::memory_order_relaxed);
+    if (lo >= slot.end) {
+      // Stage drained; the in-flight chunks of other threads have not all
+      // retired yet. Wait for the barrier to open (control_ advances).
+      relax(spins);
+      continue;
+    }
+    spins = 0;
+    const std::size_t hi = std::min(lo + slot.chunk, slot.end);
+    if (!(cancel_ != nullptr && cancel_->load(std::memory_order_relaxed)))
+      (*slot.block)(lo, hi);
+    const std::size_t items = hi - lo;
+    // Retiring the last chunk of a stage opens the next stage: this store
+    // is the entire inter-stage barrier.
+    if (slot.remaining.fetch_sub(items, std::memory_order_acq_rel) == items)
+      advance_stage(epoch, s);
+  }
+}
+
+void ThreadPool::advance_stage(std::uint32_t epoch, std::uint32_t s) {
+  std::uint32_t next = s + 1;
+  if (cancel_ != nullptr && cancel_->load(std::memory_order_relaxed))
+    next = static_cast<std::uint32_t>(num_stages_);  // skip remaining stages
+  while (next < num_stages_ && slots_[next].begin >= slots_[next].end)
+    ++next;
+  control_.store(
+      pack(epoch, next < num_stages_ ? next : kStageDone),
+      std::memory_order_release);
 }
 
 void ThreadPool::worker_loop() {
-  std::uint64_t seen = 0;
+  std::uint32_t seen = 0;
+  unsigned idle = 0;
   for (;;) {
-    {
-      std::unique_lock lock(mutex_);
-      wake_.wait(lock, [&] { return stop_ || generation_ != seen; });
-      if (stop_) return;
-      seen = generation_;
+    if (stop_.load(std::memory_order_relaxed)) return;
+    const std::uint64_t ctl = control_.load(std::memory_order_acquire);
+    const std::uint32_t e = ctl_epoch(ctl);
+    if (e != seen) {
+      seen = e;
+      if (ctl_stage(ctl) == kStageDone) continue;  // job already over
+      active_.fetch_add(1, std::memory_order_acq_rel);
+      run_job(e);
+      active_.fetch_sub(1, std::memory_order_release);
+      idle = 0;
+      continue;
     }
-    for (;;) {
-      const std::size_t lo =
-          cursor_.fetch_add(chunk_, std::memory_order_relaxed);
-      if (lo >= job_end_) break;
-      job_(lo, std::min(lo + chunk_, job_end_));
+    if (idle < kIdleSpins) {
+      relax(idle);
+      continue;
     }
-    if (active_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      std::lock_guard lock(mutex_);
-      done_.notify_all();
-    }
+    idle = 0;
+    park(seen);
   }
+}
+
+void ThreadPool::park(std::uint32_t seen_epoch) {
+  std::unique_lock lock(park_mutex_);
+  num_parked_.fetch_add(1, std::memory_order_seq_cst);
+  park_cv_.wait(lock, [&] {
+    if (stop_.load(std::memory_order_relaxed)) return true;
+    const std::uint64_t ctl = control_.load(std::memory_order_acquire);
+    return ctl_epoch(ctl) != seen_epoch && ctl_stage(ctl) != kStageDone;
+  });
+  num_parked_.fetch_sub(1, std::memory_order_relaxed);
 }
 
 }  // namespace simsweep::parallel

@@ -1,24 +1,97 @@
 #pragma once
 /// \file thread_pool.hpp
-/// \brief Data-parallel executor — the CPU stand-in for the paper's GPU.
+/// \brief Staged data-parallel executor — the CPU stand-in for the paper's
+/// GPU.
 ///
 /// Every parallel algorithm in the paper is a data-parallel kernel over a
 /// flat index space (words of a truth table, nodes of a level batch,
 /// windows of a batch — the "three dimensions of parallelism" of paper
-/// Fig. 3). This module provides that execution model on CPU threads:
-/// parallel_for(begin, end, body) runs body(i) for all i with dynamic
-/// chunking. The engine code is written purely against this interface, so
-/// the mapping back to CUDA kernels is mechanical (see DESIGN.md §2).
+/// Fig. 3). This module provides that execution model on CPU threads with
+/// GPU-like launch semantics:
+///
+///  - parallel_for / parallel_for_chunks: one kernel over [begin, end)
+///    with dynamic chunking (a single CUDA kernel launch).
+///  - StagePlan + parallel_stages(): a whole sequence of dependent index
+///    spaces — e.g. input projection -> level 1..L -> root compare of one
+///    simulation round — submitted as ONE launch. Stages are separated by
+///    lightweight internal barriers (the last worker to retire a chunk of
+///    stage s opens stage s+1 with a single atomic store), so a fused
+///    launch costs one submission handshake instead of one per stage.
+///    This mirrors a CUDA stream: kernels queued back-to-back with
+///    device-side ordering, no host round-trip between them.
+///
+/// Execution model: persistent workers poll an atomic {epoch, stage}
+/// control word and claim contiguous chunks from a per-stage atomic ticket
+/// cursor. Workers spin briefly between stages (barriers are short-lived)
+/// and spin-then-park between jobs, so an idle pool consumes no CPU. The
+/// calling thread participates in every job. The engine code is written
+/// purely against this interface, so the mapping back to CUDA kernels is
+/// mechanical (see DESIGN.md §2).
+///
+/// Concurrency contract: jobs are serialized — run_stages/parallel_for may
+/// be called from multiple client threads (e.g. the portfolio checker
+/// racing several engines) and whole jobs execute one at a time. Nested
+/// submission from inside a worker body is not supported (as before).
 
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 namespace simsweep::parallel {
+
+class ThreadPool;
+
+/// An ordered sequence of data-parallel stages executed as one fused
+/// launch: stage i+1 starts only after every index of stage i finished
+/// (internal barrier), but no stage pays a separate submission handshake.
+///
+/// A plan only references its bodies, so it can be built once and re-run
+/// many times (e.g. once per simulation round with the round number
+/// captured by reference); it must outlive every run_stages() call using
+/// it. An optional cancellation flag is checked at every chunk claim and
+/// stage barrier: once it fires, remaining work is skipped and the run
+/// reports cancellation.
+class StagePlan {
+ public:
+  /// Appends a stage running body(i) for every i in [begin, end).
+  template <typename Body>
+  void stage(std::size_t begin, std::size_t end, Body body) {
+    stages_.push_back({begin, end,
+                       [b = std::move(body)](std::size_t lo, std::size_t hi) {
+                         for (std::size_t i = lo; i < hi; ++i) b(i);
+                       }});
+  }
+
+  /// Appends a stage running body(lo, hi) on contiguous chunks of
+  /// [begin, end), letting the caller hoist per-chunk setup.
+  template <typename Body>
+  void stage_chunks(std::size_t begin, std::size_t end, Body body) {
+    stages_.push_back({begin, end, std::move(body)});
+  }
+
+  /// Cooperative cancellation for the whole plan (may be nullptr).
+  void set_cancel(const std::atomic<bool>* cancel) { cancel_ = cancel; }
+
+  void clear() { stages_.clear(); }
+  std::size_t num_stages() const { return stages_.size(); }
+
+ private:
+  friend class ThreadPool;
+  using BlockFn = std::function<void(std::size_t, std::size_t)>;
+  struct PlanStage {
+    std::size_t begin;
+    std::size_t end;
+    BlockFn block;
+  };
+  std::vector<PlanStage> stages_;
+  const std::atomic<bool>* cancel_ = nullptr;
+};
 
 class ThreadPool {
  public:
@@ -44,9 +117,16 @@ class ThreadPool {
   /// body must be safe to invoke concurrently for distinct i.
   template <typename Body>
   void parallel_for(std::size_t begin, std::size_t end, const Body& body) {
-    run_range(begin, end, [&body](std::size_t lo, std::size_t hi) {
+    if (begin >= end) return;
+    if (workers_.empty() || end - begin < 2 * concurrency()) {
+      for (std::size_t i = begin; i < end; ++i) body(i);
+      return;
+    }
+    const BlockFn block = [&body](std::size_t lo, std::size_t hi) {
       for (std::size_t i = lo; i < hi; ++i) body(i);
-    });
+    };
+    const StageRef ref{begin, end, &block};
+    execute(&ref, 1, nullptr);
   }
 
   /// Chunked variant: body(lo, hi) handles a contiguous block, letting the
@@ -54,36 +134,88 @@ class ThreadPool {
   template <typename Body>
   void parallel_for_chunks(std::size_t begin, std::size_t end,
                            const Body& body) {
-    run_range(begin, end, [&body](std::size_t lo, std::size_t hi) {
+    if (begin >= end) return;
+    if (workers_.empty() || end - begin < 2 * concurrency()) {
+      body(begin, end);
+      return;
+    }
+    const BlockFn block = [&body](std::size_t lo, std::size_t hi) {
       body(lo, hi);
-    });
+    };
+    const StageRef ref{begin, end, &block};
+    execute(&ref, 1, nullptr);
   }
 
+  /// Executes every stage of the plan in order with internal barriers.
+  /// Returns false iff the plan's cancellation flag fired (some work was
+  /// then skipped and the caller must discard partial results).
+  bool run_stages(const StagePlan& plan);
+
  private:
-  using BlockFn = std::function<void(std::size_t, std::size_t)>;
+  using BlockFn = StagePlan::BlockFn;
 
-  void run_range(std::size_t begin, std::size_t end, BlockFn block);
+  /// A stage as submitted: the body lives in the caller's frame / plan.
+  struct StageRef {
+    std::size_t begin;
+    std::size_t end;
+    const BlockFn* block;
+  };
+
+  /// Live per-stage execution state. Cursor and retirement counter sit on
+  /// separate cache lines from the immutable descriptor fields.
+  struct StageSlot {
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    std::size_t chunk = 1;
+    const BlockFn* block = nullptr;
+    alignas(64) std::atomic<std::size_t> cursor{0};
+    alignas(64) std::atomic<std::size_t> remaining{0};
+  };
+
+  static constexpr std::uint32_t kStageDone = 0xFFFFFFFFu;
+  static std::uint64_t pack(std::uint32_t epoch, std::uint32_t stage) {
+    return (static_cast<std::uint64_t>(epoch) << 32) | stage;
+  }
+  static std::uint32_t ctl_epoch(std::uint64_t ctl) {
+    return static_cast<std::uint32_t>(ctl >> 32);
+  }
+  static std::uint32_t ctl_stage(std::uint64_t ctl) {
+    return static_cast<std::uint32_t>(ctl);
+  }
+
+  bool execute(const StageRef* stages, std::size_t n,
+               const std::atomic<bool>* cancel);
+  void run_job(std::uint32_t epoch);
+  void advance_stage(std::uint32_t epoch, std::uint32_t s);
   void worker_loop();
-  void work_until_done();
+  void park(std::uint32_t seen_epoch);
 
-  /// Serializes whole jobs: the pool runs one parallel_for at a time, so
-  /// it is safe to call from multiple client threads (e.g. the portfolio
-  /// checker racing several engines). Held for the full job duration.
+  /// Serializes whole jobs: the pool runs one launch at a time, so it is
+  /// safe to call from multiple client threads. Held for the job duration.
   std::mutex submit_mutex_;
 
   std::vector<std::thread> workers_;
-  std::mutex mutex_;
-  std::condition_variable wake_;
-  std::condition_variable done_;
 
-  // Current job (guarded by mutex_ for setup; cursor is lock-free).
-  BlockFn job_;
-  std::size_t job_end_ = 0;
-  std::size_t chunk_ = 1;
-  std::atomic<std::size_t> cursor_{0};
-  std::atomic<unsigned> active_ = 0;
-  std::uint64_t generation_ = 0;
-  bool stop_ = false;
+  // Job state. slots_/num_stages_/cancel_ are written only under
+  // submit_mutex_ while the pool is quiescent (active_ == 0) and published
+  // to workers by the control_ store.
+  std::unique_ptr<StageSlot[]> slots_;
+  std::size_t slot_capacity_ = 0;
+  std::size_t num_stages_ = 0;
+  const std::atomic<bool>* cancel_ = nullptr;
+  std::uint32_t epoch_ = 0;
+
+  /// {epoch, stage} control word: the single cell workers poll. Stage
+  /// kStageDone means "no job in flight".
+  alignas(64) std::atomic<std::uint64_t> control_{pack(0, kStageDone)};
+  /// Number of workers currently inside run_job (quiescence barrier).
+  alignas(64) std::atomic<unsigned> active_{0};
+
+  // Parking (only touched on the idle path).
+  std::mutex park_mutex_;
+  std::condition_variable park_cv_;
+  std::atomic<unsigned> num_parked_{0};
+  std::atomic<bool> stop_{false};
 };
 
 /// Convenience wrappers over the global pool.
@@ -96,6 +228,10 @@ template <typename Body>
 void parallel_for_chunks(std::size_t begin, std::size_t end,
                          const Body& body) {
   ThreadPool::global().parallel_for_chunks(begin, end, body);
+}
+
+inline bool parallel_stages(const StagePlan& plan) {
+  return ThreadPool::global().run_stages(plan);
 }
 
 }  // namespace simsweep::parallel

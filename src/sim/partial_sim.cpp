@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "aig/aig_analysis.hpp"
+#include "common/word_kernels.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace simsweep::sim {
@@ -68,9 +69,11 @@ Signatures simulate(const aig::Aig& aig, const PatternBank& bank) {
   sig.words.assign(aig.num_nodes() * W, 0);
 
   // PIs copy their bank rows.
-  parallel::parallel_for(0, aig.num_pis(), [&](std::size_t i) {
-    for (std::size_t w = 0; w < W; ++w)
-      sig.words[(i + 1) * W + w] = bank.word(static_cast<unsigned>(i), w);
+  parallel::parallel_for_chunks(0, aig.num_pis(), [&](std::size_t lo,
+                                                      std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i)
+      for (std::size_t w = 0; w < W; ++w)
+        sig.words[(i + 1) * W + w] = bank.word(static_cast<unsigned>(i), w);
   });
 
   // Level-parallel sweep over AND nodes: batch nodes by level and process
@@ -92,17 +95,21 @@ Signatures simulate(const aig::Aig& aig, const PatternBank& bank) {
 
   for (std::uint32_t l = 1; l <= max_level; ++l) {
     const std::size_t lo = offset[l], hi = offset[l + 1];
-    parallel::parallel_for(lo, hi, [&](std::size_t k) {
-      const aig::Var v = order[k];
-      const aig::Lit f0 = aig.fanin0(v);
-      const aig::Lit f1 = aig.fanin1(v);
-      const Word* a = sig.row(aig::lit_var(f0));
-      const Word* b = sig.row(aig::lit_var(f1));
-      Word* out = &sig.words[static_cast<std::size_t>(v) * W];
-      const Word ca = aig::lit_compl(f0) ? ~Word{0} : 0;
-      const Word cb = aig::lit_compl(f1) ? ~Word{0} : 0;
-      for (std::size_t w = 0; w < W; ++w)
-        out[w] = (a[w] ^ ca) & (b[w] ^ cb);
+    parallel::parallel_for_chunks(lo, hi, [&](std::size_t clo,
+                                              std::size_t chi) {
+      Word* const words = sig.words.data();
+      const aig::Var* const ord = order.data();
+      for (std::size_t k = clo; k < chi; ++k) {
+        const aig::Var v = ord[k];
+        const aig::Lit f0 = aig.fanin0(v);
+        const aig::Lit f1 = aig.fanin1(v);
+        kernels::and2_words(
+            words + static_cast<std::size_t>(v) * W,
+            words + static_cast<std::size_t>(aig::lit_var(f0)) * W,
+            aig::lit_compl(f0) ? ~Word{0} : 0,
+            words + static_cast<std::size_t>(aig::lit_var(f1)) * W,
+            aig::lit_compl(f1) ? ~Word{0} : 0, W);
+      }
     });
   }
   return sig;

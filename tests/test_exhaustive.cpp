@@ -220,6 +220,71 @@ TEST(Exhaustive, CexBitIndexDecoding) {
   for (bool b : pis) EXPECT_TRUE(b);
 }
 
+TEST(Exhaustive, StrategiesAgreeOnOutcomes) {
+  // The parallelism dimension (whole-window sweeps vs fused level stages)
+  // is a pure execution choice: outcomes must be identical, for every
+  // memory budget.
+  const Aig a = testutil::random_aig(9, 160, 10, 64);
+  std::vector<window::Window> windows;
+  for (std::size_t i = 0; i + 1 < a.num_pos(); i += 2) {
+    auto w = window::build_window(
+        a, all_pis(a),
+        {window::CheckItem{a.po(i), a.po(i + 1),
+                           static_cast<std::uint32_t>(i)}});
+    ASSERT_TRUE(w);
+    windows.push_back(std::move(*w));
+  }
+  for (const std::size_t budget : {std::size_t{512}, std::size_t{1} << 22}) {
+    Params wp, ls;
+    wp.memory_words = ls.memory_words = budget;
+    wp.strategy = Strategy::kWindowParallel;
+    ls.strategy = Strategy::kLevelStaged;
+    const BatchResult rw = check_batch(a, windows, wp);
+    const BatchResult rl = check_batch(a, windows, ls);
+    EXPECT_TRUE(rw.window_parallel);
+    EXPECT_FALSE(rl.window_parallel);
+    ASSERT_EQ(rw.outcomes.size(), rl.outcomes.size());
+    for (std::size_t i = 0; i < rw.outcomes.size(); ++i) {
+      EXPECT_EQ(rw.outcomes[i].first, rl.outcomes[i].first);
+      EXPECT_EQ(rw.outcomes[i].second, rl.outcomes[i].second);
+    }
+    EXPECT_EQ(rw.rounds, rl.rounds);
+    EXPECT_EQ(rw.words_simulated, rl.words_simulated);
+  }
+}
+
+TEST(Exhaustive, CacheClampOnlyChangesRoundDecomposition) {
+  // The cache-residency clamp on E must never change outcomes, only the
+  // number of rounds.
+  const Aig a = testutil::random_aig(10, 200, 6, 65);
+  std::vector<window::Window> windows;
+  for (std::size_t i = 0; i + 1 < a.num_pos(); i += 2) {
+    // Mix an undecidable-in-one-round pair (a PO against itself, proved
+    // only after ALL rounds ran) with a likely-disproved random pair.
+    auto w = window::build_window(
+        a, all_pis(a),
+        {window::CheckItem{a.po(i), a.po(i),
+                           static_cast<std::uint32_t>(i)},
+         window::CheckItem{a.po(i), a.po(i + 1),
+                           static_cast<std::uint32_t>(i) + 1000}});
+    ASSERT_TRUE(w);
+    windows.push_back(std::move(*w));
+  }
+  Params unclamped;
+  unclamped.cache_words = 0;
+  Params clamped;
+  clamped.cache_words = 64;  // far below the table size: forces tiny E
+  const BatchResult ru = check_batch(a, windows, unclamped);
+  const BatchResult rc = check_batch(a, windows, clamped);
+  EXPECT_LT(rc.entry_words, ru.entry_words);
+  EXPECT_GT(rc.rounds, ru.rounds);
+  ASSERT_EQ(ru.outcomes.size(), rc.outcomes.size());
+  for (std::size_t i = 0; i < ru.outcomes.size(); ++i) {
+    EXPECT_EQ(ru.outcomes[i].first, rc.outcomes[i].first);
+    EXPECT_EQ(ru.outcomes[i].second, rc.outcomes[i].second);
+  }
+}
+
 TEST(Exhaustive, CancellationReturnsCancelled) {
   const Aig a = testutil::random_aig(10, 120, 2, 63);
   auto w = window::build_window(a, all_pis(a),

@@ -121,5 +121,169 @@ TEST(ThreadPool, ConcurrentClientThreadsAreSerializedSafely) {
       ASSERT_EQ(hits[c][i].load(), 20) << "client " << c << " index " << i;
 }
 
+TEST(StagePlan, StagesRunInOrderWithBarriers) {
+  // Stage s+1 must observe ALL of stage s's writes: each stage checks the
+  // previous stage's output for every index, so any barrier violation
+  // trips an assertion.
+  ThreadPool pool(3);
+  constexpr std::size_t kN = 10000;
+  constexpr int kStages = 6;
+  std::vector<std::atomic<int>> cells(kN);
+  std::atomic<int> violations{0};
+  StagePlan plan;
+  for (int s = 0; s < kStages; ++s) {
+    plan.stage(0, kN, [&, s](std::size_t i) {
+      if (cells[i].load(std::memory_order_relaxed) != s)
+        violations.fetch_add(1, std::memory_order_relaxed);
+      cells[i].store(s + 1, std::memory_order_relaxed);
+    });
+  }
+  ASSERT_TRUE(pool.run_stages(plan));
+  EXPECT_EQ(violations.load(), 0);
+  for (const auto& c : cells) ASSERT_EQ(c.load(), kStages);
+}
+
+TEST(StagePlan, ReRunnableWithRboundState) {
+  // A plan is built once and re-run per round with state rebound through
+  // captured references — the exhaustive simulator's usage pattern.
+  ThreadPool pool(2);
+  std::size_t round = 0;
+  std::vector<std::uint64_t> acc(4096, 0);
+  StagePlan plan;
+  plan.stage(0, acc.size(), [&](std::size_t i) { acc[i] += round; });
+  std::uint64_t expect = 0;
+  for (round = 1; round <= 5; ++round) {
+    ASSERT_TRUE(pool.run_stages(plan));
+    expect += round;
+  }
+  for (const auto& v : acc) ASSERT_EQ(v, expect);
+}
+
+TEST(StagePlan, EmptyAndSingleElementStages) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  StagePlan plan;
+  plan.stage(7, 7, [&](std::size_t) { count.fetch_add(100); });  // empty
+  plan.stage(3, 4, [&](std::size_t i) { count.fetch_add(static_cast<int>(i)); });
+  plan.stage(0, 0, [&](std::size_t) { count.fetch_add(100); });  // empty
+  plan.stage(0, 1, [&](std::size_t) { count.fetch_add(1); });
+  ASSERT_TRUE(pool.run_stages(plan));
+  EXPECT_EQ(count.load(), 4);
+
+  StagePlan empty;
+  EXPECT_TRUE(pool.run_stages(empty));
+}
+
+TEST(StagePlan, ChunkStagesSeeEveryIndexOnce) {
+  ThreadPool pool(3);
+  // Sizes straddling chunk boundaries: primes, powers of two +/- 1, and
+  // sizes below/around 2*concurrency (the inline-path threshold).
+  const std::size_t sizes[] = {1, 2, 3, 7, 8, 9, 63, 64, 65, 1021, 4096, 4099};
+  for (const std::size_t n : sizes) {
+    std::vector<std::atomic<int>> hits(n);
+    StagePlan plan;
+    plan.stage_chunks(0, n, [&](std::size_t lo, std::size_t hi) {
+      ASSERT_LT(lo, hi);
+      ASSERT_LE(hi, n);
+      for (std::size_t i = lo; i < hi; ++i)
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    ASSERT_TRUE(pool.run_stages(plan));
+    for (std::size_t i = 0; i < n; ++i)
+      ASSERT_EQ(hits[i].load(), 1) << "size " << n << " index " << i;
+  }
+}
+
+TEST(StagePlan, PresetCancelRunsNothing) {
+  ThreadPool pool(2);
+  std::atomic<bool> cancel{true};
+  std::atomic<int> count{0};
+  StagePlan plan;
+  plan.set_cancel(&cancel);
+  plan.stage(0, 1000, [&](std::size_t) { count.fetch_add(1); });
+  plan.stage(0, 1000, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_FALSE(pool.run_stages(plan));
+  EXPECT_EQ(count.load(), 0);
+}
+
+TEST(StagePlan, MidRunCancelSkipsLaterStages) {
+  ThreadPool pool(2);
+  std::atomic<bool> cancel{false};
+  std::atomic<int> first{0};
+  std::atomic<int> second{0};
+  StagePlan plan;
+  plan.set_cancel(&cancel);
+  plan.stage(0, 64, [&](std::size_t) {
+    first.fetch_add(1);
+    cancel.store(true);  // fires during stage 0
+  });
+  plan.stage(0, 100000, [&](std::size_t) { second.fetch_add(1); });
+  EXPECT_FALSE(pool.run_stages(plan));
+  // Stage 1 must have been (almost entirely) skipped: at most the chunks
+  // already claimed before the flag was observed may run, and the barrier
+  // skip means none at all once stage 0's last chunk retires.
+  EXPECT_EQ(second.load(), 0);
+  EXPECT_GT(first.load(), 0);
+}
+
+TEST(StagePlan, ConcurrentClientsRunningPlans) {
+  // Several client threads each repeatedly run their own multi-stage
+  // plan on a shared pool: whole jobs must serialize without mixing.
+  ThreadPool pool(2);
+  constexpr int kClients = 4;
+  constexpr std::size_t kN = 3000;
+  std::vector<std::thread> clients;
+  std::atomic<int> failures{0};
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&] {
+      std::vector<int> data(kN, 0);
+      StagePlan plan;
+      plan.stage(0, kN, [&](std::size_t i) { data[i] += 1; });
+      plan.stage(0, kN, [&](std::size_t i) { data[i] *= 2; });
+      plan.stage(0, kN, [&](std::size_t i) { data[i] += 3; });
+      for (int round = 0; round < 10; ++round) {
+        std::fill(data.begin(), data.end(), 0);
+        if (!pool.run_stages(plan)) failures.fetch_add(1);
+        for (std::size_t i = 0; i < kN; ++i)
+          if (data[i] != 5) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(StagePlan, StressManyStagesManyRounds) {
+  // Pipeline stress: alternating wide/narrow stages re-run many times,
+  // checking a value that depends on every stage having run in order.
+  ThreadPool pool(3);
+  constexpr std::size_t kN = 2048;
+  std::vector<std::uint64_t> data(kN, 0);
+  std::atomic<std::uint64_t> narrow_sum{0};
+  StagePlan plan;
+  for (int rep = 0; rep < 4; ++rep) {
+    plan.stage(0, kN, [&](std::size_t i) { data[i] += i; });
+    plan.stage(0, 1, [&](std::size_t) {
+      std::uint64_t s = 0;
+      for (const auto& v : data) s += v;
+      narrow_sum.store(s);
+    });
+  }
+  for (int round = 1; round <= 8; ++round) {
+    ASSERT_TRUE(pool.run_stages(plan));
+    // After round r, data[i] == 4*r*i; the final narrow stage saw it all.
+    const std::uint64_t n = kN;
+    ASSERT_EQ(narrow_sum.load(), 4ull * round * (n * (n - 1) / 2));
+  }
+}
+
+TEST(StagePlan, GlobalParallelStagesWrapper) {
+  std::atomic<int> count{0};
+  StagePlan plan;
+  plan.stage(0, 512, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_TRUE(parallel_stages(plan));
+  EXPECT_EQ(count.load(), 512);
+}
+
 }  // namespace
 }  // namespace simsweep::parallel
