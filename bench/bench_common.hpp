@@ -9,6 +9,22 @@
 /// per design family, reduction percentages, phase breakdowns — rather
 /// than absolute runtimes.
 
+// Benchmark binaries must never carry sanitizer instrumentation — the
+// numbers would be meaningless and silently wrong in comparisons. The
+// build already excludes bench/ from SIMSWEEP_SANITIZE builds; this
+// hard-errors if instrumentation ever leaks in through another path
+// (e.g. flags injected via CXXFLAGS). UBSan defines no feature macro and
+// is caught by the build-level exclusion only.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#error "bench targets must be built without sanitizer instrumentation"
+#endif
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer) || \
+    __has_feature(memory_sanitizer)
+#error "bench targets must be built without sanitizer instrumentation"
+#endif
+#endif
+
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>

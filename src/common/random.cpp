@@ -48,4 +48,13 @@ double Rng::uniform() {
   return static_cast<double>(next64() >> 11) * 0x1.0p-53;
 }
 
+Rng Rng::fork(std::uint64_t stream) const {
+  // Const derivation: mixing the parent state with the stream id through
+  // splitmix64 decorrelates children from each other and from the parent
+  // without mutating it, so fork order cannot perturb any stream.
+  std::uint64_t x =
+      s_[0] ^ rotl(s_[1], 13) ^ (stream + 0x632BE59BD9B4E019ULL);
+  return Rng(splitmix64(x));
+}
+
 }  // namespace simsweep

@@ -7,12 +7,23 @@
 /// reproducible. The generator is xoshiro256**, which is much faster than
 /// std::mt19937_64 and has excellent statistical quality for simulation
 /// patterns.
+///
+/// Thread-safety contract (audited for the concurrency toolchain): an Rng
+/// instance is mutable state with NO internal synchronization — next64()
+/// read-modify-writes all four state words, so concurrent use from pool
+/// workers is a data race AND silently correlates the streams. Every
+/// current caller (PatternBank::random, quality_patterns, gen) owns a
+/// stack-local instance on the host thread. Parallel callers must give
+/// each worker its own instance: either a fresh seed per worker or, to
+/// stay deterministic under any scheduling, fork() one substream per
+/// flat work index (see test_parallel.cpp RngThreading tests).
 
 #include <cstdint>
 
 namespace simsweep {
 
 /// xoshiro256** PRNG (Blackman & Vigna). Deterministic for a given seed.
+/// Not thread-safe: one instance per thread (see file comment).
 class Rng {
  public:
   explicit Rng(std::uint64_t seed = 0xC0FFEE123456789ULL) { reseed(seed); }
@@ -31,6 +42,13 @@ class Rng {
 
   /// Bernoulli trial with probability p of returning true.
   bool flip(double p = 0.5) { return uniform() < p; }
+
+  /// Derives an independent deterministic substream without advancing
+  /// this generator: fork(i) depends only on the parent's current state
+  /// and i, so parallel workers can each take fork(work_index) and the
+  /// combined output is schedule-independent. The returned Rng is owned
+  /// by (and must stay on) the calling worker.
+  Rng fork(std::uint64_t stream) const;
 
  private:
   std::uint64_t s_[4];

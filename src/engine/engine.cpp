@@ -14,6 +14,15 @@ EngineResult SimCecEngine::check_miter(aig::Aig miter) const {
 
   // Watchdog: folds the optional wall-clock budget and the caller's
   // cancellation flag into one flag polled by every phase checkpoint.
+  //
+  // Shared mutable state of this function (annotation audit): `stop` is
+  // written by the watchdog thread and read (relaxed) by the host thread
+  // and pool workers via effective.cancel — a monotonic latch, so relaxed
+  // order suffices and no lock is needed. `done` is the host-to-watchdog
+  // shutdown latch; the join() below provides the final happens-before
+  // edge, so everything the watchdog wrote is visible before finish()
+  // returns. `total` (Timer) is written once at construction and only
+  // read concurrently afterwards.
   std::atomic<bool> stop{false};
   std::atomic<bool> done{false};
   std::thread watchdog;

@@ -164,6 +164,14 @@ class SimCecEngine {
 namespace detail {
 
 /// Shared state threaded through the phase implementations.
+///
+/// Concurrency contract: EngineContext is owned by the single host thread
+/// driving the phase sequence. Phases hand slices of it to pool workers
+/// only through the executor's data-parallel calls, whose bodies write
+/// disjoint indices; the executor's submission/retirement protocol
+/// provides the happens-before edges back to the host. The only cell read
+/// concurrently is params.cancel (an atomic polled by workers and written
+/// by the engine watchdog / portfolio — see SimCecEngine::check_miter).
 struct EngineContext {
   const EngineParams& params;
   aig::Aig miter;

@@ -117,6 +117,15 @@ BatchResult check_batch(const aig::Aig& aig,
   std::vector<std::uint64_t> simt(num_slots * E);
 
   // Undecided-item bookkeeping. Items are identified by (window, index).
+  //
+  // Concurrency contract for the shared arrays below (state / decided /
+  // mismatch_bit / simt): pool workers touch them only at window
+  // granularity — compare_window(wi) is the sole writer of state[wi],
+  // decided[wi] and mismatch_bit[wi], and each window's slot rows in simt
+  // are disjoint — so concurrent workers never alias. Cross-stage reads
+  // (a level kernel reading state[wi].alive written by the previous
+  // round's compare) are ordered by the executor's stage barriers and by
+  // run_stages() returning before the host mutates round state.
   std::vector<std::vector<std::uint8_t>> decided(windows.size());
   for (std::size_t i = 0; i < windows.size(); ++i)
     decided[i].assign(windows[i].items.size(), 0);

@@ -2,6 +2,11 @@
 
 #include <algorithm>
 
+#ifdef SIMSWEEP_CHECKED
+#include <cstdio>
+#include <cstdlib>
+#endif
+
 namespace simsweep::parallel {
 
 namespace {
@@ -25,7 +30,37 @@ inline void relax(unsigned& spins) {
 /// Idle spins before a worker parks on the condition variable.
 constexpr unsigned kIdleSpins = 256;
 
+#ifdef SIMSWEEP_CHECKED
+/// One-shot armed protocol fault (test-only; see checked_inject_fault_*).
+std::atomic<int> g_checked_fault{0};
+
+/// Pops the armed fault iff it matches `want` (so claim- and retire-side
+/// injection points do not steal each other's fault).
+bool take_fault(CheckedFault want) {
+  int expected = static_cast<int>(want);
+  return g_checked_fault.compare_exchange_strong(
+      expected, 0, std::memory_order_relaxed);
+}
+
+[[noreturn]] void protocol_violation(const char* what, std::uint32_t epoch,
+                                     std::uint32_t stage, std::size_t a,
+                                     std::size_t b) {
+  std::fprintf(stderr,
+               "SIMSWEEP_CHECKED violation: %s (epoch=%u stage=%u "
+               "detail=%zu/%zu)\n",
+               what, epoch, stage, a, b);
+  std::fflush(stderr);
+  std::abort();
+}
+#endif
+
 }  // namespace
+
+#ifdef SIMSWEEP_CHECKED
+void checked_inject_fault_for_test(CheckedFault fault) {
+  g_checked_fault.store(static_cast<int>(fault), std::memory_order_relaxed);
+}
+#endif
 
 ThreadPool::ThreadPool(unsigned num_workers) {
   if (num_workers == 0) {
@@ -81,7 +116,7 @@ bool ThreadPool::execute(const StageRef* stages, std::size_t n,
     return !cancelled();
   }
 
-  std::lock_guard submit(submit_mutex_);
+  common::MutexLock submit(submit_mutex_);
   if (cancelled()) return false;
 
   // Stage slots may be (re)allocated here: quiescence is guaranteed — the
@@ -101,6 +136,16 @@ bool ThreadPool::execute(const StageRef* stages, std::size_t n,
     slot.block = stages[i].block;
     slot.cursor.store(slot.begin, std::memory_order_relaxed);
     slot.remaining.store(items, std::memory_order_relaxed);
+#ifdef SIMSWEEP_CHECKED
+    const std::size_t words = (items + 63) / 64;
+    if (words > slot.claimed_words) {
+      slot.claimed = std::make_unique<std::atomic<std::uint64_t>[]>(words);
+      slot.claimed_words = words;
+    }
+    for (std::size_t w = 0; w < words; ++w)
+      slot.claimed[w].store(0, std::memory_order_relaxed);
+    slot.opened.store(0, std::memory_order_relaxed);
+#endif
   }
   num_stages_ = n;
   cancel_ = cancel;
@@ -141,17 +186,27 @@ void ThreadPool::run_job(std::uint32_t epoch) {
     }
     spins = 0;
     const std::size_t hi = std::min(lo + slot.chunk, slot.end);
+#ifdef SIMSWEEP_CHECKED
+    checked_claim(epoch, s, lo, hi);
+#endif
     if (!(cancel_ != nullptr && cancel_->load(std::memory_order_relaxed)))
       (*slot.block)(lo, hi);
     const std::size_t items = hi - lo;
     // Retiring the last chunk of a stage opens the next stage: this store
     // is the entire inter-stage barrier.
+#ifdef SIMSWEEP_CHECKED
+    if (checked_retire(epoch, s, items) == items) advance_stage(epoch, s);
+#else
     if (slot.remaining.fetch_sub(items, std::memory_order_acq_rel) == items)
       advance_stage(epoch, s);
+#endif
   }
 }
 
 void ThreadPool::advance_stage(std::uint32_t epoch, std::uint32_t s) {
+#ifdef SIMSWEEP_CHECKED
+  checked_open(epoch, s);
+#endif
   std::uint32_t next = s + 1;
   if (cancel_ != nullptr && cancel_->load(std::memory_order_relaxed))
     next = static_cast<std::uint32_t>(num_stages_);  // skip remaining stages
@@ -162,6 +217,62 @@ void ThreadPool::advance_stage(std::uint32_t epoch, std::uint32_t s) {
       std::memory_order_release);
 }
 
+#ifdef SIMSWEEP_CHECKED
+
+void ThreadPool::checked_claim(std::uint32_t epoch, std::uint32_t s,
+                               std::size_t lo, std::size_t hi) {
+  StageSlot& slot = slots_[s];
+  if (lo < slot.begin || hi > slot.end || lo >= hi)
+    protocol_violation("ticket cursor out of stage bounds", epoch, s, lo, hi);
+  const auto mark = [&](std::size_t i) {
+    const std::size_t item = i - slot.begin;
+    const std::uint64_t bit = std::uint64_t{1} << (item % 64);
+    const std::uint64_t prev = slot.claimed[item / 64].fetch_or(
+        bit, std::memory_order_relaxed);
+    if ((prev & bit) != 0)
+      protocol_violation("chunk index claimed twice", epoch, s, i,
+                         slot.end - slot.begin);
+  };
+  for (std::size_t i = lo; i < hi; ++i) mark(i);
+  if (take_fault(CheckedFault::kDoubleClaim)) mark(lo);
+}
+
+std::size_t ThreadPool::checked_retire(std::uint32_t epoch, std::uint32_t s,
+                                       std::size_t items) {
+  StageSlot& slot = slots_[s];
+  if (take_fault(CheckedFault::kDoubleRetire))
+    slot.remaining.fetch_sub(items, std::memory_order_acq_rel);
+  const std::size_t prev =
+      slot.remaining.fetch_sub(items, std::memory_order_acq_rel);
+  // fetch_sub on an unsigned counter wraps on a double retire: the stolen
+  // items make some later (or this) retirement observe prev < items.
+  if (prev < items || prev > slot.end - slot.begin)
+    protocol_violation("chunk retired twice (retirement underflow)", epoch, s,
+                       prev, items);
+  return prev;
+}
+
+void ThreadPool::checked_open(std::uint32_t epoch, std::uint32_t s) {
+  StageSlot& slot = slots_[s];
+  if (slot.opened.fetch_add(1, std::memory_order_relaxed) != 0)
+    protocol_violation("stage barrier opened twice", epoch, s, 0, 0);
+  const std::size_t rem = slot.remaining.load(std::memory_order_acquire);
+  if (rem != 0)
+    protocol_violation("stage opened before all chunks retired", epoch, s,
+                       rem, slot.end - slot.begin);
+  const std::size_t items = slot.end - slot.begin;
+  for (std::size_t w = 0; w < (items + 63) / 64; ++w) {
+    const std::size_t in_word = std::min<std::size_t>(64, items - w * 64);
+    const std::uint64_t want =
+        in_word == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << in_word) - 1;
+    if (slot.claimed[w].load(std::memory_order_relaxed) != want)
+      protocol_violation("stage opened with unclaimed items", epoch, s, w,
+                         items);
+  }
+}
+
+#endif  // SIMSWEEP_CHECKED
+
 void ThreadPool::worker_loop() {
   std::uint32_t seen = 0;
   unsigned idle = 0;
@@ -170,6 +281,14 @@ void ThreadPool::worker_loop() {
     const std::uint64_t ctl = control_.load(std::memory_order_acquire);
     const std::uint32_t e = ctl_epoch(ctl);
     if (e != seen) {
+#ifdef SIMSWEEP_CHECKED
+      // Epochs increment by one per job; a worker may sleep through any
+      // number of them but must never observe the sequence move backwards
+      // (modular comparison tolerates the 32-bit wrap).
+      if (static_cast<std::int32_t>(e - seen) < 0)
+        protocol_violation("epoch moved backwards", e, ctl_stage(ctl), seen,
+                           e);
+#endif
       seen = e;
       if (ctl_stage(ctl) == kStageDone) continue;  // job already over
       active_.fetch_add(1, std::memory_order_acq_rel);

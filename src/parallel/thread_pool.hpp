@@ -32,6 +32,14 @@
 /// be called from multiple client threads (e.g. the portfolio checker
 /// racing several engines) and whole jobs execute one at a time. Nested
 /// submission from inside a worker body is not supported (as before).
+///
+/// Checked build (`-DSIMSWEEP_CHECKED=ON`): the executor shadow-tracks its
+/// own stage protocol — a per-item claim bitmap (no index claimed twice),
+/// retirement-counter underflow detection (no chunk retired twice),
+/// single-open stage barriers (a stage opens exactly once, and only after
+/// every item of the previous stage retired) and per-worker epoch
+/// monotonicity. Violations abort immediately with a diagnostic on stderr
+/// prefixed "SIMSWEEP_CHECKED violation". See DESIGN.md §2.2.
 
 #include <atomic>
 #include <condition_variable>
@@ -43,9 +51,25 @@
 #include <thread>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
+
 namespace simsweep::parallel {
 
 class ThreadPool;
+
+#ifdef SIMSWEEP_CHECKED
+/// Protocol faults the checked build can inject to prove the detector
+/// fires (test-only). The next chunk processed by any pool performs the
+/// violation once; the checked build must then abort.
+enum class CheckedFault : int {
+  kNone = 0,
+  kDoubleClaim = 1,   ///< re-claims an already-claimed item index
+  kDoubleRetire = 2,  ///< retires a chunk's items a second time
+};
+
+/// Arms one-shot fault injection (test-only; checked builds only).
+void checked_inject_fault_for_test(CheckedFault fault);
+#endif
 
 /// An ordered sequence of data-parallel stages executed as one fused
 /// launch: stage i+1 starts only after every index of stage i finished
@@ -170,6 +194,13 @@ class ThreadPool {
     const BlockFn* block = nullptr;
     alignas(64) std::atomic<std::size_t> cursor{0};
     alignas(64) std::atomic<std::size_t> remaining{0};
+#ifdef SIMSWEEP_CHECKED
+    /// Shadow protocol state: one bit per item of [begin, end) set at
+    /// claim time, and a count of barrier openings for this slot.
+    std::unique_ptr<std::atomic<std::uint64_t>[]> claimed;
+    std::size_t claimed_words = 0;
+    std::atomic<std::uint32_t> opened{0};
+#endif
   };
 
   static constexpr std::uint32_t kStageDone = 0xFFFFFFFFu;
@@ -184,26 +215,43 @@ class ThreadPool {
   }
 
   bool execute(const StageRef* stages, std::size_t n,
-               const std::atomic<bool>* cancel);
-  void run_job(std::uint32_t epoch);
-  void advance_stage(std::uint32_t epoch, std::uint32_t s);
+               const std::atomic<bool>* cancel) SIMSWEEP_EXCLUDES(submit_mutex_);
+  void run_job(std::uint32_t epoch) SIMSWEEP_NO_THREAD_SAFETY_ANALYSIS;
+  void advance_stage(std::uint32_t epoch, std::uint32_t s)
+      SIMSWEEP_NO_THREAD_SAFETY_ANALYSIS;
   void worker_loop();
   void park(std::uint32_t seen_epoch);
 
+#ifdef SIMSWEEP_CHECKED
+  /// Marks items [lo, hi) of slot s as claimed; aborts on a re-claim.
+  void checked_claim(std::uint32_t epoch, std::uint32_t s, std::size_t lo,
+                     std::size_t hi) SIMSWEEP_NO_THREAD_SAFETY_ANALYSIS;
+  /// Underflow-checked retirement; aborts on a double retire.
+  std::size_t checked_retire(std::uint32_t epoch, std::uint32_t s,
+                             std::size_t items)
+      SIMSWEEP_NO_THREAD_SAFETY_ANALYSIS;
+  /// Barrier-side invariants: single open, all items claimed + retired.
+  void checked_open(std::uint32_t epoch, std::uint32_t s)
+      SIMSWEEP_NO_THREAD_SAFETY_ANALYSIS;
+#endif
+
   /// Serializes whole jobs: the pool runs one launch at a time, so it is
   /// safe to call from multiple client threads. Held for the job duration.
-  std::mutex submit_mutex_;
+  common::Mutex submit_mutex_;
 
   std::vector<std::thread> workers_;
 
-  // Job state. slots_/num_stages_/cancel_ are written only under
-  // submit_mutex_ while the pool is quiescent (active_ == 0) and published
-  // to workers by the control_ store.
-  std::unique_ptr<StageSlot[]> slots_;
-  std::size_t slot_capacity_ = 0;
-  std::size_t num_stages_ = 0;
-  const std::atomic<bool>* cancel_ = nullptr;
-  std::uint32_t epoch_ = 0;
+  // Job state. Written only under submit_mutex_ while the pool is
+  // quiescent (active_ == 0) and published to workers by the control_
+  // store (release) / their control_ load (acquire). Worker-side readers
+  // (run_job, advance_stage) are outside the analysis — see the
+  // SIMSWEEP_NO_THREAD_SAFETY_ANALYSIS declarations above.
+  std::unique_ptr<StageSlot[]> slots_ SIMSWEEP_GUARDED_BY(submit_mutex_);
+  std::size_t slot_capacity_ SIMSWEEP_GUARDED_BY(submit_mutex_) = 0;
+  std::size_t num_stages_ SIMSWEEP_GUARDED_BY(submit_mutex_) = 0;
+  const std::atomic<bool>* cancel_ SIMSWEEP_GUARDED_BY(submit_mutex_) =
+      nullptr;
+  std::uint32_t epoch_ SIMSWEEP_GUARDED_BY(submit_mutex_) = 0;
 
   /// {epoch, stage} control word: the single cell workers poll. Stage
   /// kStageDone means "no job in flight".
@@ -211,7 +259,9 @@ class ThreadPool {
   /// Number of workers currently inside run_job (quiescence barrier).
   alignas(64) std::atomic<unsigned> active_{0};
 
-  // Parking (only touched on the idle path).
+  // Parking (only touched on the idle path). park_mutex_ guards no data —
+  // it only pairs the condition variable with the control_/stop_ checks —
+  // so it stays a plain std::mutex outside the analysis.
   std::mutex park_mutex_;
   std::condition_variable park_cv_;
   std::atomic<unsigned> num_parked_{0};

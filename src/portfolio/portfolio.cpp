@@ -1,14 +1,55 @@
 #include "portfolio/portfolio.hpp"
 
 #include <atomic>
-#include <mutex>
 #include <thread>
+#include <utility>
 
 #include "common/log.hpp"
+#include "common/thread_annotations.hpp"
 #include "common/timer.hpp"
 #include "opt/resyn.hpp"
 
 namespace simsweep::portfolio {
+
+namespace {
+
+/// First-decisive-verdict box shared by the racing engine threads. All
+/// mutable state is mutex-guarded (and annotated, so Clang's
+/// thread-safety analysis checks every access); the cancellation flag is
+/// a separate atomic so losers observe it without taking the lock.
+class VerdictBox {
+ public:
+  /// Publishes a verdict; only the first decisive one wins and fires the
+  /// cancellation flag for the other engines.
+  void deliver(Verdict v, std::optional<std::vector<bool>> cex,
+               const char* who, double seconds) SIMSWEEP_EXCLUDES(m_) {
+    if (v == Verdict::kUndecided) return;
+    common::MutexLock lock(m_);
+    if (result_.verdict != Verdict::kUndecided) return;  // someone else won
+    result_.verdict = v;
+    result_.cex = std::move(cex);
+    result_.winner = who;
+    result_.seconds = seconds;
+    cancel_.store(true, std::memory_order_relaxed);
+  }
+
+  /// The flag engines poll cooperatively (EngineParams::cancel et al.).
+  const std::atomic<bool>* cancel_flag() const { return &cancel_; }
+
+  /// Moves the result out. Must only be called after every engine thread
+  /// joined (no concurrent deliver can be in flight).
+  PortfolioResult take() SIMSWEEP_EXCLUDES(m_) {
+    common::MutexLock lock(m_);
+    return std::move(result_);
+  }
+
+ private:
+  common::Mutex m_;
+  PortfolioResult result_ SIMSWEEP_GUARDED_BY(m_);
+  std::atomic<bool> cancel_{false};
+};
+
+}  // namespace
 
 CombinedResult combined_check_miter(const aig::Aig& miter,
                                     const CombinedParams& params) {
@@ -66,58 +107,45 @@ CombinedResult combined_check_miter(const aig::Aig& miter,
 PortfolioResult portfolio_check_miter(const aig::Aig& miter,
                                       const PortfolioParams& params) {
   Timer total;
-  PortfolioResult result;
-
-  std::atomic<bool> cancel{false};
-  std::mutex m;
-
-  auto deliver = [&](Verdict v, std::optional<std::vector<bool>> cex,
-                     const char* who) {
-    if (v == Verdict::kUndecided) return;
-    std::lock_guard lock(m);
-    if (result.verdict != Verdict::kUndecided) return;  // someone else won
-    result.verdict = v;
-    result.cex = std::move(cex);
-    result.winner = who;
-    result.seconds = total.seconds();
-    cancel.store(true, std::memory_order_relaxed);
-  };
+  VerdictBox box;
+  const std::atomic<bool>* cancel = box.cancel_flag();
 
   std::vector<std::thread> threads;
   if (params.run_combined) {
     threads.emplace_back([&] {
       CombinedParams cp = params.combined;
-      cp.engine.cancel = &cancel;
-      cp.sweeper.cancel = &cancel;
+      cp.engine.cancel = cancel;
+      cp.sweeper.cancel = cancel;
       CombinedResult r = combined_check_miter(miter, cp);
-      deliver(r.verdict, std::move(r.cex), "sim+sat");
+      box.deliver(r.verdict, std::move(r.cex), "sim+sat", total.seconds());
     });
   }
   if (params.run_sat) {
     threads.emplace_back([&] {
       sweep::SweeperParams sp = params.sweeper;
-      sp.cancel = &cancel;
+      sp.cancel = cancel;
       sweep::SweepResult r = sweep::SatSweeper(sp).check_miter(miter);
-      deliver(r.verdict, std::move(r.cex), "sat");
+      box.deliver(r.verdict, std::move(r.cex), "sat", total.seconds());
     });
   }
   if (params.run_bdd) {
     threads.emplace_back([&] {
       bdd::BddCecParams bp = params.bdd;
-      bp.cancel = &cancel;
+      bp.cancel = cancel;
       bdd::BddCecResult r = bdd::bdd_check_miter(miter, bp);
-      deliver(r.verdict, std::move(r.cex), "bdd");
+      box.deliver(r.verdict, std::move(r.cex), "bdd", total.seconds());
     });
   }
   if (params.run_bdd_sweep) {
     threads.emplace_back([&] {
       bdd::BddSweepParams bp = params.bdd_sweep;
-      bp.cancel = &cancel;
+      bp.cancel = cancel;
       bdd::BddSweepResult r = bdd::bdd_sweep_miter(miter, bp);
-      deliver(r.verdict, std::move(r.cex), "bdd-sweep");
+      box.deliver(r.verdict, std::move(r.cex), "bdd-sweep", total.seconds());
     });
   }
   for (auto& t : threads) t.join();
+  PortfolioResult result = box.take();
   if (result.verdict == Verdict::kUndecided) result.seconds = total.seconds();
   return result;
 }

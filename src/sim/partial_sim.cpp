@@ -21,10 +21,12 @@ void PatternBank::append_words(const std::vector<Word>& per_pi_words) {
   assert(per_pi_words.size() == num_pis_);
   std::vector<Word> next(static_cast<std::size_t>(num_pis_) *
                          (num_words_ + 1));
+  // words_.data() (not &words_[i]): the bank may hold zero words, and
+  // operator[] on an empty vector is UB even for a zero-length copy.
   for (unsigned pi = 0; pi < num_pis_; ++pi) {
-    std::copy_n(&words_[static_cast<std::size_t>(pi) * num_words_],
-                num_words_, &next[static_cast<std::size_t>(pi) *
-                                  (num_words_ + 1)]);
+    std::copy_n(words_.data() + static_cast<std::size_t>(pi) * num_words_,
+                num_words_, next.data() + static_cast<std::size_t>(pi) *
+                                              (num_words_ + 1));
     next[static_cast<std::size_t>(pi) * (num_words_ + 1) + num_words_] =
         per_pi_words[pi];
   }
@@ -37,8 +39,9 @@ void PatternBank::truncate_front(std::size_t max_words) {
   const std::size_t drop = num_words_ - max_words;
   std::vector<Word> next(static_cast<std::size_t>(num_pis_) * max_words);
   for (unsigned pi = 0; pi < num_pis_; ++pi)
-    std::copy_n(&words_[static_cast<std::size_t>(pi) * num_words_ + drop],
-                max_words, &next[static_cast<std::size_t>(pi) * max_words]);
+    std::copy_n(
+        words_.data() + static_cast<std::size_t>(pi) * num_words_ + drop,
+        max_words, next.data() + static_cast<std::size_t>(pi) * max_words);
   words_ = std::move(next);
   num_words_ = max_words;
 }
@@ -78,6 +81,10 @@ Signatures simulate(const aig::Aig& aig, const PatternBank& bank) {
 
   // Level-parallel sweep over AND nodes: batch nodes by level and process
   // each batch with a parallel_for (paper's second parallelism dimension).
+  // Concurrency contract: within a level batch each worker writes only
+  // its own nodes' signature rows (disjoint W-word ranges of sig.words)
+  // and reads rows of strictly lower levels, which the preceding
+  // parallel_for's completion ordered before this one started.
   const auto levels = aig::compute_levels(aig);
   const std::uint32_t max_level =
       *std::max_element(levels.begin(), levels.end());

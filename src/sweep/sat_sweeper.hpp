@@ -34,6 +34,9 @@ struct SweeperParams {
   /// returns kUndecided (used by the portfolio).
   double time_limit = 0;
   /// Cooperative cancellation (portfolio use): checked between SAT calls.
+  /// Annotation audit: the only cross-thread cell of a sweep — written by
+  /// the portfolio/watchdog, read relaxed here; all other sweeper state
+  /// is owned by the calling thread.
   const std::atomic<bool>* cancel = nullptr;
   /// Optional PI pattern bank used to initialize the equivalence classes
   /// (appended to the random patterns). Feeding the engine's bank here

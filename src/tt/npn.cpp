@@ -26,14 +26,14 @@ Word npn_apply(Word func, unsigned k, const NpnTransform& t) {
 
 NpnCanon npn_canonize(Word func, unsigned k) {
   assert(k <= 6);
+  k = std::min(k, 6u);  // make the bound provable for the optimizer
   func &= word_mask(k);
   NpnCanon best;
   best.canon = ~Word{0};
 
-  std::array<std::uint8_t, 6> perm{0, 1, 2, 3, 4, 5};
-  std::array<std::uint8_t, 6> head;
-  std::copy_n(perm.begin(), k, head.begin());
-  std::sort(head.begin(), head.begin() + k);
+  // next_permutation needs a sorted start; {0..5} already is, and only the
+  // first k entries participate.
+  std::array<std::uint8_t, 6> head{0, 1, 2, 3, 4, 5};
   do {
     NpnTransform t;
     std::copy_n(head.begin(), k, t.perm.begin());

@@ -50,7 +50,9 @@ TEST(BddSweep, CutpointsKeepItSound) {
   p.node_size_limit = 4;
   const BddSweepResult r = bdd_sweep(a, b, p);
   EXPECT_NE(r.verdict, Verdict::kNotEquivalent);
-  if (r.verdict == Verdict::kUndecided) EXPECT_GT(r.cutpoints, 0u);
+  if (r.verdict == Verdict::kUndecided) {
+    EXPECT_GT(r.cutpoints, 0u);
+  }
 }
 
 TEST(BddSweep, ManagerOverflowYieldsUndecided) {

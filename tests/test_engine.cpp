@@ -58,7 +58,9 @@ TEST(Engine, DisprovesMutantWithValidCex) {
   const SimCecEngine eng(small_params());
   const EngineResult r = eng.check(a, b);
   ASSERT_EQ(r.verdict, Verdict::kNotEquivalent);
-  if (r.cex) EXPECT_NE(a.evaluate(*r.cex), b.evaluate(*r.cex));
+  if (r.cex) {
+    EXPECT_NE(a.evaluate(*r.cex), b.evaluate(*r.cex));
+  }
 }
 
 class EngineOracle : public ::testing::TestWithParam<std::uint64_t> {};
@@ -73,8 +75,12 @@ TEST_P(EngineOracle, VerdictMatchesBruteForce) {
   const bool equivalent = aig::brute_force_equivalent(a, b);
   const SimCecEngine eng(small_params());
   const EngineResult r = eng.check(a, b);
-  if (r.verdict == Verdict::kEquivalent) EXPECT_TRUE(equivalent);
-  if (r.verdict == Verdict::kNotEquivalent) EXPECT_FALSE(equivalent);
+  if (r.verdict == Verdict::kEquivalent) {
+    EXPECT_TRUE(equivalent);
+  }
+  if (r.verdict == Verdict::kNotEquivalent) {
+    EXPECT_FALSE(equivalent);
+  }
   // With 8 PIs everything is simulatable: the verdict must be decisive.
   EXPECT_NE(r.verdict, Verdict::kUndecided);
 }
@@ -219,8 +225,9 @@ TEST(Engine, PassAblationStillSound) {
     EngineParams p = small_params();
     p.local_passes = {pass == 0, pass == 1, pass == 2};
     const EngineResult r = SimCecEngine(p).check(a, b);
-    if (r.verdict != Verdict::kUndecided)
+    if (r.verdict != Verdict::kUndecided) {
       EXPECT_EQ(r.verdict == Verdict::kEquivalent, equivalent);
+    }
   }
 }
 

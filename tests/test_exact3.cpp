@@ -84,7 +84,9 @@ TEST_P(ExactRewrite, PreservesFunctionAndNeverGrows) {
   const Aig b = exact_rewrite3(a, &stats);
   EXPECT_TRUE(aig::brute_force_equivalent(a, b));
   EXPECT_LE(b.num_ands(), a.num_ands());
-  if (stats.cones_rewritten > 0) EXPECT_GT(stats.ands_saved, 0u);
+  if (stats.cones_rewritten > 0) {
+    EXPECT_GT(stats.ands_saved, 0u);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ExactRewrite,

@@ -87,8 +87,9 @@ TEST(Distance1Cex, SoundAndAgreesWithBaseline) {
     engine::EngineParams p = small_params();
     p.distance1_cex = true;
     const engine::EngineResult r = engine::SimCecEngine(p).check(a, b);
-    if (r.verdict != Verdict::kUndecided)
+    if (r.verdict != Verdict::kUndecided) {
       EXPECT_EQ(r.verdict == Verdict::kEquivalent, equivalent);
+    }
   }
 }
 

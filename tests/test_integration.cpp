@@ -52,8 +52,9 @@ TEST_P(SuiteFamily, InjectedBugIsCaught) {
   // The mutation may or may not change the function; whatever the engine
   // says must match a direct sampled comparison.
   if (r.verdict == Verdict::kNotEquivalent) {
-    if (r.cex)
+    if (r.cex) {
       EXPECT_NE(c.original.evaluate(*r.cex), broken.evaluate(*r.cex));
+    }
   } else {
     EXPECT_EQ(r.verdict, Verdict::kEquivalent);
     // Sampled agreement check.

@@ -50,7 +50,9 @@ TEST(Combined, SatFinishesWhatEngineLeaves) {
   EXPECT_EQ(r.verdict, Verdict::kEquivalent);
   // Either the engine managed alone or SAT ran; both are acceptable, but
   // the timing columns must be consistent with the path taken.
-  if (r.used_sat) EXPECT_GT(r.sat_seconds, 0.0);
+  if (r.used_sat) {
+    EXPECT_GT(r.sat_seconds, 0.0);
+  }
 }
 
 TEST(Combined, DisproofPropagates) {
@@ -59,7 +61,9 @@ TEST(Combined, DisproofPropagates) {
   if (aig::brute_force_equivalent(a, b)) GTEST_SKIP() << "mutation no-op";
   const CombinedResult r = combined_check(a, b, small_combined());
   ASSERT_EQ(r.verdict, Verdict::kNotEquivalent);
-  if (r.cex) EXPECT_NE(a.evaluate(*r.cex), b.evaluate(*r.cex));
+  if (r.cex) {
+    EXPECT_NE(a.evaluate(*r.cex), b.evaluate(*r.cex));
+  }
 }
 
 class CombinedOracle : public ::testing::TestWithParam<std::uint64_t> {};
@@ -96,7 +100,9 @@ TEST(Portfolio, DisproofWithCex) {
   p.combined = small_combined();
   const PortfolioResult r = portfolio_check(a, b, p);
   ASSERT_EQ(r.verdict, Verdict::kNotEquivalent);
-  if (r.cex) EXPECT_NE(a.evaluate(*r.cex), b.evaluate(*r.cex));
+  if (r.cex) {
+    EXPECT_NE(a.evaluate(*r.cex), b.evaluate(*r.cex));
+  }
 }
 
 TEST(Portfolio, SubsetOfEnginesStillWorks) {

@@ -172,9 +172,10 @@ TEST(EcManager, NeverSeparatesTrulyEquivalentNodes) {
     for (Var v : ec.classes()[c]) class_of[v] = static_cast<int>(c);
   for (Var u = 0; u < a.num_nodes(); ++u)
     for (Var v = u + 1; v < a.num_nodes(); ++v)
-      if (tts[u] == tts[v] || tts[u] == ~tts[v])
+      if (tts[u] == tts[v] || tts[u] == ~tts[v]) {
         ASSERT_TRUE(class_of[u] >= 0 && class_of[u] == class_of[v])
             << "equivalent nodes " << u << "," << v << " separated";
+      }
 }
 
 TEST(EcManager, RefineSplitsOnDistinguishingPattern) {

@@ -74,10 +74,12 @@ TEST(Window, LevelGroupingIsTopological) {
   for (std::size_t i = 0; i < w->wnodes.size(); ++i) {
     const std::uint32_t self = static_cast<std::uint32_t>(
         w->inputs.size() + i);
-    if (w->wnodes[i].slot0 != kSlotConst0)
+    if (w->wnodes[i].slot0 != kSlotConst0) {
       ASSERT_LT(w->wnodes[i].slot0, self);
-    if (w->wnodes[i].slot1 != kSlotConst0)
+    }
+    if (w->wnodes[i].slot1 != kSlotConst0) {
       ASSERT_LT(w->wnodes[i].slot1, self);
+    }
   }
   // Level offsets are monotone and cover all nodes.
   ASSERT_FALSE(w->level_offset.empty());

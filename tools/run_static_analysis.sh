@@ -1,0 +1,129 @@
+#!/usr/bin/env bash
+# SimSweep static/dynamic concurrency-analysis driver.
+#
+# Modes:
+#   --ctest (default)  Fast static passes only: clang-tidy (.clang-tidy:
+#                      bugprone-*, concurrency-*, performance-*) and the
+#                      Clang -Wthread-safety annotation check. Skips
+#                      (exit 77, the ctest SKIP code) when no Clang
+#                      toolchain is installed — GCC-only hosts still get
+#                      the annotations compiled (as no-ops) by the normal
+#                      build, just not the analysis.
+#   --full             Everything above, plus the dynamic matrix:
+#                        * SIMSWEEP_CHECKED build + executor-invariant
+#                          death tests (test_parallel)
+#                        * SIMSWEEP_SANITIZE=thread build + `ctest -L tsan`
+#                        * SIMSWEEP_SANITIZE=address;undefined + full ctest
+#
+# Exit: 0 = all requested passes clean; 77 = nothing to run (no tools);
+#       anything else = a pass failed.
+set -u
+
+SRC="${SIMSWEEP_SOURCE_DIR:-$(cd "$(dirname "$0")/.." && pwd)}"
+MODE="${1:---ctest}"
+JOBS="${SIMSWEEP_ANALYSIS_JOBS:-$(nproc 2>/dev/null || echo 2)}"
+
+ran_any=0
+failed=0
+
+note()  { printf '== %s\n' "$*"; }
+fail()  { printf 'FAIL: %s\n' "$*" >&2; failed=1; }
+
+# ---------------------------------------------------------------- clang-tidy
+run_clang_tidy() {
+  local tidy
+  tidy=$(command -v clang-tidy || true)
+  if [ -z "$tidy" ]; then
+    note "clang-tidy not installed - skipping tidy pass"
+    return 0
+  fi
+  ran_any=1
+  local db="$SRC/build-analysis"
+  note "clang-tidy: configuring compile database in $db"
+  cmake -B "$db" -S "$SRC" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+        >/dev/null || { fail "clang-tidy: cmake configure"; return 1; }
+  note "clang-tidy: checking src/ (config: .clang-tidy)"
+  local rc=0 f
+  while IFS= read -r f; do
+    "$tidy" -p "$db" --quiet "$f" || rc=1
+  done < <(find "$SRC/src" -name '*.cpp' | sort)
+  [ "$rc" -eq 0 ] || fail "clang-tidy reported findings"
+}
+
+# ------------------------------------------------- Clang thread-safety pass
+run_thread_safety() {
+  local cxx
+  cxx=$(command -v clang++ || true)
+  if [ -z "$cxx" ]; then
+    note "clang++ not installed - skipping -Wthread-safety pass"
+    return 0
+  fi
+  ran_any=1
+  note "-Wthread-safety: syntax-checking src/ with clang++"
+  local rc=0 f
+  while IFS= read -r f; do
+    "$cxx" -fsyntax-only -std=c++20 -Wall -Wextra \
+           -Wthread-safety -Werror=thread-safety \
+           -I "$SRC/src" "$f" || rc=1
+  done < <(find "$SRC/src" -name '*.cpp' | sort)
+  [ "$rc" -eq 0 ] || fail "-Wthread-safety pass reported errors"
+}
+
+# ------------------------------------------------------- dynamic build matrix
+build_and_test() {
+  # build_and_test <dir-suffix> <ctest-args...> -- <cmake-args...>
+  local dir="$SRC/build-$1"; shift
+  local ctest_args=()
+  while [ "$#" -gt 0 ] && [ "$1" != "--" ]; do ctest_args+=("$1"); shift; done
+  [ "$#" -gt 0 ] && shift  # drop --
+  ran_any=1
+  note "matrix[$dir]: configure ($*)"
+  cmake -B "$dir" -S "$SRC" "$@" >/dev/null \
+    || { fail "$dir: configure"; return 1; }
+  note "matrix[$dir]: build"
+  cmake --build "$dir" -j "$JOBS" >/dev/null \
+    || { fail "$dir: build"; return 1; }
+  note "matrix[$dir]: ctest ${ctest_args[*]:-}"
+  (cd "$dir" && ctest --output-on-failure -j "$JOBS" "${ctest_args[@]}") \
+    || fail "$dir: tests"
+}
+
+run_full_matrix() {
+  # Checked build: executor protocol invariants + the deliberate-violation
+  # death tests live in test_parallel.
+  build_and_test checked -R 'ThreadPool|StagePlan|Checked' \
+    -- -DSIMSWEEP_CHECKED=ON
+  # TSan over the concurrency-labelled suites.
+  build_and_test tsan -L tsan -LE static_analysis \
+    -- -DSIMSWEEP_SANITIZE=thread
+  # ASan+UBSan over the whole suite (static_analysis itself excluded to
+  # avoid recursion).
+  build_and_test asan -LE static_analysis \
+    -- "-DSIMSWEEP_SANITIZE=address;undefined"
+}
+
+case "$MODE" in
+  --ctest|--quick)
+    run_clang_tidy
+    run_thread_safety
+    ;;
+  --full)
+    run_clang_tidy
+    run_thread_safety
+    run_full_matrix
+    ;;
+  *)
+    echo "usage: $0 [--ctest|--quick|--full]" >&2
+    exit 2
+    ;;
+esac
+
+if [ "$failed" -ne 0 ]; then
+  echo "static analysis: FAILED" >&2
+  exit 1
+fi
+if [ "$ran_any" -eq 0 ]; then
+  echo "static analysis: no analysis tool available on this host - SKIP"
+  exit 77
+fi
+echo "static analysis: OK"
