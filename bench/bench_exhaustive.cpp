@@ -35,6 +35,7 @@
 #include "aig/miter.hpp"
 #include "exhaustive/exhaustive_sim.hpp"
 #include "gen/arith.hpp"
+#include "obs/registry.hpp"
 #include "window/window_merge.hpp"
 
 namespace {
@@ -162,6 +163,10 @@ struct JsonRow {
   double words_per_sec = 0.0;
   std::size_t rounds = 0;
   std::size_t entry_words = 0;
+  /// Simulator counters accumulated over the timed reps (obs registry
+  /// snapshot; publishing happens at batch end, outside the hot loops, so
+  /// the overhead contract of DESIGN.md §2.3 keeps the numbers honest).
+  obs::Snapshot obs;
 };
 
 JsonRow measure(const char* name, const aig::Aig& a,
@@ -170,12 +175,16 @@ JsonRow measure(const char* name, const aig::Aig& a,
   JsonRow row;
   row.name = name;
   row.windows = windows.size();
-  // Warm-up rep (first-touch page faults, cache fill).
+  obs::Registry registry;
+  exhaustive::Params params;
+  params.obs = &registry;
+  // Warm-up rep (first-touch page faults, cache fill) — uninstrumented so
+  // the counters cover exactly the timed reps.
   (void)exhaustive::check_batch(a, windows, {});
   const auto start = std::chrono::steady_clock::now();
   double elapsed = 0.0;
   do {
-    const auto r = exhaustive::check_batch(a, windows, {});
+    const auto r = exhaustive::check_batch(a, windows, params);
     benchmark::DoNotOptimize(r.outcomes.data());
     row.words_simulated += r.words_simulated;
     row.rounds = r.rounds;
@@ -188,6 +197,7 @@ JsonRow measure(const char* name, const aig::Aig& a,
   row.wall_seconds = elapsed;
   row.words_per_sec =
       static_cast<double>(row.words_simulated) / row.wall_seconds;
+  row.obs = registry.snapshot();
   return row;
 }
 
@@ -231,10 +241,21 @@ int run_json(const char* path, bool smoke) {
                  "    {\"name\": \"%s\", \"windows\": %zu, \"reps\": %zu, "
                  "\"wall_seconds\": %.6f, \"words_simulated\": %zu, "
                  "\"words_per_sec\": %.3e, \"rounds\": %zu, "
-                 "\"entry_words\": %zu}%s\n",
+                 "\"entry_words\": %zu,\n     \"obs\": {",
                  r.name.c_str(), r.windows, r.reps, r.wall_seconds,
-                 r.words_simulated, r.words_per_sec, r.rounds, r.entry_words,
-                 i + 1 < rows.size() ? "," : "");
+                 r.words_simulated, r.words_per_sec, r.rounds, r.entry_words);
+    // Simulator counters with flat dotted keys, next to the perf metric.
+    for (std::size_t m = 0; m < r.obs.metrics.size(); ++m) {
+      const obs::Metric& metric = r.obs.metrics[m];
+      if (metric.kind == obs::MetricKind::kCounter)
+        std::fprintf(f, "%s\"%s\": %llu", m > 0 ? ", " : "",
+                     metric.name.c_str(),
+                     static_cast<unsigned long long>(metric.count));
+      else
+        std::fprintf(f, "%s\"%s\": %.9g", m > 0 ? ", " : "",
+                     metric.name.c_str(), metric.value);
+    }
+    std::fprintf(f, "}}%s\n", i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   if (std::ferror(f) != 0 || std::fclose(f) != 0) {

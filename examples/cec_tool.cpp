@@ -3,28 +3,38 @@
 /// "&cec"-style front end of the library.
 ///
 /// Usage:
-///   ./cec_tool a.aig b.aig        check two AIGER circuits
-///   ./cec_tool --demo             generate a demo pair, write it to the
-///                                 working directory, and check it
+///   ./cec_tool [--json-report <path>] a.aig b.aig
+///   ./cec_tool [--json-report <path>] --demo
+///
+/// --demo generates a demo pair, writes it to the working directory, and
+/// checks it. --json-report writes the run's metric snapshot (DESIGN.md
+/// §2.3, schema simsweep.run_report.v1) to <path>.
 ///
 /// Exit code: 0 equivalent, 1 not equivalent, 2 undecided, 3 usage error.
 
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "aig/aig_io.hpp"
 #include "aig/cex.hpp"
 #include "aig/miter.hpp"
 #include "gen/suite.hpp"
+#include "obs/report.hpp"
 #include "portfolio/portfolio.hpp"
 
 namespace {
 
-int check(const simsweep::aig::Aig& a, const simsweep::aig::Aig& b) {
+int check(const simsweep::aig::Aig& a, const simsweep::aig::Aig& b,
+          const std::string& report_path) {
   using namespace simsweep;
-  // NOLINTNEXTLINE(misc-unused-using-decls)
-  portfolio::CombinedParams params;  // paper-default engine parameters
+  portfolio::CombinedParams params;
+  // The paper's engine parameters rescaled to CPU exhaustive-simulation
+  // reach (2^24 patterns one-shot), matching the benches' convention.
+  params.engine.k_P = 24;
+  params.engine.k_p = 14;
+  params.engine.k_g = 14;
   const portfolio::CombinedResult r = portfolio::combined_check(a, b, params);
   std::printf("engine:   %.3fs, reduced %.1f%% of the miter\n",
               r.engine_seconds, r.reduction_percent);
@@ -49,6 +59,15 @@ int check(const simsweep::aig::Aig& a, const simsweep::aig::Aig& b) {
       std::printf("  (%zu of %u inputs)\n", mc.num_care, miter.num_pis());
     }
   }
+  if (!report_path.empty()) {
+    if (obs::write_json_file(r.report, report_path)) {
+      std::printf("report:   %s\n", report_path.c_str());
+    } else {
+      std::fprintf(stderr, "error: cannot write report to %s\n",
+                   report_path.c_str());
+      return 3;
+    }
+  }
   switch (r.verdict) {
     case Verdict::kEquivalent: return 0;
     case Verdict::kNotEquivalent: return 1;
@@ -57,33 +76,55 @@ int check(const simsweep::aig::Aig& a, const simsweep::aig::Aig& b) {
   return 3;
 }
 
+int usage(const char* prog) {
+  std::fprintf(stderr,
+               "usage: %s [--json-report <path>] (<a.aig> <b.aig> | --demo)\n",
+               prog);
+  return 3;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace simsweep;
-  if (argc == 2 && std::strcmp(argv[1], "--demo") == 0) {
+  bool demo = false;
+  std::string report_path;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--demo") == 0) {
+      demo = true;
+    } else if (std::strcmp(argv[i], "--json-report") == 0) {
+      if (i + 1 >= argc) return usage(argv[0]);
+      report_path = argv[++i];
+    } else if (argv[i][0] == '-') {
+      return usage(argv[0]);
+    } else {
+      files.emplace_back(argv[i]);
+    }
+  }
+  if (demo) {
+    if (!files.empty()) return usage(argv[0]);
+    // The multiplier pair exercises the whole flow (P, G and L phases);
+    // simpler families are fully proved by PO checking alone.
     gen::SuiteParams sp;
     sp.doublings = 1;
-    const gen::BenchCase c = gen::make_case("square", sp);
+    const gen::BenchCase c = gen::make_case("multiplier", sp);
     aig::write_aiger_file(c.original, "demo_original.aig");
     aig::write_aiger_file(c.optimized, "demo_optimized.aig");
     std::printf("wrote demo_original.aig (%zu ANDs) and "
                 "demo_optimized.aig (%zu ANDs)\n",
                 c.original.num_ands(), c.optimized.num_ands());
-    return check(c.original, c.optimized);
+    return check(c.original, c.optimized, report_path);
   }
-  if (argc != 3) {
-    std::fprintf(stderr, "usage: %s <a.aig> <b.aig> | --demo\n", argv[0]);
-    return 3;
-  }
+  if (files.size() != 2) return usage(argv[0]);
   try {
-    const aig::Aig a = aig::read_aiger_file(argv[1]);
-    const aig::Aig b = aig::read_aiger_file(argv[2]);
-    std::printf("%s: %u PIs, %zu POs, %zu ANDs\n", argv[1], a.num_pis(),
-                a.num_pos(), a.num_ands());
-    std::printf("%s: %u PIs, %zu POs, %zu ANDs\n", argv[2], b.num_pis(),
-                b.num_pos(), b.num_ands());
-    return check(a, b);
+    const aig::Aig a = aig::read_aiger_file(files[0].c_str());
+    const aig::Aig b = aig::read_aiger_file(files[1].c_str());
+    std::printf("%s: %u PIs, %zu POs, %zu ANDs\n", files[0].c_str(),
+                a.num_pis(), a.num_pos(), a.num_ands());
+    std::printf("%s: %u PIs, %zu POs, %zu ANDs\n", files[1].c_str(),
+                b.num_pis(), b.num_pos(), b.num_ands());
+    return check(a, b, report_path);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 3;

@@ -9,6 +9,7 @@
 
 #include "engine/engine.hpp"
 #include "gen/suite.hpp"
+#include "obs/report.hpp"
 #include "sweep/sat_sweeper.hpp"
 
 int main(int argc, char** argv) {
@@ -64,5 +65,8 @@ int main(int argc, char** argv) {
                 to_string(sr.verdict), sr.stats.seconds,
                 sr.stats.sat_calls);
   }
+
+  std::printf("run report (schema %s):\n%s\n", obs::kSchemaId,
+              obs::to_json(r.report).c_str());
   return 0;
 }

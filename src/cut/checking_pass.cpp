@@ -1,6 +1,8 @@
 #include "cut/checking_pass.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <bit>
 #include <cassert>
 
 #include "common/log.hpp"
@@ -123,6 +125,16 @@ PassResult run_checking_pass(const aig::Aig& aig,
     max_el = std::max(max_el, el[v]);
     ++num_needed_ands;
   }
+  result.stats.levels = max_el;
+  // Log2-bucketed enumeration-level histogram of the needed AND nodes.
+  for (aig::Var v = aig.num_pis() + 1; v < aig.num_nodes(); ++v) {
+    if (!needed[v] || !aig.is_and(v)) continue;
+    const std::size_t bucket =
+        std::bit_width(static_cast<std::size_t>(el[v])) - 1;
+    if (result.stats.level_hist.size() <= bucket)
+      result.stats.level_hist.resize(bucket + 1, 0);
+    ++result.stats.level_hist[bucket];
+  }
   std::vector<std::size_t> offset(max_el + 2, 0);
   for (aig::Var v = aig.num_pis() + 1; v < aig.num_nodes(); ++v)
     if (needed[v]) ++offset[el[v] + 1];
@@ -149,17 +161,31 @@ PassResult run_checking_pass(const aig::Aig& aig,
     const std::size_t lo = offset[l], hi = offset[l + 1];
     if (lo == hi) continue;
 
-    // Lines 9-10: parallel priority-cut computation for this level.
+    // Lines 9-10: parallel priority-cut computation for this level. The
+    // enumerated/kept counts accumulate in chunk locals; one atomic add
+    // per chunk keeps the telemetry off the per-node path.
+    std::atomic<std::size_t> level_enumerated{0};
+    std::atomic<std::size_t> level_selected{0};
+    const unsigned num_cuts = params.enum_params.num_cuts;
     parallel::parallel_for_chunks(lo, hi, [&](std::size_t clo,
                                               std::size_t chi) {
+      std::size_t enumerated = 0, selected = 0;
       for (std::size_t k = clo; k < chi; ++k) {
         const aig::Var n = order[k];
         const aig::Var r = repr_of[n];
         const CutSet* sim_target =
             (r != kNoRepr && r != 0) ? &pc.cuts(r) : nullptr;
-        pc.compute_node(n, scorer, sim_target);
+        const std::size_t cand = pc.compute_node(n, scorer, sim_target);
+        enumerated += cand;
+        selected += std::min<std::size_t>(cand, num_cuts);
       }
+      level_enumerated.fetch_add(enumerated, std::memory_order_relaxed);
+      level_selected.fetch_add(selected, std::memory_order_relaxed);
     });
+    result.stats.cuts_enumerated +=
+        level_enumerated.load(std::memory_order_relaxed);
+    result.stats.cuts_selected +=
+        level_selected.load(std::memory_order_relaxed);
 
     // Lines 11-16: common cuts of this level's pairs into the buffer.
     // Generated in parallel, inserted sequentially (order is

@@ -46,6 +46,15 @@ struct PassStats {
   std::size_t checks = 0;        ///< exhaustively simulated cut checks
   std::size_t flushes = 0;       ///< buffer flushes (incl. the final one)
   std::size_t proved = 0;        ///< tasks proved by this pass
+  /// Candidate cuts enumerated across all compute_node() calls (|E(n)|
+  /// after dedup) vs. the priority cuts actually kept (≤ C each) — the
+  /// pass's selection pressure.
+  std::size_t cuts_enumerated = 0;
+  std::size_t cuts_selected = 0;
+  std::size_t levels = 0;  ///< enumeration levels walked (max Eq. 2 level)
+  /// Histogram of needed AND nodes by enumeration level, log2-bucketed:
+  /// level_hist[b] counts nodes with floor(log2(level)) == b.
+  std::vector<std::size_t> level_hist;
 };
 
 struct PassResult {

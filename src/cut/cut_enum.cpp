@@ -78,8 +78,8 @@ PriorityCuts::PriorityCuts(const aig::Aig& aig, const EnumParams& params)
     sets_[v].add(Cut::trivial(v));
 }
 
-void PriorityCuts::compute_node(aig::Var n, const CutScorer& scorer,
-                                const CutSet* sim_target) {
+std::size_t PriorityCuts::compute_node(aig::Var n, const CutScorer& scorer,
+                                       const CutSet* sim_target) {
   assert(aig_.is_and(n));
   const aig::Var n0 = aig::lit_var(aig_.fanin0(n));
   const aig::Var n1 = aig::lit_var(aig_.fanin1(n));
@@ -124,13 +124,16 @@ void PriorityCuts::compute_node(aig::Var n, const CutScorer& scorer,
     std::vector<Cut> selected(keep);
     for (unsigned i = 0; i < keep; ++i) selected[i] = cand[order[i]];
     sets_[n].cuts() = std::move(selected);
+    return cand.size();
   } else {
     std::partial_sort(cand.begin(), cand.begin() + keep, cand.end(),
                       [&scorer](const Cut& a, const Cut& b) {
                         return scorer.better(a, b);
                       });
+    const std::size_t enumerated = cand.size();
     cand.resize(keep);
     sets_[n].cuts() = std::move(cand);
+    return enumerated;
   }
 }
 

@@ -77,9 +77,11 @@ class PriorityCuts {
   /// Computes P(n) for an AND node. Both fanins' cut sets must already be
   /// computed. If sim_target is non-null the node ranks cuts by similarity
   /// to it (non-representative rule). PIs are pre-seeded with their
-  /// trivial cut (Alg. 2 lines 4-5).
-  void compute_node(aig::Var n, const CutScorer& scorer,
-                    const CutSet* sim_target);
+  /// trivial cut (Alg. 2 lines 4-5). Returns the number of candidate cuts
+  /// enumerated (|E(n)| after dedup), of which min(C, count) were kept —
+  /// callers aggregate this into the per-pass hit-rate telemetry.
+  std::size_t compute_node(aig::Var n, const CutScorer& scorer,
+                           const CutSet* sim_target);
 
   const CutSet& cuts(aig::Var v) const { return sets_[v]; }
   const EnumParams& params() const { return params_; }

@@ -4,10 +4,55 @@
 #include <chrono>
 #include <thread>
 
+#include <algorithm>
+
 #include "common/log.hpp"
 #include "common/timer.hpp"
+#include "parallel/thread_pool.hpp"
 
 namespace simsweep::engine {
+
+/// Engine-level gauges, published with set semantics: when a chain of
+/// attempts shares one registry the caller republishes its merged stats
+/// last, so the final snapshot shows chain totals.
+void publish_engine_stats(obs::Registry& r, const EngineStats& s) {
+  r.set("engine.po_seconds", s.po_seconds);
+  r.set("engine.global_seconds", s.global_seconds);
+  r.set("engine.local_seconds", s.local_seconds);
+  r.set("engine.other_seconds", s.other_seconds);
+  r.set("engine.total_seconds", s.total_seconds);
+  r.set("engine.initial_ands", static_cast<double>(s.initial_ands));
+  r.set("engine.final_ands", static_cast<double>(s.final_ands));
+  r.set("engine.pos_total", static_cast<double>(s.pos_total));
+  r.set("engine.pos_proved", static_cast<double>(s.pos_proved));
+  r.set("engine.pairs_proved_global",
+        static_cast<double>(s.pairs_proved_global));
+  r.set("engine.pairs_proved_local",
+        static_cast<double>(s.pairs_proved_local));
+  r.set("engine.pairs_disproved", static_cast<double>(s.pairs_disproved));
+  r.set("engine.cex_count", static_cast<double>(s.cex_count));
+  r.set("engine.local_phases", static_cast<double>(s.local_phases));
+  r.set("engine.reduction_percent", s.reduction_percent());
+}
+
+void accumulate_attempt_stats(EngineStats& next, const EngineStats& prev) {
+  next.po_seconds += prev.po_seconds;
+  next.global_seconds += prev.global_seconds;
+  next.local_seconds += prev.local_seconds;
+  next.other_seconds += prev.other_seconds;
+  next.total_seconds += prev.total_seconds;
+  // The chain starts from the first attempt's miter: its initial size and
+  // PO count are the ones reduction_percent() must be measured against.
+  next.initial_ands = prev.initial_ands;
+  next.pos_total = prev.pos_total;
+  // final_ands stays next's own (the latest reduction state).
+  next.pos_proved += prev.pos_proved;
+  next.pairs_proved_global += prev.pairs_proved_global;
+  next.pairs_proved_local += prev.pairs_proved_local;
+  next.pairs_disproved += prev.pairs_disproved;
+  next.cex_count += prev.cex_count;
+  next.local_phases += prev.local_phases;
+}
 
 EngineResult SimCecEngine::check_miter(aig::Aig miter) const {
   Timer total;
@@ -52,12 +97,28 @@ EngineResult SimCecEngine::check_miter(aig::Aig miter) const {
   ctx.stats.initial_ands = ctx.miter.num_ands();
   ctx.stats.pos_total = ctx.miter.num_pos();
 
+  // Metrics sink: the caller's registry when provided (shared across
+  // attempts), else a private one so result.report is always populated.
+  obs::Registry local_registry;
+  obs::Registry& registry =
+      params_.registry != nullptr ? *params_.registry : local_registry;
+  ctx.obs = &registry;
+
   EngineResult result;
   auto finish = [&](Verdict verdict) {
     done.store(true, std::memory_order_relaxed);
     if (watchdog.joinable()) watchdog.join();
     ctx.stats.final_ands = ctx.miter.num_ands();
     ctx.stats.total_seconds = total.seconds();
+    // Everything outside the three phase timers: simulation init, EC
+    // building, rebuilds, watchdog setup. Clamped at 0 against timer skew.
+    ctx.stats.other_seconds = std::max(
+        0.0, ctx.stats.total_seconds -
+                 (ctx.stats.po_seconds + ctx.stats.global_seconds +
+                  ctx.stats.local_seconds));
+    publish_engine_stats(registry, ctx.stats);
+    parallel::ThreadPool::global().publish(registry);
+    result.report = registry.snapshot();
     result.verdict = verdict;
     result.reduced = std::move(ctx.miter);
     result.cex = std::move(ctx.cex);

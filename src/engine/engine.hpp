@@ -30,6 +30,7 @@
 #include "aig/aig.hpp"
 #include "aig/miter.hpp"
 #include "common/verdict.hpp"
+#include "obs/registry.hpp"
 #include "sim/partial_sim.hpp"
 
 namespace simsweep::engine {
@@ -97,6 +98,13 @@ struct EngineParams {
   /// same cancellation checkpoints via an internal watchdog, so expiry
   /// yields kUndecided with whatever reduction was achieved so far.
   double time_limit = 0;
+
+  /// Optional metrics registry (DESIGN.md §2.3). When set, the engine and
+  /// its phases publish their module counters (exhaustive.*, cut.*, ec.*,
+  /// partial_sim.*, miter.*, engine.*, pool.*) into it; a shared registry
+  /// accumulates across engine attempts. When null the engine uses a
+  /// private registry so EngineResult::report is always populated.
+  obs::Registry* registry = nullptr;
 };
 
 struct EngineStats {
@@ -140,6 +148,10 @@ struct EngineResult {
   /// paper's §V "EC transferring": pairs the engine disproved are
   /// separated by these patterns, so SAT never re-checks them.
   std::optional<sim::PatternBank> bank;
+  /// Metric snapshot taken at the end of the run (the registry's state —
+  /// the caller's if EngineParams::registry was set, else the engine's
+  /// private one). Serialize with obs::to_json().
+  obs::Snapshot report;
 };
 
 class SimCecEngine {
@@ -184,6 +196,10 @@ struct EngineContext {
   std::optional<sim::PatternBank> bank;
   /// L-phase pass activity (adaptive_passes extension).
   std::array<bool, 3> active_passes{true, true, true};
+  /// Metrics sink; set by check_miter() before any phase runs (never null
+  /// inside a phase — the engine substitutes a private registry when the
+  /// caller provided none).
+  obs::Registry* obs = nullptr;
 };
 
 /// Returns false if the miter was disproved (stop immediately).
@@ -196,5 +212,19 @@ std::size_t run_global_phase(EngineContext& ctx, unsigned k_g);
 bool run_local_phase(EngineContext& ctx);
 
 }  // namespace detail
+
+/// Folds the stats of a finished engine attempt (`prev`) into the stats of
+/// the attempt that continued from its reduced miter (`next`), so a chain
+/// of attempts reports work and time totals across the whole chain:
+/// counters and per-phase seconds accumulate, `initial_ands`/`pos_total`
+/// keep the FIRST attempt's view of the original miter, and `final_ands`
+/// stays `next`'s (the latest reduction). Used by the portfolio's
+/// rewriting-interleaved engine loop.
+void accumulate_attempt_stats(EngineStats& next, const EngineStats& prev);
+
+/// Publishes EngineStats as `engine.*` gauges (set semantics — the last
+/// publisher into a shared registry wins, so callers that merge stats
+/// across attempts republish the merged totals last).
+void publish_engine_stats(obs::Registry& registry, const EngineStats& stats);
 
 }  // namespace simsweep::engine

@@ -7,6 +7,8 @@
 #include "aig/aig.hpp"
 #include "engine/engine.hpp"
 #include "exhaustive/exhaustive_sim.hpp"
+#include "sim/ec_manager.hpp"
+#include "window/window_merge.hpp"
 
 namespace simsweep::engine::detail {
 
@@ -23,6 +25,60 @@ inline std::vector<bool> expand_cex(
     if (var >= 1 && var <= miter.num_pis()) pi_values[var - 1] = value;
   }
   return pi_values;
+}
+
+// --- Phase-side metric publishing (DESIGN.md §2.3). ctx.obs is never null
+// inside a phase (check_miter installs a private registry when the caller
+// provided none), and all of these run on the host thread at batch/phase
+// boundaries — never inside a pool worker body.
+
+/// Publishes one merge_windows() run under `exhaustive.merge.*`.
+inline void publish_merge_stats(EngineContext& ctx,
+                                const window::MergeStats& ms) {
+  obs::Registry& r = *ctx.obs;
+  r.add("exhaustive.merge.runs");
+  r.add("exhaustive.merge.windows_before", ms.windows_before);
+  r.add("exhaustive.merge.windows_after", ms.windows_after);
+  r.add("exhaustive.merge.sim_nodes_before", ms.sim_nodes_before);
+  r.add("exhaustive.merge.sim_nodes_after", ms.sim_nodes_after);
+  r.add("exhaustive.merge.merge_groups", ms.merge_groups);
+  r.add("exhaustive.merge.windows_merged", ms.windows_merged);
+  r.add("exhaustive.merge.rejected_capacity", ms.rejected_capacity);
+  r.add("exhaustive.merge.rejected_similarity", ms.rejected_similarity);
+  r.add("exhaustive.merge.build_failures", ms.build_failures);
+}
+
+/// Records one miter rebuild under `miter.*` (called at every rebuild
+/// site with the AND counts on both sides).
+inline void note_rebuild(EngineContext& ctx, std::size_t ands_before,
+                         std::size_t ands_after) {
+  obs::Registry& r = *ctx.obs;
+  r.add("miter.rebuilds");
+  r.add("miter.ands_before", ands_before);
+  r.add("miter.ands_after", ands_after);
+  if (ands_before > ands_after)
+    r.add("miter.ands_removed", ands_before - ands_after);
+}
+
+/// Records one sim::simulate() sweep under `partial_sim.*`.
+inline void note_partial_sim(EngineContext& ctx, std::size_t bank_words) {
+  ctx.obs->add("partial_sim.simulate_calls");
+  ctx.obs->add("partial_sim.pattern_words", bank_words);
+}
+
+/// Publishes the deltas an EcManager accumulated since `since` under
+/// `ec.*` (each phase owns its manager, so publishing its lifetime stats
+/// once at phase end never double counts; `since` supports the G phase's
+/// per-iteration incremental publishing).
+inline void publish_ec_stats(EngineContext& ctx, const sim::EcStats& now,
+                             const sim::EcStats& since = {}) {
+  obs::Registry& r = *ctx.obs;
+  r.add("ec.builds", now.builds - since.builds);
+  r.add("ec.refines", now.refines - since.refines);
+  r.add("ec.classes_built", now.classes_built - since.classes_built);
+  r.add("ec.class_splits", now.class_splits - since.class_splits);
+  r.add("ec.classes_dissolved",
+        now.classes_dissolved - since.classes_dissolved);
 }
 
 }  // namespace simsweep::engine::detail

@@ -41,6 +41,7 @@ std::size_t run_global_phase(EngineContext& ctx, unsigned k_g) {
           sim::PatternBank::random(miter.num_pis(), p.sim_words, p.seed);
     }
   }
+  note_partial_sim(ctx, ctx.bank->num_words());
   sim::Signatures sigs = sim::simulate(miter, *ctx.bank);
   sim::EcManager ec;
   ec.build(miter, sigs);
@@ -63,6 +64,7 @@ std::size_t run_global_phase(EngineContext& ctx, unsigned k_g) {
       inputs_of.push_back(std::move(inputs));
     }
     if (eligible.empty()) break;
+    ctx.obs->add("ec.eligible_pairs", eligible.size());
 
     // Window per pair, built in parallel.
     std::vector<std::optional<window::Window>> built(eligible.size());
@@ -85,6 +87,7 @@ std::size_t run_global_phase(EngineContext& ctx, unsigned k_g) {
     if (p.window_merging) {
       window::MergeStats ms;
       windows = window::merge_windows(miter, std::move(windows), k_g, &ms);
+      publish_merge_stats(ctx, ms);
       SIMSWEEP_LOG_DEBUG("G merge: %zu -> %zu windows, %zu -> %zu sim nodes",
                          ms.windows_before, ms.windows_after,
                          ms.sim_nodes_before, ms.sim_nodes_after);
@@ -95,6 +98,7 @@ std::size_t run_global_phase(EngineContext& ctx, unsigned k_g) {
     sim_params.collect_cex = true;
     sim_params.max_cex = eligible.size();  // guarantee refinement splits
     sim_params.cancel = p.cancel;
+    sim_params.obs = ctx.obs;
 
     std::size_t proved = 0, disproved = 0;
     sim::CexCollector collector(miter.num_pis());
@@ -107,7 +111,12 @@ std::size_t run_global_phase(EngineContext& ctx, unsigned k_g) {
       const exhaustive::BatchResult result =
           exhaustive::check_batch(miter, batch, sim_params);
       if (result.cancelled) {  // outcomes invalid: finish the phase early
-        if (!subst.empty()) ctx.miter = aig::rebuild(miter, subst).aig;
+        if (!subst.empty()) {
+          const std::size_t before = miter.num_ands();
+          ctx.miter = aig::rebuild(miter, subst).aig;
+          note_rebuild(ctx, before, ctx.miter.num_ands());
+        }
+        publish_ec_stats(ctx, ec.stats());
         ctx.stats.global_seconds += t.seconds();
         return subst.num_merged();
       }
@@ -144,6 +153,9 @@ std::size_t run_global_phase(EngineContext& ctx, unsigned k_g) {
     ctx.stats.pairs_proved_global += proved;
     ctx.stats.pairs_disproved += disproved;
     ctx.stats.cex_count += collector.num_cexes();
+    ctx.obs->add("ec.pairs_proved", proved);
+    ctx.obs->add("ec.pairs_disproved", disproved);
+    ctx.obs->add("ec.cexs_absorbed", collector.num_cexes());
     SIMSWEEP_LOG_INFO("G iter %u: %zu proved, %zu disproved (%zu CEX)", iter,
                       proved, disproved, collector.num_cexes());
 
@@ -153,6 +165,7 @@ std::size_t run_global_phase(EngineContext& ctx, unsigned k_g) {
     // engine-wide bank for later phases.
     sim::PatternBank cex_bank(miter.num_pis(), 0);
     collector.flush_into(cex_bank);
+    note_partial_sim(ctx, cex_bank.num_words());
     const sim::Signatures cex_sigs = sim::simulate(miter, cex_bank);
     ec.refine(cex_sigs);
     for (std::size_t w = 0; w < cex_bank.num_words(); ++w) {
@@ -161,11 +174,20 @@ std::size_t run_global_phase(EngineContext& ctx, unsigned k_g) {
         column[pi] = cex_bank.word(pi, w);
       ctx.bank->append_words(column);
     }
-    ctx.bank->truncate_front(p.max_pattern_words);
+    const std::size_t dropped = ctx.bank->truncate_front(p.max_pattern_words);
+    if (dropped > 0) {
+      ctx.obs->add("partial_sim.bank_truncations");
+      ctx.obs->add("partial_sim.words_dropped", dropped);
+    }
   }
 
   const std::size_t merged = subst.num_merged();
-  if (!subst.empty()) ctx.miter = aig::rebuild(miter, subst).aig;
+  if (!subst.empty()) {
+    const std::size_t before = miter.num_ands();
+    ctx.miter = aig::rebuild(miter, subst).aig;
+    note_rebuild(ctx, before, ctx.miter.num_ands());
+  }
+  publish_ec_stats(ctx, ec.stats());
   ctx.stats.global_seconds += t.seconds();
   return merged;
 }

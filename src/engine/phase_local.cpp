@@ -9,6 +9,9 @@
 /// changes after reduction, the next L phase generates different cuts,
 /// giving failed pairs new chances (paper §III-D).
 
+#include <cstdio>
+#include <string>
+
 #include "aig/rebuild.hpp"
 #include "common/log.hpp"
 #include "common/timer.hpp"
@@ -18,6 +21,43 @@
 
 namespace simsweep::engine::detail {
 
+namespace {
+
+/// Publishes one Table I pass under `cut.pass<n>.*` plus the shared
+/// enumeration-level histogram (`cut.level_hist.b<k>`, log2 buckets).
+void publish_pass_stats(EngineContext& ctx, unsigned pass_index,
+                        const cut::PassStats& s) {
+  obs::Registry& r = *ctx.obs;
+  char prefix[24];
+  std::snprintf(prefix, sizeof prefix, "cut.pass%u.", pass_index + 1);
+  const auto name = [&](const char* leaf) {
+    return std::string(prefix) + leaf;
+  };
+  r.add(name("runs"));
+  r.add(name("common_cuts"), s.common_cuts);
+  r.add(name("checks"), s.checks);
+  r.add(name("flushes"), s.flushes);
+  r.add(name("proved"), s.proved);
+  r.add(name("cuts_enumerated"), s.cuts_enumerated);
+  r.add(name("cuts_selected"), s.cuts_selected);
+  r.add(name("levels"), s.levels);
+  // Hit rate of the pass's exhaustive cut checks, cumulative across runs
+  // (recomputed from the registry's own counters so it stays consistent).
+  const obs::Snapshot snap = r.snapshot();
+  const double checks = static_cast<double>(snap.count(name("checks")));
+  const double proved = static_cast<double>(snap.count(name("proved")));
+  r.set(name("hit_rate"), checks > 0 ? proved / checks : 0.0);
+  for (std::size_t b = 0; b < s.level_hist.size(); ++b) {
+    if (s.level_hist[b] == 0) continue;
+    char leaf[40];
+    std::snprintf(leaf, sizeof leaf, "cut.level_hist.b%u",
+                  static_cast<unsigned>(b));
+    r.add(leaf, s.level_hist[b]);
+  }
+}
+
+}  // namespace
+
 bool run_local_phase(EngineContext& ctx) {
   Timer t;
   const EngineParams& p = ctx.params;
@@ -25,9 +65,11 @@ bool run_local_phase(EngineContext& ctx) {
 
   if (!ctx.bank)
     ctx.bank = sim::PatternBank::random(miter.num_pis(), p.sim_words, p.seed);
+  note_partial_sim(ctx, ctx.bank->num_words());
   const sim::Signatures sigs = sim::simulate(miter, *ctx.bank);
   sim::EcManager ec;
   ec.build(miter, sigs);
+  publish_ec_stats(ctx, ec.stats());
 
   std::vector<cut::PairTask> tasks;
   for (const sim::CandidatePair& pair : ec.candidate_pairs()) {
@@ -47,6 +89,7 @@ bool run_local_phase(EngineContext& ctx) {
   pass_params.max_cuts_per_pair = p.max_cuts_per_pair;
   pass_params.sim_params.memory_words = p.memory_words;
   pass_params.sim_params.cancel = p.cancel;
+  pass_params.sim_params.obs = ctx.obs;
 
   std::vector<std::uint8_t> proved(tasks.size(), 0);
   static constexpr cut::Pass kPasses[3] = {
@@ -60,6 +103,7 @@ bool run_local_phase(EngineContext& ctx) {
     SIMSWEEP_LOG_INFO("L pass %u: %zu proved (%zu cut checks, %zu flushes)",
                       i + 1, result.stats.proved, result.stats.checks,
                       result.stats.flushes);
+    publish_pass_stats(ctx, i, result.stats);
     // Paper §V: disable passes found ineffective on this case.
     if (p.adaptive_passes && result.stats.proved == 0)
       ctx.active_passes[i] = false;
@@ -80,6 +124,7 @@ bool run_local_phase(EngineContext& ctx) {
   }
   const std::size_t before = miter.num_ands();
   ctx.miter = aig::rebuild(miter, subst).aig;
+  note_rebuild(ctx, before, ctx.miter.num_ands());
   SIMSWEEP_LOG_INFO("L phase reduced miter: %zu -> %zu AND nodes", before,
                     ctx.miter.num_ands());
   ctx.stats.local_seconds += t.seconds();

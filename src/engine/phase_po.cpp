@@ -59,6 +59,7 @@ bool run_po_phase(EngineContext& ctx) {
   if (p.window_merging) {
     window::MergeStats ms;
     windows = window::merge_windows(miter, std::move(windows), k_s, &ms);
+    publish_merge_stats(ctx, ms);
     SIMSWEEP_LOG_DEBUG("P phase merge: %zu -> %zu windows",
                        ms.windows_before, ms.windows_after);
   }
@@ -68,6 +69,7 @@ bool run_po_phase(EngineContext& ctx) {
   sim.collect_cex = true;
   sim.max_cex = 1;  // the first PO disproof settles the whole problem
   sim.cancel = p.cancel;
+  sim.obs = ctx.obs;
 
   aig::SubstitutionMap subst(miter.num_nodes());
   std::size_t proved = 0;
@@ -99,7 +101,9 @@ bool run_po_phase(EngineContext& ctx) {
   ctx.stats.pos_proved += proved;
   if (proved > 0) {
     // Drop the logic of proved POs (miter reduction).
+    const std::size_t before = miter.num_ands();
     ctx.miter = aig::rebuild(miter, subst).aig;
+    note_rebuild(ctx, before, ctx.miter.num_ands());
   }
   SIMSWEEP_LOG_INFO("P phase: %zu/%zu POs proved (threshold %u)", proved,
                     ctx.stats.pos_total, threshold);

@@ -7,6 +7,7 @@
 
 #include "common/log.hpp"
 #include "common/word_kernels.hpp"
+#include "obs/registry.hpp"
 #include "parallel/thread_pool.hpp"
 #include "tt/truth_table.hpp"
 
@@ -108,11 +109,34 @@ BatchResult check_batch(const aig::Aig& aig,
     entry *= 2;
   // Cache-residency clamp: a smaller table swept in more rounds beats a
   // DRAM-resident one (pure perf; the outcomes are round-independent).
+  bool cache_clamped = false;
   if (params.cache_words != 0)
-    while (entry > 1 && entry * num_slots > params.cache_words) entry /= 2;
+    while (entry > 1 && entry * num_slots > params.cache_words) {
+      entry /= 2;
+      cache_clamped = true;
+    }
   const std::size_t E = entry;
   const std::size_t rounds = (max_tt + E - 1) / E;
   result.entry_words = E;
+
+  // Publish once per batch (all exits): hot loops never touch the sink.
+  const auto publish = [&] {
+    if (params.obs == nullptr) return;
+    obs::Registry& r = *params.obs;
+    r.add("exhaustive.batches");
+    r.add("exhaustive.windows", windows.size());
+    r.add("exhaustive.items", num_items);
+    r.add("exhaustive.rounds", result.rounds);
+    r.add("exhaustive.words_simulated", result.words_simulated);
+    r.add(result.window_parallel ? "exhaustive.window_parallel_batches"
+                                 : "exhaustive.level_staged_batches");
+    if (cache_clamped) r.add("exhaustive.cache_clamped_batches");
+    // Rounds beyond the first exist only because the memory/cache cap
+    // forced the table to be swept in slices (Alg. 1 line 2).
+    if (result.rounds > 1) r.add("exhaustive.round_splits", result.rounds - 1);
+    r.add("exhaustive.cexes", result.cexes.size());
+    if (result.cancelled) r.add("exhaustive.cancelled_batches");
+  };
 
   std::vector<std::uint64_t> simt(num_slots * E);
 
@@ -217,13 +241,14 @@ BatchResult check_batch(const aig::Aig& aig,
             }
           }
         });
-    if (cancel_fired()) {
-      result.cancelled = true;
-      return result;
-    }
     for (std::size_t wi = 0; wi < windows.size(); ++wi) {
       result.words_simulated += win_words[wi];
       result.rounds = std::max<std::size_t>(result.rounds, win_rounds[wi]);
+    }
+    if (cancel_fired()) {
+      result.cancelled = true;
+      publish();
+      return result;
     }
   } else {
     // --- Level-batch dimension (Alg. 1 lines 5-14): each round's kernel
@@ -296,6 +321,7 @@ BatchResult check_batch(const aig::Aig& aig,
     for (std::size_t r = 0; r < rounds; ++r) {
       if (cancel_fired()) {
         result.cancelled = true;
+        publish();
         return result;
       }
       // Windows needing simulation this round (Alg. 1 line 6).
@@ -313,6 +339,7 @@ BatchResult check_batch(const aig::Aig& aig,
               windows[wi].nodes.size() * words_this_round(wi);
       if (!pool.run_stages(plan)) {
         result.cancelled = true;
+        publish();
         return result;
       }
       ++result.rounds;
@@ -341,6 +368,7 @@ BatchResult check_batch(const aig::Aig& aig,
       }
     }
   }
+  publish();
   return result;
 }
 

@@ -33,6 +33,10 @@
 #include "aig/aig.hpp"
 #include "window/window.hpp"
 
+namespace simsweep::obs {
+class Registry;
+}  // namespace simsweep::obs
+
 namespace simsweep::exhaustive {
 
 /// Which parallelism dimension check_batch uses (paper Fig. 3).
@@ -64,6 +68,11 @@ struct Params {
   const std::atomic<bool>* cancel = nullptr;
   /// Parallelism-dimension choice (see Strategy).
   Strategy strategy = Strategy::kAuto;
+  /// Optional metrics sink. When set, check_batch publishes its batch
+  /// telemetry under `exhaustive.*` with one relaxed atomic add per metric
+  /// at batch end — the hot loops accumulate into locals either way, so a
+  /// null sink costs nothing (DESIGN.md §2.3).
+  obs::Registry* obs = nullptr;
 };
 
 enum class ItemStatus : std::uint8_t {

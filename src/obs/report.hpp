@@ -1,0 +1,54 @@
+#pragma once
+/// \file report.hpp
+/// \brief JSON run-report emitter + schema validator for obs snapshots.
+///
+/// The run report is the end-to-end surface of the observability layer
+/// (`cec_tool --json-report`, `engine_anatomy`, the `report_schema`
+/// ctest). Schema `simsweep.run_report.v1`:
+///
+/// ```json
+/// {
+///   "schema": "simsweep.run_report.v1",
+///   "metrics": {
+///     "exhaustive": { "batches": 12, "words_simulated": 1048576, ... },
+///     "cut":        { "pass1": { "cuts_enumerated": 4096, ... }, ... },
+///     "ec":         { "builds": 3, "classes_built": 120, ... },
+///     "partial_sim":{ "simulate_calls": 5, "pattern_words": 8, ... },
+///     "miter":      { "rebuilds": 4, "ands_removed": 7986, ... },
+///     "engine":     { "total_seconds": 2.7, ... },
+///     "pool":       { "jobs": 931, "busy_fraction": { "mean": 0.4 }, ... }
+///   }
+/// }
+/// ```
+///
+/// Dotted metric names nest into objects segment by segment; counters
+/// print as integers, gauges as doubles. validate_report_json() checks a
+/// serialized report against this schema, including the presence of the
+/// five paper-module sections with at least one nonzero metric each
+/// (exhaustive, cut, ec, partial_sim, miter) plus the pool section — the
+/// acceptance contract of the report.
+
+#include <string>
+
+#include "obs/registry.hpp"
+
+namespace simsweep::obs {
+
+/// Schema tag stamped into (and required of) every run report.
+inline constexpr const char kSchemaId[] = "simsweep.run_report.v1";
+
+/// Serializes a snapshot as a `simsweep.run_report.v1` JSON document.
+std::string to_json(const Snapshot& snapshot);
+
+/// Writes to_json(snapshot) to `path`. Returns false on I/O failure.
+bool write_json_file(const Snapshot& snapshot, const std::string& path);
+
+/// Validates a serialized report against the v1 schema: well-formed JSON,
+/// correct "schema" tag, "metrics" object present, the five module
+/// sections (exhaustive, cut, ec, partial_sim, miter) each present with
+/// at least one nonzero numeric leaf, and a "pool" section present. On
+/// failure returns false and, if `error` is non-null, stores a
+/// human-readable reason.
+bool validate_report_json(const std::string& json, std::string* error);
+
+}  // namespace simsweep::obs

@@ -1,6 +1,9 @@
 #include "parallel/thread_pool.hpp"
 
 #include <algorithm>
+#include <string>
+
+#include "obs/registry.hpp"
 
 #ifdef SIMSWEEP_CHECKED
 #include <cstdio>
@@ -67,9 +70,11 @@ ThreadPool::ThreadPool(unsigned num_workers) {
     const unsigned hw = std::thread::hardware_concurrency();
     num_workers = hw > 1 ? hw - 1 : 0;
   }
+  created_ = std::chrono::steady_clock::now();
+  worker_stats_ = std::make_unique<WorkerStat[]>(num_workers + 1);
   workers_.reserve(num_workers);
   for (unsigned i = 0; i < num_workers; ++i)
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
 }
 
 ThreadPool::~ThreadPool() {
@@ -108,6 +113,7 @@ bool ThreadPool::execute(const StageRef* stages, std::size_t n,
   // Inline path: no workers, or too little work to amortize a launch. The
   // cancellation flag is still honoured between stages.
   if (workers_.empty() || total < 2 * concurrency()) {
+    inline_jobs_.fetch_add(1, std::memory_order_relaxed);
     for (std::size_t i = 0; i < n; ++i) {
       if (cancelled()) return false;
       if (stages[i].begin < stages[i].end)
@@ -149,6 +155,8 @@ bool ThreadPool::execute(const StageRef* stages, std::size_t n,
   }
   num_stages_ = n;
   cancel_ = cancel;
+  jobs_.fetch_add(1, std::memory_order_relaxed);
+  stages_submitted_.fetch_add(n, std::memory_order_relaxed);
   std::uint32_t first = 0;
   while (first < n && stages[first].begin >= stages[first].end) ++first;
   const std::uint32_t e = ++epoch_;
@@ -162,13 +170,20 @@ bool ThreadPool::execute(const StageRef* stages, std::size_t n,
 
   // The calling thread participates, then waits for stragglers to leave
   // the job before the stage slots may be reused.
-  run_job(e);
+  const auto job_start = std::chrono::steady_clock::now();
+  run_job(e, /*stat_slot=*/0);
   unsigned spins = 0;
   while (active_.load(std::memory_order_acquire) != 0) relax(spins);
+  worker_stats_[0].busy_ns.fetch_add(
+      static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - job_start)
+              .count()),
+      std::memory_order_relaxed);
   return !cancelled();
 }
 
-void ThreadPool::run_job(std::uint32_t epoch) {
+void ThreadPool::run_job(std::uint32_t epoch, std::size_t stat_slot) {
   unsigned spins = 0;
   for (;;) {
     const std::uint64_t ctl = control_.load(std::memory_order_acquire);
@@ -185,6 +200,7 @@ void ThreadPool::run_job(std::uint32_t epoch) {
       continue;
     }
     spins = 0;
+    worker_stats_[stat_slot].chunks.fetch_add(1, std::memory_order_relaxed);
     const std::size_t hi = std::min(lo + slot.chunk, slot.end);
 #ifdef SIMSWEEP_CHECKED
     checked_claim(epoch, s, lo, hi);
@@ -273,7 +289,8 @@ void ThreadPool::checked_open(std::uint32_t epoch, std::uint32_t s) {
 
 #endif  // SIMSWEEP_CHECKED
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t worker_index) {
+  WorkerStat& stat = worker_stats_[worker_index + 1];
   std::uint32_t seen = 0;
   unsigned idle = 0;
   for (;;) {
@@ -292,7 +309,14 @@ void ThreadPool::worker_loop() {
       seen = e;
       if (ctl_stage(ctl) == kStageDone) continue;  // job already over
       active_.fetch_add(1, std::memory_order_acq_rel);
-      run_job(e);
+      const auto job_start = std::chrono::steady_clock::now();
+      run_job(e, worker_index + 1);
+      stat.busy_ns.fetch_add(
+          static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - job_start)
+                  .count()),
+          std::memory_order_relaxed);
       active_.fetch_sub(1, std::memory_order_release);
       idle = 0;
       continue;
@@ -304,6 +328,52 @@ void ThreadPool::worker_loop() {
     idle = 0;
     park(seen);
   }
+}
+
+PoolStats ThreadPool::stats() const {
+  PoolStats st;
+  st.workers = static_cast<unsigned>(workers_.size());
+  st.jobs = jobs_.load(std::memory_order_relaxed);
+  st.inline_jobs = inline_jobs_.load(std::memory_order_relaxed);
+  st.stages = stages_submitted_.load(std::memory_order_relaxed);
+  const double lifetime_ns = static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - created_)
+          .count());
+  st.lifetime_seconds = lifetime_ns * 1e-9;
+  // Slot 0 is the submitting thread; worker slots are 1..workers.
+  for (std::size_t i = 0; i <= workers_.size(); ++i)
+    st.chunks += worker_stats_[i].chunks.load(std::memory_order_relaxed);
+  if (!workers_.empty() && lifetime_ns > 0) {
+    double sum = 0;
+    st.busy_min = 1.0;
+    for (std::size_t i = 1; i <= workers_.size(); ++i) {
+      const double f = static_cast<double>(worker_stats_[i].busy_ns.load(
+                           std::memory_order_relaxed)) /
+                       lifetime_ns;
+      sum += f;
+      st.busy_min = std::min(st.busy_min, f);
+      st.busy_max = std::max(st.busy_max, f);
+    }
+    st.busy_mean = sum / static_cast<double>(workers_.size());
+  }
+  return st;
+}
+
+void ThreadPool::publish(obs::Registry& registry, const char* prefix) const {
+  const PoolStats st = stats();
+  const std::string p = std::string(prefix) + ".";
+  // Set (not add) semantics: these are process-lifetime totals, so the
+  // publish is idempotent no matter how many callers emit them.
+  registry.set(p + "workers", static_cast<double>(st.workers));
+  registry.set(p + "jobs", static_cast<double>(st.jobs));
+  registry.set(p + "inline_jobs", static_cast<double>(st.inline_jobs));
+  registry.set(p + "stages", static_cast<double>(st.stages));
+  registry.set(p + "chunks", static_cast<double>(st.chunks));
+  registry.set(p + "lifetime_seconds", st.lifetime_seconds);
+  registry.set(p + "busy_fraction.mean", st.busy_mean);
+  registry.set(p + "busy_fraction.min", st.busy_min);
+  registry.set(p + "busy_fraction.max", st.busy_max);
 }
 
 void ThreadPool::park(std::uint32_t seen_epoch) {

@@ -42,6 +42,7 @@
 /// prefixed "SIMSWEEP_CHECKED violation". See DESIGN.md §2.2.
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -53,9 +54,29 @@
 
 #include "common/thread_annotations.hpp"
 
+namespace simsweep::obs {
+class Registry;
+}  // namespace simsweep::obs
+
 namespace simsweep::parallel {
 
 class ThreadPool;
+
+/// Lifetime utilization telemetry of one pool (see ThreadPool::stats()).
+/// All values are process-lifetime totals, so consumers publish them with
+/// set (not add) semantics.
+struct PoolStats {
+  unsigned workers = 0;            ///< worker threads (callers excluded)
+  std::uint64_t jobs = 0;          ///< launches distributed over the pool
+  std::uint64_t inline_jobs = 0;   ///< launches run inline (too little work)
+  std::uint64_t stages = 0;        ///< stages across distributed launches
+  std::uint64_t chunks = 0;        ///< chunk claims (workers + callers)
+  double lifetime_seconds = 0;     ///< since pool construction
+  /// Busy fraction (time inside jobs / lifetime) over the worker threads.
+  double busy_mean = 0;
+  double busy_min = 0;
+  double busy_max = 0;
+};
 
 #ifdef SIMSWEEP_CHECKED
 /// Protocol faults the checked build can inject to prove the detector
@@ -143,6 +164,7 @@ class ThreadPool {
   void parallel_for(std::size_t begin, std::size_t end, const Body& body) {
     if (begin >= end) return;
     if (workers_.empty() || end - begin < 2 * concurrency()) {
+      inline_jobs_.fetch_add(1, std::memory_order_relaxed);
       for (std::size_t i = begin; i < end; ++i) body(i);
       return;
     }
@@ -160,6 +182,7 @@ class ThreadPool {
                            const Body& body) {
     if (begin >= end) return;
     if (workers_.empty() || end - begin < 2 * concurrency()) {
+      inline_jobs_.fetch_add(1, std::memory_order_relaxed);
       body(begin, end);
       return;
     }
@@ -174,6 +197,15 @@ class ThreadPool {
   /// Returns false iff the plan's cancellation flag fired (some work was
   /// then skipped and the caller must discard partial results).
   bool run_stages(const StagePlan& plan);
+
+  /// Lifetime utilization totals (jobs, stages, chunk claims, per-worker
+  /// busy fractions). Safe to call concurrently with running jobs; the
+  /// relaxed counters give a consistent-enough view for reporting.
+  PoolStats stats() const;
+
+  /// Publishes stats() into `registry` as gauges under `<prefix>.*`
+  /// (set semantics: lifetime totals, idempotent across publishers).
+  void publish(obs::Registry& registry, const char* prefix = "pool") const;
 
  private:
   using BlockFn = StagePlan::BlockFn;
@@ -216,10 +248,13 @@ class ThreadPool {
 
   bool execute(const StageRef* stages, std::size_t n,
                const std::atomic<bool>* cancel) SIMSWEEP_EXCLUDES(submit_mutex_);
-  void run_job(std::uint32_t epoch) SIMSWEEP_NO_THREAD_SAFETY_ANALYSIS;
+  /// `stat_slot` selects the per-thread utilization cell chunk claims are
+  /// charged to: 0 for submitting threads, i+1 for worker i.
+  void run_job(std::uint32_t epoch, std::size_t stat_slot)
+      SIMSWEEP_NO_THREAD_SAFETY_ANALYSIS;
   void advance_stage(std::uint32_t epoch, std::uint32_t s)
       SIMSWEEP_NO_THREAD_SAFETY_ANALYSIS;
-  void worker_loop();
+  void worker_loop(std::size_t worker_index);
   void park(std::uint32_t seen_epoch);
 
 #ifdef SIMSWEEP_CHECKED
@@ -258,6 +293,23 @@ class ThreadPool {
   alignas(64) std::atomic<std::uint64_t> control_{pack(0, kStageDone)};
   /// Number of workers currently inside run_job (quiescence barrier).
   alignas(64) std::atomic<unsigned> active_{0};
+
+  // --- Utilization telemetry (see PoolStats / publish()). ---
+  //
+  // Per-thread cells: slot 0 is shared by all submitting threads, slot
+  // i+1 belongs to worker i. Relaxed atomics: counts are monotone and
+  // only read for reporting; each worker slot has a single writer, so
+  // the cache line stays local. The one chunk-claim increment per chunk
+  // is noise next to the chunk body itself.
+  struct alignas(64) WorkerStat {
+    std::atomic<std::uint64_t> chunks{0};
+    std::atomic<std::uint64_t> busy_ns{0};
+  };
+  std::unique_ptr<WorkerStat[]> worker_stats_;  ///< size workers_ + 1
+  std::atomic<std::uint64_t> jobs_{0};
+  std::atomic<std::uint64_t> inline_jobs_{0};
+  std::atomic<std::uint64_t> stages_submitted_{0};
+  std::chrono::steady_clock::time_point created_;
 
   // Parking (only touched on the idle path). park_mutex_ guards no data —
   // it only pairs the condition variable with the control_/stop_ checks —

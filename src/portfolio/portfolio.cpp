@@ -49,6 +49,22 @@ class VerdictBox {
   std::atomic<bool> cancel_{false};
 };
 
+/// SAT-sweeper fallback stats under `sat_sweeper.*` (gauges, set
+/// semantics: one sweep per combined run at most).
+void publish_sweeper_stats(obs::Registry& r, bool used,
+                           const sweep::SweeperStats& s, double seconds) {
+  r.set("sat_sweeper.used", used ? 1.0 : 0.0);
+  if (!used) return;
+  r.set("sat_sweeper.sat_calls", static_cast<double>(s.sat_calls));
+  r.set("sat_sweeper.pairs_proved", static_cast<double>(s.pairs_proved));
+  r.set("sat_sweeper.pairs_disproved",
+        static_cast<double>(s.pairs_disproved));
+  r.set("sat_sweeper.pairs_undecided",
+        static_cast<double>(s.pairs_undecided));
+  r.set("sat_sweeper.conflicts", static_cast<double>(s.conflicts));
+  r.set("sat_sweeper.seconds", seconds);
+}
+
 }  // namespace
 
 CombinedResult combined_check_miter(const aig::Aig& miter,
@@ -56,7 +72,17 @@ CombinedResult combined_check_miter(const aig::Aig& miter,
   Timer total;
   CombinedResult result;
 
-  const engine::SimCecEngine eng(params.engine);
+  // One registry for the whole combined run: every engine attempt and the
+  // SAT fallback publish into it, so module counters accumulate across
+  // attempts and the final snapshot covers the complete flow.
+  obs::Registry local_registry;
+  engine::EngineParams engine_params = params.engine;
+  obs::Registry& registry = engine_params.registry != nullptr
+                                ? *engine_params.registry
+                                : local_registry;
+  engine_params.registry = &registry;
+
+  const engine::SimCecEngine eng(engine_params);
   engine::EngineResult er = eng.check_miter(miter);
 
   // §V item 3: rewrite the residue and re-run the engine. The rewritten
@@ -67,15 +93,16 @@ CombinedResult combined_check_miter(const aig::Aig& miter,
        params.interleave_rewriting && round < params.max_rewrite_rounds &&
        er.verdict == Verdict::kUndecided && er.reduced.num_ands() > 0;
        ++round) {
-    const double engine_so_far = er.stats.total_seconds;
     aig::Aig rewritten = opt::resyn_light(er.reduced);
     SIMSWEEP_LOG_INFO("interleaved rewriting: %zu -> %zu ANDs",
                       er.reduced.num_ands(), rewritten.num_ands());
     engine::EngineResult next = eng.check_miter(std::move(rewritten));
-    next.stats.total_seconds += engine_so_far;
-    next.stats.initial_ands = er.stats.initial_ands;  // keep the original
+    engine::accumulate_attempt_stats(next.stats, er.stats);
     er = std::move(next);
   }
+  // Republish the chain-merged stats last: each attempt set the engine.*
+  // gauges from its own stats, the merged totals must win.
+  engine::publish_engine_stats(registry, er.stats);
 
   result.engine_stats = er.stats;
   result.engine_seconds = er.stats.total_seconds;
@@ -100,7 +127,10 @@ CombinedResult combined_check_miter(const aig::Aig& miter,
     // one — the reduction only merged proven-equivalent nodes and the PI
     // interface is preserved by rebuild().
   }
+  publish_sweeper_stats(registry, result.used_sat, result.sweeper_stats,
+                        result.sat_seconds);
   result.total_seconds = total.seconds();
+  result.report = registry.snapshot();
   return result;
 }
 

@@ -50,6 +50,10 @@ struct CombinedParams {
 struct CombinedResult {
   Verdict verdict = Verdict::kUndecided;
   std::optional<std::vector<bool>> cex;
+  /// Stats merged over ALL engine attempts (the rewriting-interleaved loop
+  /// may run the engine several times): per-phase seconds and pair/CEX
+  /// counters accumulate, initial_ands/pos_total keep the first attempt's
+  /// view, final_ands the last one's.
   engine::EngineStats engine_stats;
   sweep::SweeperStats sweeper_stats;
   double engine_seconds = 0;  ///< "GPU (s)" column analogue
@@ -57,6 +61,10 @@ struct CombinedResult {
   double total_seconds = 0;
   double reduction_percent = 0;  ///< "Reduced (%)" column analogue
   bool used_sat = false;  ///< engine left an undecided residue
+  /// Full metric snapshot of the run (engine attempts share one registry;
+  /// SAT-sweeper fallback stats are published under `sat_sweeper.*`).
+  /// Serialize with obs::to_json().
+  obs::Snapshot report;
 };
 
 CombinedResult combined_check_miter(const aig::Aig& miter,

@@ -69,6 +69,8 @@ void EcManager::build(const aig::Aig& aig, const Signatures& sigs) {
   }
   // Deterministic order regardless of hash-map iteration.
   std::sort(classes_.begin(), classes_.end());
+  ++stats_.builds;
+  stats_.classes_built += classes_.size();
 }
 
 void EcManager::refine(const Signatures& sigs) {
@@ -91,10 +93,19 @@ void EcManager::refine(const Signatures& sigs) {
       }
       if (!placed) parts.push_back({v});
     }
+    std::size_t survivors = 0;
     for (auto& part : parts)
-      if (part.size() >= 2) next.push_back(std::move(part));
+      if (part.size() >= 2) {
+        ++survivors;
+        next.push_back(std::move(part));
+      }
+    if (survivors == 0)
+      ++stats_.classes_dissolved;
+    else if (survivors >= 2 || parts.size() >= 2)
+      ++stats_.class_splits;
   }
   classes_ = std::move(next);
+  ++stats_.refines;
 }
 
 std::vector<CandidatePair> EcManager::candidate_pairs() const {

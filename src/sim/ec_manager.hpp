@@ -29,6 +29,18 @@ struct CandidatePair {
   bool phase = false;
 };
 
+/// Lifetime telemetry of one EcManager (published by the engine phases
+/// under `ec.*`). Plain counters: the manager is single-threaded.
+struct EcStats {
+  std::uint64_t builds = 0;         ///< build() calls
+  std::uint64_t refines = 0;        ///< refine() calls
+  std::uint64_t classes_built = 0;  ///< Σ classes after each build()
+  /// Classes a refine() split into ≥2 surviving sub-classes.
+  std::uint64_t class_splits = 0;
+  /// Classes a refine() dissolved entirely (no surviving sub-class).
+  std::uint64_t classes_dissolved = 0;
+};
+
 class EcManager {
  public:
   /// Builds classes from scratch: nodes with equal canonicalized
@@ -63,10 +75,14 @@ class EcManager {
   /// nodes currently in some class).
   bool phase(aig::Var v) const { return phase_[v]; }
 
+  /// Lifetime build/refine telemetry (survives build() resets).
+  const EcStats& stats() const { return stats_; }
+
  private:
   std::vector<std::vector<aig::Var>> classes_;  // each sorted ascending
   std::vector<std::uint8_t> phase_;
   std::vector<std::uint8_t> removed_;
+  EcStats stats_;
 };
 
 }  // namespace simsweep::sim

@@ -34,8 +34,8 @@ void PatternBank::append_words(const std::vector<Word>& per_pi_words) {
   ++num_words_;
 }
 
-void PatternBank::truncate_front(std::size_t max_words) {
-  if (num_words_ <= max_words) return;
+std::size_t PatternBank::truncate_front(std::size_t max_words) {
+  if (num_words_ <= max_words) return 0;
   const std::size_t drop = num_words_ - max_words;
   std::vector<Word> next(static_cast<std::size_t>(num_pis_) * max_words);
   for (unsigned pi = 0; pi < num_pis_; ++pi)
@@ -44,6 +44,7 @@ void PatternBank::truncate_front(std::size_t max_words) {
         max_words, next.data() + static_cast<std::size_t>(pi) * max_words);
   words_ = std::move(next);
   num_words_ = max_words;
+  return drop;
 }
 
 void CexCollector::add(

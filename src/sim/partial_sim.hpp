@@ -49,8 +49,9 @@ class PatternBank {
   void append_words(const std::vector<Word>& per_pi_words);
 
   /// Drops the oldest words until at most max_words remain (bounds the
-  /// resimulation cost as CEXs accumulate).
-  void truncate_front(std::size_t max_words);
+  /// resimulation cost as CEXs accumulate). Returns the number of words
+  /// dropped per PI (0 when the bank already fits).
+  std::size_t truncate_front(std::size_t max_words);
 
  private:
   unsigned num_pis_;

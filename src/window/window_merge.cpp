@@ -29,16 +29,26 @@ std::vector<Window> merge_windows(const aig::Aig& aig,
   std::size_t i = 0;
   while (i < windows.size()) {
     // Greedily extend the run [i, j) while the input union fits in k_s.
+    // merged_inputs is a COPY of windows[i].inputs (and the items below are
+    // copied too): the originals stay intact until a merged window is
+    // actually built, which is what makes the build-failure fallback
+    // well-defined (see window_merge.hpp).
     std::vector<aig::Var> merged_inputs = windows[i].inputs;
     std::size_t j = i + 1;
     for (; j < windows.size(); ++j) {
       auto candidate = aig::sorted_union(merged_inputs, windows[j].inputs);
-      if (candidate.size() > k_s) break;
+      if (candidate.size() > k_s) {
+        if (stats) ++stats->rejected_capacity;
+        break;
+      }
       // Only accept merges between similar input sets: the union may grow
       // past the larger operand by at most growth_slack variables.
       const std::size_t larger =
           std::max(merged_inputs.size(), windows[j].inputs.size());
-      if (candidate.size() > larger + growth_slack) break;
+      if (candidate.size() > larger + growth_slack) {
+        if (stats) ++stats->rejected_similarity;
+        break;
+      }
       merged_inputs = std::move(candidate);
     }
     if (j == i + 1) {
@@ -51,10 +61,18 @@ std::vector<Window> merge_windows(const aig::Aig& aig,
       auto merged = build_window(aig, std::move(merged_inputs),
                                  std::move(items));
       if (merged) {
+        if (stats) {
+          ++stats->merge_groups;
+          stats->windows_merged += j - i;
+        }
         out.push_back(std::move(*merged));
       } else {
-        // Defensive: the union of valid cuts is a valid cut, so this path
-        // should be unreachable; fall back to the unmerged windows.
+        // Unreachable for windows built on this AIG (the union of valid
+        // cuts is a valid cut) but reachable for hand-crafted windows:
+        // windows[i..j) were never moved-from — only copies of their
+        // inputs/items went into the failed build — so passing them
+        // through unmerged is safe.
+        if (stats) ++stats->build_failures;
         for (std::size_t k = i; k < j; ++k)
           out.push_back(std::move(windows[k]));
       }

@@ -20,18 +20,32 @@
 namespace simsweep::window {
 
 /// Statistics of one merge run, reported by the window-merging ablation
-/// bench.
+/// bench and published by the engine phases under `exhaustive.merge.*`.
 struct MergeStats {
   std::size_t windows_before = 0;
   std::size_t windows_after = 0;
   std::size_t sim_nodes_before = 0;  ///< Σ |nodes| + |inputs| before
   std::size_t sim_nodes_after = 0;   ///< Σ |nodes| + |inputs| after
+  std::size_t merge_groups = 0;      ///< runs of ≥2 windows merged
+  std::size_t windows_merged = 0;    ///< windows absorbed into those runs
+  /// Neighbor rejected because the input union would exceed k_s.
+  std::size_t rejected_capacity = 0;
+  /// Neighbor rejected by the similarity test (union grew past the larger
+  /// operand by more than growth_slack variables).
+  std::size_t rejected_similarity = 0;
+  /// Merged build_window() failures that took the unmerged fallback.
+  std::size_t build_failures = 0;
 };
 
 /// Merges the batch under threshold k_s (maximum inputs of a merged
-/// window). The input windows are consumed. Windows whose rebuild fails
-/// (cannot happen for valid inputs, but kept defensive) are passed through
-/// unmerged.
+/// window). The input windows are consumed.
+///
+/// Failure fallback contract: when build_window() rejects a merged input
+/// union (unreachable for windows built by build_window() on the same AIG —
+/// the union of valid cuts is a valid cut — but possible for hand-crafted
+/// windows), the run's original windows are emitted unmerged and intact.
+/// The merge attempt only ever consumes *copies* of their inputs/items, so
+/// the originals are never moved-from on this path.
 ///
 /// `growth_slack` guards against harmful merges: a window joins the
 /// current run only if the input union exceeds the larger operand by at

@@ -203,6 +203,113 @@ TEST(Engine, PhaseBreakdownSumsReasonably) {
                         r.stats.local_seconds;
   EXPECT_LE(phases, r.stats.total_seconds + 1e-6);
   EXPECT_GT(r.stats.total_seconds, 0.0);
+  // other_seconds completes the partition of the total: P + G + L + other
+  // must account for the whole run (other covers simulation init, EC
+  // building and rebuilds — the bug fixed here left it always 0).
+  EXPECT_GE(r.stats.other_seconds, 0.0);
+  EXPECT_NEAR(phases + r.stats.other_seconds, r.stats.total_seconds, 1e-6);
+}
+
+TEST(Engine, ReportCountsPhaseWork) {
+  // A multiplier pair pushes work through all the instrumented modules:
+  // exhaustive windows in P/G, EC building and refinement, cut passes in
+  // L, rebuilds between phases. The report counters must witness it.
+  const Aig a = gen::array_multiplier(4);
+  const Aig b = gen::wallace_multiplier(4);
+  EngineParams p = small_params();
+  p.enable_po_phase = false;  // force G and L to do all the work
+  p.k_P = 10;                 // escalation ceiling ≥ 8 PIs: still decisive
+  p.k_p = 4;
+  p.k_g = 5;
+  const SimCecEngine eng(p);
+  const EngineResult r = eng.check(a, b);
+  EXPECT_EQ(r.verdict, Verdict::kEquivalent);
+  const obs::Snapshot& s = r.report;
+  EXPECT_FALSE(s.empty());
+  // Exhaustive simulator: batches ran and simulated words.
+  EXPECT_GT(s.count("exhaustive.batches"), 0u);
+  EXPECT_GT(s.count("exhaustive.words_simulated"), 0u);
+  EXPECT_GT(s.count("exhaustive.windows"), 0u);
+  // EC manager: classes were built from signatures.
+  EXPECT_GT(s.count("ec.builds"), 0u);
+  EXPECT_GT(s.count("ec.classes_built"), 0u);
+  // Partial simulator: pattern banks were simulated.
+  EXPECT_GT(s.count("partial_sim.simulate_calls"), 0u);
+  EXPECT_GT(s.count("partial_sim.pattern_words"), 0u);
+  // Miter manager: proved pairs were merged by rebuilds.
+  EXPECT_GT(s.count("miter.rebuilds"), 0u);
+  EXPECT_EQ(s.count("miter.ands_removed"),
+            s.count("miter.ands_before") - s.count("miter.ands_after"));
+  // Cut generator: at least one Table I pass ran with enumerated cuts.
+  EXPECT_GT(s.count("cut.pass1.runs") + s.count("cut.pass2.runs") +
+                s.count("cut.pass3.runs"),
+            0u);
+  // Engine gauges mirror EngineStats.
+  EXPECT_DOUBLE_EQ(s.value("engine.total_seconds"), r.stats.total_seconds);
+  EXPECT_DOUBLE_EQ(s.value("engine.pairs_proved_global"),
+                   static_cast<double>(r.stats.pairs_proved_global));
+  EXPECT_DOUBLE_EQ(s.value("engine.pairs_proved_local"),
+                   static_cast<double>(r.stats.pairs_proved_local));
+  // Thread pool gauges are always published (workers may be 0 on a
+  // single-CPU host, so assert presence, not magnitude).
+  EXPECT_NE(s.find("pool.workers"), nullptr);
+  EXPECT_NE(s.find("pool.jobs"), nullptr);
+}
+
+TEST(Engine, AccumulateAttemptStatsMergesEveryField) {
+  // Regression: the combined checker's rewriting-interleaved loop used to
+  // carry only total_seconds and initial_ands across attempts, losing the
+  // first attempt's phase times and pair counters.
+  EngineStats prev;
+  prev.po_seconds = 1.0;
+  prev.global_seconds = 2.0;
+  prev.local_seconds = 3.0;
+  prev.other_seconds = 0.5;
+  prev.total_seconds = 6.5;
+  prev.initial_ands = 1000;
+  prev.final_ands = 400;
+  prev.pos_total = 16;
+  prev.pos_proved = 10;
+  prev.pairs_proved_global = 20;
+  prev.pairs_proved_local = 30;
+  prev.pairs_disproved = 5;
+  prev.cex_count = 7;
+  prev.local_phases = 2;
+
+  EngineStats next;
+  next.po_seconds = 0.1;
+  next.global_seconds = 0.2;
+  next.local_seconds = 0.3;
+  next.other_seconds = 0.05;
+  next.total_seconds = 0.65;
+  next.initial_ands = 400;  // second attempt starts from the residue
+  next.final_ands = 100;
+  next.pos_total = 16;
+  next.pos_proved = 1;
+  next.pairs_proved_global = 2;
+  next.pairs_proved_local = 3;
+  next.pairs_disproved = 1;
+  next.cex_count = 2;
+  next.local_phases = 1;
+
+  accumulate_attempt_stats(next, prev);
+  EXPECT_DOUBLE_EQ(next.po_seconds, 1.1);
+  EXPECT_DOUBLE_EQ(next.global_seconds, 2.2);
+  EXPECT_DOUBLE_EQ(next.local_seconds, 3.3);
+  EXPECT_DOUBLE_EQ(next.other_seconds, 0.55);
+  EXPECT_DOUBLE_EQ(next.total_seconds, 7.15);
+  // The chain is measured against the FIRST attempt's miter...
+  EXPECT_EQ(next.initial_ands, 1000u);
+  EXPECT_EQ(next.pos_total, 16u);
+  // ...and ends at the LAST attempt's residue.
+  EXPECT_EQ(next.final_ands, 100u);
+  EXPECT_EQ(next.pos_proved, 11u);
+  EXPECT_EQ(next.pairs_proved_global, 22u);
+  EXPECT_EQ(next.pairs_proved_local, 33u);
+  EXPECT_EQ(next.pairs_disproved, 6u);
+  EXPECT_EQ(next.cex_count, 9u);
+  EXPECT_EQ(next.local_phases, 3u);
+  EXPECT_DOUBLE_EQ(next.reduction_percent(), 90.0);
 }
 
 TEST(Engine, WindowMergingDoesNotChangeVerdicts) {

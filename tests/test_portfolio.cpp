@@ -81,6 +81,61 @@ TEST_P(CombinedOracle, AlwaysDecidesSmallMitersCorrectly) {
 INSTANTIATE_TEST_SUITE_P(Seeds, CombinedOracle,
                          ::testing::Values(310, 311, 312, 313, 314, 315));
 
+TEST(Combined, InterleavedRewritingMergesAttemptStats) {
+  // Regression: with interleave_rewriting, CombinedResult::engine_stats
+  // must cover ALL engine attempts. The bug merged only total_seconds and
+  // initial_ands, dropping the first attempt's proved-pair counters.
+  const Aig a = testutil::random_aig(12, 260, 6, 340);
+  const Aig b = opt::resyn_light(a);
+  if (aig::miter_proved(aig::make_miter(a, b)))
+    GTEST_SKIP() << "strash solved it";
+  CombinedParams p = small_combined();
+  // Cripple the engine so the first attempt leaves a residue (forcing a
+  // second, rewritten attempt) while still proving some pairs.
+  p.engine.k_P = 4;
+  p.engine.k_p = 3;
+  p.engine.k_g = 4;
+  p.engine.k_l = 4;
+  p.engine.max_local_phases = 1;
+  p.engine.escalate_global = false;
+
+  // Baseline: the first attempt alone.
+  const engine::SimCecEngine eng(p.engine);
+  const engine::EngineResult first =
+      eng.check_miter(aig::make_miter(a, b));
+  if (first.verdict != Verdict::kUndecided)
+    GTEST_SKIP() << "crippled engine still decided the miter";
+  const std::size_t first_proved = first.stats.pairs_proved_global +
+                                   first.stats.pairs_proved_local +
+                                   first.stats.pos_proved;
+
+  p.interleave_rewriting = true;
+  p.max_rewrite_rounds = 1;
+  const CombinedResult r = combined_check(a, b, p);
+  EXPECT_EQ(r.verdict, Verdict::kEquivalent);
+  // Merged stats: at least the first attempt's work is in there, the
+  // chain is measured against the original miter, and the phase-time
+  // partition covers both attempts.
+  EXPECT_GE(r.engine_stats.pairs_proved_global +
+                r.engine_stats.pairs_proved_local +
+                r.engine_stats.pos_proved,
+            first_proved);
+  EXPECT_EQ(r.engine_stats.initial_ands, first.stats.initial_ands);
+  EXPECT_GE(r.engine_stats.local_phases, first.stats.local_phases);
+  // Time totals are noisy across runs; only their structure is checked:
+  // the merged total must itself partition into phases + other.
+  EXPECT_GT(r.engine_stats.total_seconds, 0.0);
+  EXPECT_NEAR(r.engine_stats.po_seconds + r.engine_stats.global_seconds +
+                  r.engine_stats.local_seconds +
+                  r.engine_stats.other_seconds,
+              r.engine_stats.total_seconds, 1e-6);
+  // The report snapshot exists and carries the merged engine gauges.
+  EXPECT_DOUBLE_EQ(r.report.value("engine.total_seconds"),
+                   r.engine_stats.total_seconds);
+  EXPECT_DOUBLE_EQ(r.report.value("engine.pairs_proved_local"),
+                   static_cast<double>(r.engine_stats.pairs_proved_local));
+}
+
 TEST(Portfolio, FirstDecisiveEngineWins) {
   const Aig a = gen::array_multiplier(4);
   const Aig b = gen::wallace_multiplier(4);

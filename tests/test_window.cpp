@@ -139,6 +139,53 @@ TEST(WindowMerge, RespectsKs) {
   EXPECT_EQ(merged[0].num_inputs(), 4u);
 }
 
+TEST(WindowMerge, BuildFailureFallsBackToOriginals) {
+  // Force the (normally unreachable) build-failure path: a window whose
+  // declared input set lies about its item's support makes the merged
+  // build fail, and merge_windows must pass the originals through intact
+  // (they are never moved-from — the merge consumed only copies).
+  Aig a(3);
+  const Lit n4 = a.add_and(a.pi_lit(0), a.pi_lit(1));
+  const Lit n5 = a.add_and(n4, a.pi_lit(2));
+  a.add_po(n5);
+
+  auto wa = build_window(a, {1, 2}, {CheckItem{n4, aig::kLitFalse, 10}});
+  ASSERT_TRUE(wa.has_value());
+  auto wb = build_window(a, {1, 2, 3}, {CheckItem{n5, aig::kLitFalse, 11}});
+  ASSERT_TRUE(wb.has_value());
+  const std::size_t wb_nodes = wb->nodes.size();
+  // The lie: claim wb only needs {1, 2}, so it qualifies for merging with
+  // wa, but the merged build over {1, 2} cannot cover n5's cone (PI 3).
+  wb->inputs = {1, 2};
+
+  std::vector<Window> ws;
+  ws.push_back(std::move(*wa));
+  ws.push_back(std::move(*wb));
+  MergeStats stats;
+  auto out = merge_windows(a, std::move(ws), 3, &stats);
+
+  EXPECT_EQ(stats.build_failures, 1u);
+  EXPECT_EQ(stats.windows_merged, 0u);
+  ASSERT_EQ(out.size(), 2u);
+  // Both originals came through whole: one item each, tags preserved,
+  // structure untouched (not moved-from, not partially merged).
+  std::vector<std::uint32_t> tags;
+  for (const Window& w : out) {
+    ASSERT_EQ(w.items.size(), 1u);
+    tags.push_back(w.items[0].tag);
+    EXPECT_FALSE(w.inputs.empty());
+    EXPECT_GT(w.num_slots(), 0u);
+  }
+  std::sort(tags.begin(), tags.end());
+  EXPECT_EQ(tags, (std::vector<std::uint32_t>{10, 11}));
+  // The lying window kept its full node table (built over 3 inputs).
+  for (const Window& w : out) {
+    if (w.items[0].tag == 11) {
+      EXPECT_EQ(w.nodes.size(), wb_nodes);
+    }
+  }
+}
+
 TEST(WindowMerge, PaperExampleGrouping) {
   // Paper §III-B3: inputs {a,b}, {a,b,c}, {a,c}, {a,e}, {a,f} with k_s=3:
   // the first three merge, the last two merge.

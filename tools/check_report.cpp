@@ -1,0 +1,72 @@
+/// \file check_report.cpp
+/// \brief Schema validator for the run report (`report_schema` ctest).
+///
+/// Runs the same flow as `cec_tool --demo` (multiplier pair, CPU-rescaled
+/// engine parameters), writes the run report to argv[1], reads it back
+/// and validates it against schema simsweep.run_report.v1 — including the
+/// acceptance contract that all five paper-module sections carry nonzero
+/// counters. Exit code 0 on success, 1 on any failure.
+///
+/// Usage: ./check_report <report-path>
+
+#include <cstdio>
+#include <string>
+
+#include "gen/suite.hpp"
+#include "obs/report.hpp"
+#include "portfolio/portfolio.hpp"
+
+int main(int argc, char** argv) {
+  using namespace simsweep;
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <report-path>\n", argv[0]);
+    return 1;
+  }
+  const std::string path = argv[1];
+
+  // The demo flow of cec_tool: a pair that exercises all five modules.
+  gen::SuiteParams sp;
+  sp.doublings = 1;
+  const gen::BenchCase c = gen::make_case("multiplier", sp);
+  portfolio::CombinedParams params;
+  params.engine.k_P = 24;
+  params.engine.k_p = 14;
+  params.engine.k_g = 14;
+  const portfolio::CombinedResult r =
+      portfolio::combined_check(c.original, c.optimized, params);
+  std::printf("check_report: verdict %s in %.3fs, %zu metrics\n",
+              to_string(r.verdict), r.total_seconds, r.report.metrics.size());
+  if (r.verdict != Verdict::kEquivalent) {
+    std::fprintf(stderr, "check_report: demo pair not proved equivalent\n");
+    return 1;
+  }
+
+  if (!obs::write_json_file(r.report, path)) {
+    std::fprintf(stderr, "check_report: cannot write %s\n", path.c_str());
+    return 1;
+  }
+
+  // Validate the bytes on disk, not the in-memory snapshot: the ctest
+  // guards the emitter and the file round-trip together.
+  std::string json;
+  {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "check_report: cannot reopen %s\n", path.c_str());
+      return 1;
+    }
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) json.append(buf, n);
+    std::fclose(f);
+  }
+
+  std::string error;
+  if (!obs::validate_report_json(json, &error)) {
+    std::fprintf(stderr, "check_report: invalid report: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("check_report: %s is a valid %s report\n", path.c_str(),
+              obs::kSchemaId);
+  return 0;
+}
