@@ -8,9 +8,12 @@
 ///
 /// --demo generates a demo pair, writes it to the working directory, and
 /// checks it. --json-report writes the run's metric snapshot (DESIGN.md
-/// §2.3, schema simsweep.run_report.v1) to <path>.
+/// §2.3, schema simsweep.run_report.v2) to <path>.
 ///
-/// Exit code: 0 equivalent, 1 not equivalent, 2 undecided, 3 usage error.
+/// Exit code: 0 equivalent, 1 not equivalent, 2 undecided, 3 error (bad
+/// usage, unreadable/malformed input, or any internal failure — every
+/// exception is caught and reported as a one-line diagnostic; the tool
+/// never crashes on bad input).
 
 #include <cstdio>
 #include <cstring>
@@ -83,9 +86,7 @@ int usage(const char* prog) {
   return 3;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
+int run(int argc, char** argv) {
   using namespace simsweep;
   bool demo = false;
   std::string report_path;
@@ -117,16 +118,29 @@ int main(int argc, char** argv) {
     return check(c.original, c.optimized, report_path);
   }
   if (files.size() != 2) return usage(argv[0]);
+  const aig::Aig a = aig::read_aiger_file(files[0].c_str());
+  const aig::Aig b = aig::read_aiger_file(files[1].c_str());
+  std::printf("%s: %u PIs, %zu POs, %zu ANDs\n", files[0].c_str(),
+              a.num_pis(), a.num_pos(), a.num_ands());
+  std::printf("%s: %u PIs, %zu POs, %zu ANDs\n", files[1].c_str(),
+              b.num_pis(), b.num_pos(), b.num_ands());
+  return check(a, b, report_path);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Robustness contract (DESIGN.md §2.4): malformed inputs (truncated or
+  // non-topological AIGER, unreadable files) and internal failures
+  // surface as one diagnostic line and exit code 3 — never a crash or an
+  // unhandled terminate. The `cli_bad_*` ctests pin this down.
   try {
-    const aig::Aig a = aig::read_aiger_file(files[0].c_str());
-    const aig::Aig b = aig::read_aiger_file(files[1].c_str());
-    std::printf("%s: %u PIs, %zu POs, %zu ANDs\n", files[0].c_str(),
-                a.num_pis(), a.num_pos(), a.num_ands());
-    std::printf("%s: %u PIs, %zu POs, %zu ANDs\n", files[1].c_str(),
-                b.num_pis(), b.num_pos(), b.num_ands());
-    return check(a, b, report_path);
+    return run(argc, argv);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
+    return 3;
+  } catch (...) {
+    std::fprintf(stderr, "error: unknown failure\n");
     return 3;
   }
 }

@@ -7,6 +7,7 @@
 
 #include "common/log.hpp"
 #include "cut/common_cuts.hpp"
+#include "fault/fault.hpp"
 #include "parallel/thread_pool.hpp"
 #include "window/window.hpp"
 
@@ -22,10 +23,13 @@ struct BufEntry {
 
 /// Flushes the buffer through the exhaustive simulator (Alg. 2 lines
 /// 13-15 / 17-18). Entries of already-proved tasks are dropped.
+/// `sim_memory` is the pass-wide working simulator budget: the flush
+/// ladder halves it on recoverable batch failures and the reduction
+/// sticks for later flushes (DESIGN.md §2.4).
 void flush_buffer(const aig::Aig& aig, const std::vector<PairTask>& tasks,
                   std::vector<BufEntry>& buffer,
                   std::vector<std::uint8_t>& proved, const PassParams& params,
-                  PassStats& stats) {
+                  std::size_t& sim_memory, PassStats& stats) {
   if (buffer.empty()) return;
   ++stats.flushes;
 
@@ -54,15 +58,37 @@ void flush_buffer(const aig::Aig& aig, const std::vector<PairTask>& tasks,
 
   exhaustive::Params sim = params.sim_params;
   sim.collect_cex = false;  // local mismatches are inconclusive, not CEXs
-  const exhaustive::BatchResult result =
-      exhaustive::check_batch(aig, windows, sim);
-  if (result.cancelled) return;  // outcomes invalid
-  stats.checks += result.outcomes.size();
-  for (const auto& [tag, status] : result.outcomes) {
-    if (status == exhaustive::ItemStatus::kProved && !proved[tag]) {
-      proved[tag] = 1;
-      ++stats.proved;
+  for (unsigned attempt = 0;; ++attempt) {
+    sim.memory_words = sim_memory;
+    const exhaustive::BatchResult result =
+        exhaustive::check_batch(aig, windows, sim);
+    if (result.cancelled) return;  // outcomes invalid
+    if (result.failure == exhaustive::BatchFailure::kDeadline) {
+      stats.deadline_expired = true;
+      return;
     }
+    if (result.failure != exhaustive::BatchFailure::kNone) {
+      ++stats.batch_faults;
+      if (attempt < params.max_fault_retries &&
+          sim_memory / 2 >= params.min_memory_words) {
+        sim_memory /= 2;
+        ++stats.ladder_steps;
+        continue;
+      }
+      // Dropping the checks is sound: a cut check proves or is
+      // inconclusive, so an unattempted check just leaves its pair
+      // unproved for later passes / the SAT sweeper.
+      stats.checks_abandoned += windows.size();
+      return;
+    }
+    stats.checks += result.outcomes.size();
+    for (const auto& [tag, status] : result.outcomes) {
+      if (status == exhaustive::ItemStatus::kProved && !proved[tag]) {
+        proved[tag] = 1;
+        ++stats.proved;
+      }
+    }
+    return;
   }
 }
 
@@ -150,14 +176,21 @@ PassResult run_checking_pass(const aig::Aig& aig,
   const CutScorer scorer(aig, pass);
   std::vector<BufEntry> buffer;
   buffer.reserve(params.buffer_capacity);
+  std::size_t sim_memory = params.sim_params.memory_words;
 
   const std::atomic<bool>* cancel = params.sim_params.cancel;
+  const fault::Deadline* deadline = params.sim_params.deadline;
   for (std::uint32_t l = 1; l <= max_el; ++l) {
     // A pass over a deep miter can spend a long time in this loop; honour
     // the engine's cancellation between levels (proofs found so far stay
-    // valid — the caller just sees fewer of them).
+    // valid — the caller just sees fewer of them). The phase deadline is
+    // checked here too, but expiry keeps the proofs and tells the caller.
     if (cancel != nullptr && cancel->load(std::memory_order_relaxed))
       return result;
+    if (deadline != nullptr && deadline->expired()) {
+      result.stats.deadline_expired = true;
+      return result;
+    }
     const std::size_t lo = offset[l], hi = offset[l + 1];
     if (lo == hi) continue;
 
@@ -206,7 +239,13 @@ PassResult run_checking_pass(const aig::Aig& aig,
       if (cuts.empty()) continue;
       const std::uint32_t t = task_of[order[k]];
       if (cuts.size() > params.buffer_capacity - buffer.size())
-        flush_buffer(aig, tasks, buffer, result.proved, params, result.stats);
+        flush_buffer(aig, tasks, buffer, result.proved, params, sim_memory,
+                     result.stats);
+      // Injection site "cut.enum_overflow" (DESIGN.md §2.4): models the
+      // bounded buffer failing to grow. Host-thread insertion loop, so
+      // the throw unwinds cleanly to the engine's pass-retry ladder.
+      if (SIMSWEEP_FAULT_POINT("cut.enum_overflow"))
+        throw fault::FaultError("cut.enum_overflow");
       for (const Cut& c : cuts) {
         buffer.push_back(BufEntry{t, c});
         ++result.stats.common_cuts;
@@ -215,7 +254,8 @@ PassResult run_checking_pass(const aig::Aig& aig,
   }
 
   // Line 17-18: final batch.
-  flush_buffer(aig, tasks, buffer, result.proved, params, result.stats);
+  flush_buffer(aig, tasks, buffer, result.proved, params, sim_memory,
+               result.stats);
   return result;
 }
 

@@ -38,7 +38,16 @@ struct PassParams {
   unsigned max_cuts_per_pair = 8;
   /// Exhaustive-simulator settings for the local checks (CEX collection is
   /// disabled internally: local mismatches are inconclusive, not CEXs).
+  /// sim_params.deadline, when set, is also checked between enumeration
+  /// levels; expiry ends the pass early with its proofs intact.
   exhaustive::Params sim_params;
+  /// Flush-ladder bounds (DESIGN.md §2.4): a flush whose exhaustive batch
+  /// fails recoverably (OOM / ledger denial) retries with the simulator
+  /// budget halved down to min_memory_words, at most max_fault_retries
+  /// times, then drops the buffered checks (inconclusive == unproved, so
+  /// dropping is sound).
+  unsigned max_fault_retries = 3;
+  std::size_t min_memory_words = std::size_t{1} << 10;
 };
 
 struct PassStats {
@@ -55,6 +64,12 @@ struct PassStats {
   /// Histogram of needed AND nodes by enumeration level, log2-bucketed:
   /// level_hist[b] counts nodes with floor(log2(level)) == b.
   std::vector<std::size_t> level_hist;
+  // --- Flush-ladder telemetry (DESIGN.md §2.4). The caller folds these
+  // into the engine's degradation state.
+  std::size_t batch_faults = 0;      ///< recoverable flush-batch failures
+  std::size_t ladder_steps = 0;      ///< budget halvings taken by flushes
+  std::size_t checks_abandoned = 0;  ///< buffered checks dropped unproved
+  bool deadline_expired = false;     ///< pass ended by the phase deadline
 };
 
 struct PassResult {

@@ -8,6 +8,7 @@
 
 #include "common/log.hpp"
 #include "common/timer.hpp"
+#include "fault/fault.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace simsweep::engine {
@@ -97,6 +98,21 @@ EngineResult SimCecEngine::check_miter(aig::Aig miter) const {
   ctx.stats.initial_ands = ctx.miter.num_ands();
   ctx.stats.pos_total = ctx.miter.num_pos();
 
+  // Resource governor (DESIGN.md §2.4): the ladder's working parameters
+  // start from the configured ones, and the memory ledger is either the
+  // caller's (portfolio-shared budget) or a run-private one.
+  ctx.degrade.memory_words = params_.memory_words;
+  ctx.degrade.window_merging = params_.window_merging;
+  std::optional<fault::MemoryLedger> local_ledger;
+  if (params_.memory_ledger != nullptr)
+    ctx.ledger = params_.memory_ledger;
+  else if (params_.memory_budget_bytes > 0)
+    ctx.ledger = &local_ledger.emplace(params_.memory_budget_bytes);
+  // Fault-injection telemetry baseline: finish() publishes the delta of
+  // process-wide injected fires over this run as `faults.injected`.
+  const std::uint64_t fault_fires_before = fault::fires_total();
+  const auto site_fires_before = fault::active_fire_counts();
+
   // Metrics sink: the caller's registry when provided (shared across
   // attempts), else a private one so result.report is always populated.
   obs::Registry local_registry;
@@ -118,6 +134,31 @@ EngineResult SimCecEngine::check_miter(aig::Aig miter) const {
                   ctx.stats.local_seconds));
     publish_engine_stats(registry, ctx.stats);
     parallel::ThreadPool::global().publish(registry);
+    // Fault & degradation sections (DESIGN.md §2.4). Published even when
+    // all-zero so every v2 report carries both sections; counter add
+    // semantics accumulate across shared-registry attempt chains.
+    registry.add("faults.injected",
+                 fault::fires_total() - fault_fires_before);
+    registry.add("faults.recovered", ctx.degrade.faults_recovered);
+    for (const auto& [site, fires] : fault::active_fire_counts()) {
+      std::uint64_t before = 0;
+      for (const auto& [s0, f0] : site_fires_before)
+        if (s0 == site) before = f0;
+      if (fires > before) registry.add("faults.site." + site, fires - before);
+    }
+    registry.add("degrade.ladder_steps", ctx.degrade.ladder_steps);
+    registry.add("degrade.memory_halvings", ctx.degrade.memory_halvings);
+    registry.add("degrade.merge_fallbacks", ctx.degrade.merge_fallbacks);
+    registry.add("degrade.batch_splits", ctx.degrade.batch_splits);
+    registry.add("degrade.deadline_expiries", ctx.degrade.deadline_expiries);
+    registry.add("degrade.units_abandoned", ctx.degrade.units_abandoned);
+    registry.add("degrade.pass_retries", ctx.degrade.pass_retries);
+    if (ctx.ledger != nullptr) {
+      registry.set("degrade.memory_peak_bytes",
+                   static_cast<double>(ctx.ledger->peak_bytes()));
+      registry.set("degrade.memory_denials",
+                   static_cast<double>(ctx.ledger->denials()));
+    }
     result.report = registry.snapshot();
     result.verdict = verdict;
     result.reduced = std::move(ctx.miter);

@@ -30,6 +30,7 @@
 #include "aig/aig.hpp"
 #include "aig/miter.hpp"
 #include "common/verdict.hpp"
+#include "fault/governor.hpp"
 #include "obs/registry.hpp"
 #include "sim/partial_sim.hpp"
 
@@ -98,6 +99,27 @@ struct EngineParams {
   /// same cancellation checkpoints via an internal watchdog, so expiry
   /// yields kUndecided with whatever reduction was achieved so far.
   double time_limit = 0;
+
+  // --- Resource governor & degradation ladder (DESIGN.md §2.4). ---
+  /// Per-phase wall-clock cap in seconds (0 = unbounded): each P/G/L
+  /// phase gets its own fresh deadline on entry, checked at the same
+  /// checkpoints as cancellation. Expiry routes the phase's remaining
+  /// work to the sound undecided path instead of cancelling the run.
+  double phase_time_limit = 0;
+  /// Process memory budget in bytes for the governed allocations
+  /// (simulation tables; 0 = ungoverned). Ignored when memory_ledger is
+  /// set. Denied charges are recoverable faults the ladder answers by
+  /// halving M.
+  std::uint64_t memory_budget_bytes = 0;
+  /// External ledger to charge instead of an engine-private one — lets a
+  /// portfolio share one process budget across racing attempts.
+  fault::MemoryLedger* memory_ledger = nullptr;
+  /// Degradation-ladder bound: retries per failing unit (batch or cut
+  /// pass) with parameter backoff before its items are abandoned to the
+  /// undecided path.
+  unsigned max_fault_retries = 3;
+  /// Floor for ladder-driven halving of memory_words.
+  std::size_t min_memory_words = std::size_t{1} << 10;
 
   /// Optional metrics registry (DESIGN.md §2.3). When set, the engine and
   /// its phases publish their module counters (exhaustive.*, cut.*, ec.*,
@@ -200,6 +222,26 @@ struct EngineContext {
   /// inside a phase — the engine substitutes a private registry when the
   /// caller provided none).
   obs::Registry* obs = nullptr;
+  /// Degradation-ladder state (DESIGN.md §2.4), mutated by the host
+  /// thread only. Backoff persists across phases: once a fault forced M
+  /// down or merging off, later phases start from the degraded values —
+  /// the resource pressure that caused the fault rarely goes away
+  /// mid-run.
+  struct DegradeState {
+    std::size_t memory_words = 0;  ///< working M (seeded from params)
+    bool window_merging = true;    ///< dropped on repeated merge faults
+    std::uint64_t ladder_steps = 0;      ///< parameter-backoff steps taken
+    std::uint64_t memory_halvings = 0;   ///< M halved (OOM / budget denial)
+    std::uint64_t merge_fallbacks = 0;   ///< merged builds that fell back
+    std::uint64_t batch_splits = 0;      ///< batches split per-window
+    std::uint64_t deadline_expiries = 0; ///< phase deadlines that expired
+    std::uint64_t units_abandoned = 0;   ///< windows/passes left undecided
+    std::uint64_t pass_retries = 0;      ///< cut passes retried after fault
+    std::uint64_t faults_recovered = 0;  ///< failures answered by a retry
+  } degrade;
+  /// Memory governor for this run: the caller's EngineParams::memory_ledger,
+  /// an engine-private one (memory_budget_bytes > 0), or null (ungoverned).
+  fault::MemoryLedger* ledger = nullptr;
 };
 
 /// Returns false if the miter was disproved (stop immediately).

@@ -50,7 +50,13 @@ std::size_t run_global_phase(EngineContext& ctx, unsigned k_g) {
 
   aig::SubstitutionMap subst(miter.num_nodes());
 
-  for (unsigned iter = 0; iter < p.max_global_iters; ++iter) {
+  // Per-phase deadline (DESIGN.md §2.4): expiry finishes the phase early
+  // with whatever was proved so far — the rest stays soundly undecided.
+  const fault::Deadline deadline = fault::Deadline::after(p.phase_time_limit);
+  bool phase_expired = false;
+
+  for (unsigned iter = 0; iter < p.max_global_iters && !phase_expired;
+       ++iter) {
     // Eligible candidate pairs: support union within k_g.
     std::vector<sim::CandidatePair> eligible;
     std::vector<std::vector<aig::Var>> inputs_of;
@@ -84,7 +90,7 @@ std::size_t run_global_phase(EngineContext& ctx, unsigned k_g) {
     for (auto& w : built)
       if (w) windows.push_back(std::move(*w));
 
-    if (p.window_merging) {
+    if (ctx.degrade.window_merging) {
       window::MergeStats ms;
       windows = window::merge_windows(miter, std::move(windows), k_g, &ms);
       publish_merge_stats(ctx, ms);
@@ -94,11 +100,11 @@ std::size_t run_global_phase(EngineContext& ctx, unsigned k_g) {
     }
 
     exhaustive::Params sim_params;
-    sim_params.memory_words = p.memory_words;
     sim_params.collect_cex = true;
     sim_params.max_cex = eligible.size();  // guarantee refinement splits
     sim_params.cancel = p.cancel;
     sim_params.obs = ctx.obs;
+    sim_params.deadline = &deadline;
 
     std::size_t proved = 0, disproved = 0;
     sim::CexCollector collector(miter.num_pis());
@@ -108,9 +114,9 @@ std::size_t run_global_phase(EngineContext& ctx, unsigned k_g) {
       std::vector<window::Window> batch(
           std::make_move_iterator(windows.begin() + lo),
           std::make_move_iterator(windows.begin() + hi));
-      const exhaustive::BatchResult result =
-          exhaustive::check_batch(miter, batch, sim_params);
-      if (result.cancelled) {  // outcomes invalid: finish the phase early
+      const LadderOutcome ladder =
+          run_batch_with_ladder(ctx, miter, std::move(batch), sim_params);
+      if (ladder.cancelled) {  // outcomes invalid: finish the phase early
         if (!subst.empty()) {
           const std::size_t before = miter.num_ands();
           ctx.miter = aig::rebuild(miter, subst).aig;
@@ -120,6 +126,7 @@ std::size_t run_global_phase(EngineContext& ctx, unsigned k_g) {
         ctx.stats.global_seconds += t.seconds();
         return subst.num_merged();
       }
+      const exhaustive::BatchResult& result = ladder.result;
       for (const auto& [tag, status] : result.outcomes) {
         const sim::CandidatePair& pair = eligible[tag];
         if (status == exhaustive::ItemStatus::kProved) {
@@ -148,6 +155,10 @@ std::size_t run_global_phase(EngineContext& ctx, unsigned k_g) {
             collector.add(nb);
           }
         }
+      }
+      if (ladder.deadline_expired) {  // keep proofs, stop checking
+        phase_expired = true;
+        break;
       }
     }
     ctx.stats.pairs_proved_global += proved;

@@ -9,7 +9,9 @@
 /// changes after reduction, the next L phase generates different cuts,
 /// giving failed pairs new chances (paper §III-D).
 
+#include <algorithm>
 #include <cstdio>
+#include <optional>
 #include <string>
 
 #include "aig/rebuild.hpp"
@@ -17,6 +19,7 @@
 #include "common/timer.hpp"
 #include "cut/checking_pass.hpp"
 #include "engine/phase_common.hpp"
+#include "fault/fault.hpp"
 #include "sim/ec_manager.hpp"
 
 namespace simsweep::engine::detail {
@@ -82,30 +85,81 @@ bool run_local_phase(EngineContext& ctx) {
   }
   SIMSWEEP_LOG_INFO("L phase: %zu candidate pairs", tasks.size());
 
+  // Per-phase deadline (DESIGN.md §2.4): an expired pass keeps its proofs
+  // and the remaining passes of this phase are skipped.
+  const fault::Deadline deadline = fault::Deadline::after(p.phase_time_limit);
+
   cut::PassParams pass_params;
   pass_params.enum_params.cut_size = p.k_l;
   pass_params.enum_params.num_cuts = p.num_cuts;
   pass_params.buffer_capacity = p.cut_buffer_capacity;
   pass_params.max_cuts_per_pair = p.max_cuts_per_pair;
-  pass_params.sim_params.memory_words = p.memory_words;
   pass_params.sim_params.cancel = p.cancel;
   pass_params.sim_params.obs = ctx.obs;
+  pass_params.sim_params.deadline = &deadline;
+  pass_params.sim_params.ledger = ctx.ledger;
+  pass_params.max_fault_retries = p.max_fault_retries;
+  pass_params.min_memory_words = p.min_memory_words;
 
   std::vector<std::uint8_t> proved(tasks.size(), 0);
   static constexpr cut::Pass kPasses[3] = {
       cut::Pass::kFanout, cut::Pass::kSmallLevel, cut::Pass::kLargeLevel};
-  for (unsigned i = 0; i < 3; ++i) {
+  bool phase_expired = false;
+  for (unsigned i = 0; i < 3 && !phase_expired; ++i) {
     if (!ctx.active_passes[i]) continue;
-    const cut::PassResult result =
-        cut::run_checking_pass(miter, tasks, kPasses[i], pass_params,
-                               &proved);
-    proved = result.proved;
+    // Degradation ladder around a whole pass: a pass that faults (cut
+    // buffer overflow injection, OOM outside the batch path) is retried
+    // with smaller cuts and a smaller buffer; after the retry budget the
+    // pass is skipped — its unproved pairs stay soundly undecided.
+    std::optional<cut::PassResult> result;
+    for (unsigned retry = 0;; ++retry) {
+      pass_params.sim_params.memory_words = ctx.degrade.memory_words;
+      try {
+        result = cut::run_checking_pass(miter, tasks, kPasses[i],
+                                        pass_params, &proved);
+        break;
+      } catch (const std::bad_alloc&) {
+      } catch (const fault::FaultError&) {
+      }
+      if (retry >= p.max_fault_retries) {
+        ++ctx.degrade.units_abandoned;
+        ++ctx.degrade.ladder_steps;
+        break;
+      }
+      ++ctx.degrade.pass_retries;
+      ++ctx.degrade.ladder_steps;
+      ++ctx.degrade.faults_recovered;
+      pass_params.enum_params.cut_size =
+          std::max(2u, pass_params.enum_params.cut_size - 2);
+      pass_params.buffer_capacity =
+          std::max<std::size_t>(256, pass_params.buffer_capacity / 2);
+      if (ctx.degrade.memory_words / 2 >= p.min_memory_words) {
+        ctx.degrade.memory_words /= 2;
+        ++ctx.degrade.memory_halvings;
+      }
+    }
+    if (!result) continue;  // pass abandoned
+    proved = result->proved;
     SIMSWEEP_LOG_INFO("L pass %u: %zu proved (%zu cut checks, %zu flushes)",
-                      i + 1, result.stats.proved, result.stats.checks,
-                      result.stats.flushes);
-    publish_pass_stats(ctx, i, result.stats);
+                      i + 1, result->stats.proved, result->stats.checks,
+                      result->stats.flushes);
+    publish_pass_stats(ctx, i, result->stats);
+    // Fold the pass's internal flush-ladder activity into the run state.
+    if (result->stats.ladder_steps > 0) {
+      ctx.degrade.ladder_steps += result->stats.ladder_steps;
+      ctx.degrade.memory_halvings += result->stats.ladder_steps;
+      ctx.degrade.faults_recovered += result->stats.ladder_steps;
+      for (std::size_t h = 0; h < result->stats.ladder_steps; ++h)
+        if (ctx.degrade.memory_words / 2 >= p.min_memory_words)
+          ctx.degrade.memory_words /= 2;
+    }
+    ctx.degrade.units_abandoned += result->stats.checks_abandoned;
+    if (result->stats.deadline_expired) {
+      phase_expired = true;
+      ++ctx.degrade.deadline_expiries;
+    }
     // Paper §V: disable passes found ineffective on this case.
-    if (p.adaptive_passes && result.stats.proved == 0)
+    if (p.adaptive_passes && result->stats.proved == 0)
       ctx.active_passes[i] = false;
   }
 

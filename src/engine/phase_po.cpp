@@ -56,7 +56,7 @@ bool run_po_phase(EngineContext& ctx) {
     return true;
   }
 
-  if (p.window_merging) {
+  if (ctx.degrade.window_merging) {
     window::MergeStats ms;
     windows = window::merge_windows(miter, std::move(windows), k_s, &ms);
     publish_merge_stats(ctx, ms);
@@ -64,12 +64,16 @@ bool run_po_phase(EngineContext& ctx) {
                        ms.windows_before, ms.windows_after);
   }
 
+  // Per-phase deadline (DESIGN.md §2.4): expiry routes the remaining POs
+  // to the undecided path instead of cancelling the run.
+  const fault::Deadline deadline = fault::Deadline::after(p.phase_time_limit);
+
   exhaustive::Params sim;
-  sim.memory_words = p.memory_words;
   sim.collect_cex = true;
   sim.max_cex = 1;  // the first PO disproof settles the whole problem
   sim.cancel = p.cancel;
   sim.obs = ctx.obs;
+  sim.deadline = &deadline;
 
   aig::SubstitutionMap subst(miter.num_nodes());
   std::size_t proved = 0;
@@ -79,9 +83,10 @@ bool run_po_phase(EngineContext& ctx) {
     std::vector<window::Window> batch(
         std::make_move_iterator(windows.begin() + lo),
         std::make_move_iterator(windows.begin() + hi));
-    const exhaustive::BatchResult result =
-        exhaustive::check_batch(miter, batch, sim);
-    if (result.cancelled) break;  // outcomes invalid; stop proving POs
+    const LadderOutcome lo_result =
+        run_batch_with_ladder(ctx, miter, std::move(batch), sim);
+    if (lo_result.cancelled) break;  // outcomes invalid; stop proving POs
+    const exhaustive::BatchResult& result = lo_result.result;
     for (const auto& [tag, status] : result.outcomes) {
       if (status == exhaustive::ItemStatus::kProved) {
         miter.set_po(tag, aig::kLitFalse);
@@ -96,6 +101,7 @@ bool run_po_phase(EngineContext& ctx) {
         return false;
       }
     }
+    if (lo_result.deadline_expired) break;  // remaining POs stay unproved
   }
 
   ctx.stats.pos_proved += proved;

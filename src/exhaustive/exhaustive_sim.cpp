@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <bit>
 #include <cassert>
+#include <new>
 #include <optional>
 
 #include "common/log.hpp"
 #include "common/word_kernels.hpp"
+#include "fault/fault.hpp"
 #include "obs/registry.hpp"
 #include "parallel/thread_pool.hpp"
 #include "tt/truth_table.hpp"
@@ -136,9 +138,31 @@ BatchResult check_batch(const aig::Aig& aig,
     if (result.rounds > 1) r.add("exhaustive.round_splits", result.rounds - 1);
     r.add("exhaustive.cexes", result.cexes.size());
     if (result.cancelled) r.add("exhaustive.cancelled_batches");
+    if (result.failure != BatchFailure::kNone)
+      r.add("exhaustive.failed_batches");
   };
 
-  std::vector<std::uint64_t> simt(num_slots * E);
+  // --- Resource-governed table allocation (DESIGN.md §2.4). This is THE
+  // allocation Alg. 1's budget is about; a ledger denial or a bad_alloc
+  // here is a recoverable batch failure the caller's degradation ladder
+  // answers by shrinking M — never a crash. Host thread only, so the
+  // injected bad_alloc is catchable right here. ---
+  fault::MemoryLease lease(params.ledger,
+                           num_slots * E * sizeof(std::uint64_t));
+  if (!lease.ok()) {
+    result.failure = BatchFailure::kMemoryBudget;
+    publish();
+    return result;
+  }
+  std::vector<std::uint64_t> simt;
+  try {
+    if (SIMSWEEP_FAULT_POINT("exhaustive.simt_alloc")) throw std::bad_alloc{};
+    simt.resize(num_slots * E);
+  } catch (const std::bad_alloc&) {
+    result.failure = BatchFailure::kAlloc;
+    publish();
+    return result;
+  }
 
   // Undecided-item bookkeeping. Items are identified by (window, index).
   //
@@ -214,6 +238,12 @@ BatchResult check_batch(const aig::Aig& aig,
     return params.cancel != nullptr &&
            params.cancel->load(std::memory_order_relaxed);
   };
+  const auto deadline_expired = [&] {
+    return params.deadline != nullptr && params.deadline->expired();
+  };
+  // Workers poll this like cancellation; the host attributes the stop to
+  // cancel vs deadline afterwards (a deadline never un-expires).
+  const auto stop_fired = [&] { return cancel_fired() || deadline_expired(); };
 
   if (window_parallel) {
     // --- Window dimension: every worker sweeps whole windows serially
@@ -230,7 +260,7 @@ BatchResult check_batch(const aig::Aig& aig,
             const unsigned in = w.num_inputs();
             const std::size_t wrounds = (tt + E - 1) / E;
             for (std::size_t r = 0; r < wrounds && state[wi].alive; ++r) {
-              if (cancel_fired()) return;  // abandon the chunk
+              if (stop_fired()) return;  // abandon the chunk
               const std::size_t nw = std::min(E, tt - r * E);
               project_window(w, base, r, nw);
               for (std::size_t ni = 0; ni < w.wnodes.size(); ++ni)
@@ -247,6 +277,11 @@ BatchResult check_batch(const aig::Aig& aig,
     }
     if (cancel_fired()) {
       result.cancelled = true;
+      publish();
+      return result;
+    }
+    if (deadline_expired()) {
+      result.failure = BatchFailure::kDeadline;
       publish();
       return result;
     }
@@ -321,6 +356,11 @@ BatchResult check_batch(const aig::Aig& aig,
     for (std::size_t r = 0; r < rounds; ++r) {
       if (cancel_fired()) {
         result.cancelled = true;
+        publish();
+        return result;
+      }
+      if (deadline_expired()) {
+        result.failure = BatchFailure::kDeadline;
         publish();
         return result;
       }

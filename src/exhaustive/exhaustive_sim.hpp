@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "aig/aig.hpp"
+#include "fault/governor.hpp"
 #include "window/window.hpp"
 
 namespace simsweep::obs {
@@ -73,6 +74,14 @@ struct Params {
   /// at batch end — the hot loops accumulate into locals either way, so a
   /// null sink costs nothing (DESIGN.md §2.3).
   obs::Registry* obs = nullptr;
+  /// Optional process-level memory governor (DESIGN.md §2.4): the big
+  /// simulation-table allocation is charged against it before it happens,
+  /// and a denied charge returns BatchFailure::kMemoryBudget instead of
+  /// allocating past the process budget.
+  fault::MemoryLedger* ledger = nullptr;
+  /// Optional phase deadline: checked where cancellation is checked (plus
+  /// between level-staged rounds); expiry returns BatchFailure::kDeadline.
+  const fault::Deadline* deadline = nullptr;
 };
 
 enum class ItemStatus : std::uint8_t {
@@ -87,6 +96,17 @@ struct Cex {
   std::vector<std::pair<aig::Var, bool>> assignment;
 };
 
+/// Why a batch produced no outcomes (DESIGN.md §2.4). Every value except
+/// kNone is recoverable: the caller's degradation ladder shrinks the
+/// batch (halve M, split windows) and retries, or routes the items to the
+/// sound undecided path.
+enum class BatchFailure : std::uint8_t {
+  kNone,          ///< batch completed; outcomes are valid
+  kAlloc,         ///< simulation-table allocation threw bad_alloc
+  kMemoryBudget,  ///< the memory ledger denied the table charge
+  kDeadline,      ///< the phase deadline expired mid-batch
+};
+
 struct BatchResult {
   /// (tag, status) for every item of every window in the batch.
   std::vector<std::pair<std::uint32_t, ItemStatus>> outcomes;
@@ -98,6 +118,9 @@ struct BatchResult {
   bool window_parallel = false;     ///< dimension the batch actually used
   /// True iff params.cancel fired mid-batch; outcomes are then invalid.
   bool cancelled = false;
+  /// Set when the batch failed recoverably; outcomes are then invalid
+  /// (empty) and the caller decides between retry and undecided.
+  BatchFailure failure = BatchFailure::kNone;
 };
 
 /// Checks every item of every window by exhaustive simulation. Windows

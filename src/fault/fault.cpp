@@ -1,0 +1,137 @@
+/// \file fault.cpp
+/// \brief Process-wide fault injector state (see fault.hpp).
+
+#include "fault/fault.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <mutex>
+
+#include "common/random.hpp"
+
+namespace simsweep::fault {
+namespace {
+
+/// Mutable per-site state of an installed plan.
+struct SiteState {
+  FaultSpec spec;
+  Rng rng;  // probability-mode substream, forked off the plan seed
+  std::uint64_t hits = 0;
+  std::uint64_t fires = 0;
+};
+
+/// An installed plan plus its counters. Owned by the ScopedFaultPlan that
+/// installed it; the global pointer only borrows it for the scope.
+struct ActivePlan {
+  std::mutex mu;
+  std::vector<SiteState> sites;  // sorted by spec.site for lookup
+
+  explicit ActivePlan(const FaultPlan& plan) {
+    Rng base(plan.seed());
+    sites.reserve(plan.specs().size());
+    for (const FaultSpec& spec : plan.specs())
+      sites.push_back(SiteState{
+          spec, base.fork(static_cast<std::uint64_t>(sites.size())), 0, 0});
+    std::sort(sites.begin(), sites.end(),
+              [](const SiteState& a, const SiteState& b) {
+                return a.spec.site < b.spec.site;
+              });
+  }
+
+  SiteState* find(std::string_view site) {
+    auto it = std::lower_bound(sites.begin(), sites.end(), site,
+                               [](const SiteState& s, std::string_view v) {
+                                 return s.spec.site < v;
+                               });
+    if (it == sites.end() || it->spec.site != site) return nullptr;
+    return &*it;
+  }
+};
+
+/// The installed plan. A raw pointer so the hot no-plan path is one
+/// relaxed load; installation/uninstallation happen on quiescent sites
+/// (ScopedFaultPlan contract), so no reclamation race exists.
+std::atomic<ActivePlan*> g_plan{nullptr};
+
+/// Lifetime fires across all plans; never reset (engine publishes deltas).
+std::atomic<std::uint64_t> g_fires_total{0};
+
+}  // namespace
+
+struct ScopedFaultPlan::Impl {
+  ActivePlan plan;
+  ActivePlan* previous;
+  explicit Impl(const FaultPlan& p) : plan(p), previous(nullptr) {}
+};
+
+ScopedFaultPlan::ScopedFaultPlan(const FaultPlan& plan)
+    : impl_(new Impl(plan)) {
+  impl_->previous = g_plan.exchange(&impl_->plan, std::memory_order_release);
+}
+
+ScopedFaultPlan::~ScopedFaultPlan() {
+  g_plan.store(impl_->previous, std::memory_order_release);
+  delete impl_;
+}
+
+std::uint64_t ScopedFaultPlan::fires(std::string_view site) const {
+  std::lock_guard<std::mutex> lock(impl_->plan.mu);
+  const SiteState* s = impl_->plan.find(site);
+  return s ? s->fires : 0;
+}
+
+std::uint64_t ScopedFaultPlan::fires_total() const {
+  std::lock_guard<std::mutex> lock(impl_->plan.mu);
+  std::uint64_t total = 0;
+  for (const SiteState& s : impl_->plan.sites) total += s.fires;
+  return total;
+}
+
+std::uint64_t ScopedFaultPlan::hits(std::string_view site) const {
+  std::lock_guard<std::mutex> lock(impl_->plan.mu);
+  const SiteState* s = impl_->plan.find(site);
+  return s ? s->hits : 0;
+}
+
+std::uint64_t fires_total() {
+  return g_fires_total.load(std::memory_order_relaxed);
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> active_fire_counts() {
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  ActivePlan* plan = g_plan.load(std::memory_order_acquire);
+  if (!plan) return out;
+  std::lock_guard<std::mutex> lock(plan->mu);
+  out.reserve(plan->sites.size());
+  for (const SiteState& s : plan->sites)
+    out.emplace_back(s.spec.site, s.fires);
+  return out;
+}
+
+namespace detail {
+
+bool hit(const char* site) {
+  ActivePlan* plan = g_plan.load(std::memory_order_relaxed);
+  if (!plan) return false;
+  std::atomic_thread_fence(std::memory_order_acquire);
+  std::lock_guard<std::mutex> lock(plan->mu);
+  SiteState* s = plan->find(site);
+  if (!s) return false;
+  ++s->hits;
+  if (s->spec.max_fires != 0 && s->fires >= s->spec.max_fires) return false;
+  bool fire = false;
+  if (s->spec.nth != 0) {
+    fire = s->hits >= s->spec.nth;
+  } else {
+    fire = s->rng.flip(s->spec.probability);
+  }
+  if (fire) {
+    ++s->fires;
+    g_fires_total.fetch_add(1, std::memory_order_relaxed);
+  }
+  return fire;
+}
+
+}  // namespace detail
+}  // namespace simsweep::fault

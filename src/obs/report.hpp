@@ -27,6 +27,12 @@
 /// five paper-module sections with at least one nonzero metric each
 /// (exhaustive, cut, ec, partial_sim, miter) plus the pool section — the
 /// acceptance contract of the report.
+///
+/// v2 (current) additionally requires the robustness sections `faults`
+/// and `degrade` (DESIGN.md §2.4) to be *present* under "metrics" — all
+/// zeros is the expected healthy state, so presence, not nonzero-ness, is
+/// the contract. v1 documents (no schema-level fault telemetry) are still
+/// accepted by the validator.
 
 #include <string>
 
@@ -34,21 +40,26 @@
 
 namespace simsweep::obs {
 
-/// Schema tag stamped into (and required of) every run report.
-inline constexpr const char kSchemaId[] = "simsweep.run_report.v1";
+/// Schema tag stamped into every emitted run report (current version).
+inline constexpr const char kSchemaId[] = "simsweep.run_report.v2";
 
-/// Serializes a snapshot as a `simsweep.run_report.v1` JSON document.
+/// Previous schema tag; still accepted by validate_report_json() so
+/// archived reports and older tooling keep validating.
+inline constexpr const char kSchemaIdV1[] = "simsweep.run_report.v1";
+
+/// Serializes a snapshot as a `simsweep.run_report.v2` JSON document.
 std::string to_json(const Snapshot& snapshot);
 
 /// Writes to_json(snapshot) to `path`. Returns false on I/O failure.
 bool write_json_file(const Snapshot& snapshot, const std::string& path);
 
-/// Validates a serialized report against the v1 schema: well-formed JSON,
-/// correct "schema" tag, "metrics" object present, the five module
-/// sections (exhaustive, cut, ec, partial_sim, miter) each present with
-/// at least one nonzero numeric leaf, and a "pool" section present. On
-/// failure returns false and, if `error` is non-null, stores a
-/// human-readable reason.
+/// Validates a serialized report: well-formed JSON, a known "schema" tag
+/// (v1 or v2), "metrics" object present, the five module sections
+/// (exhaustive, cut, ec, partial_sim, miter) each present with at least
+/// one nonzero numeric leaf, and a "pool" section present. v2 documents
+/// must additionally carry the "faults" and "degrade" sections (presence
+/// only — all-zero is the healthy state). On failure returns false and,
+/// if `error` is non-null, stores a human-readable reason.
 bool validate_report_json(const std::string& json, std::string* error);
 
 }  // namespace simsweep::obs

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <string>
+#include <system_error>
 
+#include "fault/fault.hpp"
 #include "obs/registry.hpp"
 
 #ifdef SIMSWEEP_CHECKED
@@ -73,8 +75,25 @@ ThreadPool::ThreadPool(unsigned num_workers) {
   created_ = std::chrono::steady_clock::now();
   worker_stats_ = std::make_unique<WorkerStat[]>(num_workers + 1);
   workers_.reserve(num_workers);
-  for (unsigned i = 0; i < num_workers; ++i)
-    workers_.emplace_back([this, i] { worker_loop(i); });
+  for (unsigned i = 0; i < num_workers; ++i) {
+    // Injection site "pool.spawn" (DESIGN.md §2.4): thread creation can
+    // fail under thread-count limits. The pool degrades to the workers
+    // that did start — worker_stats_ was sized up front and worker
+    // indices are dense in [0, workers_.size()), so a short pool is
+    // fully functional; with zero workers every launch runs inline.
+    try {
+      if (SIMSWEEP_FAULT_POINT("pool.spawn"))
+        throw std::system_error(
+            std::make_error_code(std::errc::resource_unavailable_try_again),
+            "injected fault at pool.spawn");
+      workers_.emplace_back(
+          [this, i = static_cast<unsigned>(workers_.size())] {
+            worker_loop(i);
+          });
+    } catch (const std::system_error&) {
+      ++spawn_failures_;
+    }
+  }
 }
 
 ThreadPool::~ThreadPool() {
@@ -333,6 +352,7 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
 PoolStats ThreadPool::stats() const {
   PoolStats st;
   st.workers = static_cast<unsigned>(workers_.size());
+  st.spawn_failures = spawn_failures_;
   st.jobs = jobs_.load(std::memory_order_relaxed);
   st.inline_jobs = inline_jobs_.load(std::memory_order_relaxed);
   st.stages = stages_submitted_.load(std::memory_order_relaxed);
@@ -374,6 +394,7 @@ void ThreadPool::publish(obs::Registry& registry, const char* prefix) const {
   registry.set(p + "busy_fraction.mean", st.busy_mean);
   registry.set(p + "busy_fraction.min", st.busy_min);
   registry.set(p + "busy_fraction.max", st.busy_max);
+  registry.set(p + "spawn_failures", static_cast<double>(st.spawn_failures));
 }
 
 void ThreadPool::park(std::uint32_t seen_epoch) {

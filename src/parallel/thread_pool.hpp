@@ -76,6 +76,11 @@ struct PoolStats {
   double busy_mean = 0;
   double busy_min = 0;
   double busy_max = 0;
+  /// Worker threads that failed to spawn (std::system_error at pool
+  /// construction, or the "pool.spawn" injection site — DESIGN.md §2.4).
+  /// The pool degrades to the workers that did start; with zero workers
+  /// every launch runs inline on the caller, which is always correct.
+  unsigned spawn_failures = 0;
 };
 
 #ifdef SIMSWEEP_CHECKED
@@ -306,6 +311,9 @@ class ThreadPool {
     std::atomic<std::uint64_t> busy_ns{0};
   };
   std::unique_ptr<WorkerStat[]> worker_stats_;  ///< size workers_ + 1
+  /// Threads that failed to start (written once in the constructor, read
+  /// only after — no synchronization needed).
+  unsigned spawn_failures_ = 0;
   std::atomic<std::uint64_t> jobs_{0};
   std::atomic<std::uint64_t> inline_jobs_{0};
   std::atomic<std::uint64_t> stages_submitted_{0};

@@ -1,5 +1,6 @@
 #include "portfolio/portfolio.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <thread>
 #include <utility>
@@ -62,6 +63,7 @@ void publish_sweeper_stats(obs::Registry& r, bool used,
   r.set("sat_sweeper.pairs_undecided",
         static_cast<double>(s.pairs_undecided));
   r.set("sat_sweeper.conflicts", static_cast<double>(s.conflicts));
+  r.set("sat_sweeper.solve_faults", static_cast<double>(s.solve_faults));
   r.set("sat_sweeper.seconds", seconds);
 }
 
@@ -82,6 +84,16 @@ CombinedResult combined_check_miter(const aig::Aig& miter,
                                 : local_registry;
   engine_params.registry = &registry;
 
+  // engine.time_limit is the wall-clock budget of the WHOLE combined
+  // flow: rewriting-interleaved re-runs and the SAT fallback spend what
+  // is *left* of it, they do not restart the clock. (Before this fix the
+  // full budget was handed to every attempt again, so a combined run
+  // could take attempts+1 times its nominal limit.) 0 = unbounded.
+  const double budget = params.engine.time_limit;
+  auto remaining = [&]() -> double {
+    return budget > 0 ? std::max(0.05, budget - total.seconds()) : 0.0;
+  };
+
   const engine::SimCecEngine eng(engine_params);
   engine::EngineResult er = eng.check_miter(miter);
 
@@ -96,7 +108,10 @@ CombinedResult combined_check_miter(const aig::Aig& miter,
     aig::Aig rewritten = opt::resyn_light(er.reduced);
     SIMSWEEP_LOG_INFO("interleaved rewriting: %zu -> %zu ANDs",
                       er.reduced.num_ands(), rewritten.num_ands());
-    engine::EngineResult next = eng.check_miter(std::move(rewritten));
+    engine::EngineParams round_params = engine_params;
+    round_params.time_limit = remaining();
+    const engine::SimCecEngine round_eng(round_params);
+    engine::EngineResult next = round_eng.check_miter(std::move(rewritten));
     engine::accumulate_attempt_stats(next.stats, er.stats);
     er = std::move(next);
   }
@@ -113,6 +128,16 @@ CombinedResult combined_check_miter(const aig::Aig& miter,
   if (er.verdict == Verdict::kUndecided) {
     result.used_sat = true;
     sweep::SweeperParams sweeper_params = params.sweeper;
+    // Deadline plumbing: the fallback gets the remaining combined budget
+    // (clamped against any caller-set sweeper limit), not the full engine
+    // budget over again.
+    if (budget > 0) {
+      const double rem = remaining();
+      sweeper_params.time_limit = sweeper_params.time_limit > 0
+                                      ? std::min(sweeper_params.time_limit, rem)
+                                      : rem;
+    }
+    result.sweeper_time_limit = sweeper_params.time_limit;
     if (params.transfer_ec && er.bank &&
         er.bank->num_pis() == er.reduced.num_pis())
       sweeper_params.initial_bank = &*er.bank;

@@ -58,6 +58,12 @@ struct CombinedResult {
   sweep::SweeperStats sweeper_stats;
   double engine_seconds = 0;  ///< "GPU (s)" column analogue
   double sat_seconds = 0;     ///< "ABC (s)" column analogue
+  /// Effective wall-clock limit handed to the SAT-sweeper fallback: the
+  /// caller's sweeper.time_limit clamped to the combined budget that
+  /// remained after the engine attempts (engine.time_limit is the budget
+  /// for the WHOLE combined flow, not per attempt). 0 when unbounded or
+  /// when the sweeper was never entered.
+  double sweeper_time_limit = 0;
   double total_seconds = 0;
   double reduction_percent = 0;  ///< "Reduced (%)" column analogue
   bool used_sat = false;  ///< engine left an undecided residue

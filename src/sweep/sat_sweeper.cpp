@@ -6,6 +6,7 @@
 #include "cnf/tseitin.hpp"
 #include "common/log.hpp"
 #include "common/timer.hpp"
+#include "fault/fault.hpp"
 #include "sim/ec_manager.hpp"
 #include "sim/partial_sim.hpp"
 
@@ -70,8 +71,17 @@ SweepResult SatSweeper::check_miter(const aig::Aig& miter) const {
 
   // One SAT query: is (a != b) satisfiable? Split into the two polarity
   // cases so the incremental solver needs no temporary clauses.
+  // Injection site "sat.solve" (DESIGN.md §2.4): a fired solve entry is
+  // answered like a conflict-limit kUnknown — the sweeper's native sound
+  // failure mode (the pair stays unmerged / the PO stays unproved).
+  auto solve_faulted = [&] {
+    if (!SIMSWEEP_FAULT_POINT("sat.solve")) return false;
+    ++result.stats.solve_faults;
+    return true;
+  };
   auto check_pair_sat = [&](aig::Lit a, aig::Lit b)
       -> sat::Solver::Result {
+    if (solve_faulted()) return sat::Solver::Result::kUnknown;
     const sat::Lit la = enc.encode(a);
     const sat::Lit lb = enc.encode(b);
     ++result.stats.sat_calls;
@@ -145,6 +155,10 @@ SweepResult SatSweeper::check_miter(const aig::Aig& miter) const {
     const aig::Lit r = subst.resolve(po);
     if (r == aig::kLitFalse) continue;
     if (r == aig::kLitTrue) return finish(Verdict::kNotEquivalent);
+    if (solve_faulted()) {
+      all_proved = false;  // this PO stays soundly undecided
+      continue;
+    }
     ++result.stats.sat_calls;
     switch (solver.solve({enc.encode(r)}, params_.conflict_limit)) {
       case sat::Solver::Result::kUnsat:

@@ -54,6 +54,10 @@ struct SweeperStats {
   std::size_t pairs_undecided = 0;
   std::uint64_t conflicts = 0;
   double seconds = 0;
+  /// Solve entries failed by the "sat.solve" injection site (DESIGN.md
+  /// §2.4); each is treated exactly like a conflict-limit kUnknown, the
+  /// sweeper's native sound failure mode.
+  std::size_t solve_faults = 0;
 };
 
 struct SweepResult {

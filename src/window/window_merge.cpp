@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "aig/aig_analysis.hpp"
+#include "fault/fault.hpp"
 
 namespace simsweep::window {
 
@@ -58,8 +59,13 @@ std::vector<Window> merge_windows(const aig::Aig& aig,
       for (std::size_t k = i; k < j; ++k)
         items.insert(items.end(), windows[k].items.begin(),
                      windows[k].items.end());
-      auto merged = build_window(aig, std::move(merged_inputs),
-                                 std::move(items));
+      // Injection site "window_merge.build" (DESIGN.md §2.4): forces the
+      // build-failure fallback below — the exact path a real failed
+      // merged build takes, since only copies went into the build.
+      auto merged = SIMSWEEP_FAULT_POINT("window_merge.build")
+                        ? std::nullopt
+                        : build_window(aig, std::move(merged_inputs),
+                                       std::move(items));
       if (merged) {
         if (stats) {
           ++stats->merge_groups;

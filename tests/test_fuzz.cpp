@@ -64,6 +64,49 @@ TEST_P(AigerFuzz, TruncatedFilesAreRejectedOrSane) {
   }
 }
 
+TEST_P(AigerFuzz, BitFlipAndTruncationMutationsNeverInvokeUb) {
+  // Seeded mutation loop over BOTH AIGER formats: single-bit flips
+  // composed with truncation, which reaches mutants byte corruption
+  // cannot (an off-by-one count with the tail missing, a flipped sign in
+  // a header digit, a varint whose continuation bit was cleared). The
+  // contract is parse-succeeds-or-throws: any crash, hang or sanitizer
+  // report (this suite runs under asan AND ubsan labels) is a bug. A
+  // mutant that does parse must still be structurally sound.
+  const aig::Aig a = testutil::random_aig(6, 50, 4, GetParam() + 17);
+  std::string corpus[2];
+  {
+    std::stringstream bin, ascii;
+    aig::write_aiger(a, bin);
+    aig::write_aiger_ascii(a, ascii);
+    corpus[0] = bin.str();
+    corpus[1] = ascii.str();
+  }
+
+  Rng rng(GetParam() * 131 + 7);
+  for (int trial = 0; trial < 400; ++trial) {
+    std::string bad = corpus[rng.below(2)];
+    // 1-8 single-bit flips.
+    const int flips = 1 + static_cast<int>(rng.below(8));
+    for (int f = 0; f < flips; ++f) {
+      const std::size_t at = rng.below(bad.size());
+      bad[at] = static_cast<char>(bad[at] ^ (1 << rng.below(8)));
+    }
+    // Half the trials also truncate to a random prefix.
+    if (rng.below(2) == 0) bad.resize(rng.below(bad.size() + 1));
+    std::istringstream in(bad);
+    try {
+      const aig::Aig parsed = aig::read_aiger(in);
+      ASSERT_LE(parsed.num_pos(), 1u << 20);
+      for (aig::Var v = parsed.num_pis() + 1; v < parsed.num_nodes(); ++v) {
+        ASSERT_LT(aig::lit_var(parsed.fanin0(v)), v);
+        ASSERT_LT(aig::lit_var(parsed.fanin1(v)), v);
+      }
+    } catch (const std::exception&) {
+      // Rejection is the expected outcome.
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, AigerFuzz, ::testing::Values(900, 901, 902));
 
 TEST(DimacsFuzz, GarbageRejectedGracefully) {

@@ -98,7 +98,8 @@ TEST(ObsRegistry, ConcurrentPublishersAgree) {
               static_cast<std::uint64_t>(kIters));
 }
 
-/// A registry covering the report schema's required sections.
+/// A registry covering the report schema's required sections (v2: the
+/// faults/degrade sections must exist; zero values are the healthy state).
 Registry& fill_valid(Registry& r) {
   r.add("exhaustive.batches", 3);
   r.add("cut.pass1.checks", 12);
@@ -107,6 +108,8 @@ Registry& fill_valid(Registry& r) {
   r.add("miter.rebuilds", 1);
   r.set("pool.workers", 4.0);
   r.set("engine.total_seconds", 0.25);
+  r.add("faults.injected", 0);
+  r.add("degrade.ladder_steps", 0);
   return r;
 }
 
@@ -151,6 +154,46 @@ TEST(ObsReport, ValidatorRejectsBadReports) {
     EXPECT_FALSE(validate_report_json(to_json(r3.snapshot()), &error));
     EXPECT_NE(error.find("ec"), std::string::npos);
   }
+}
+
+TEST(ObsReport, V2RequiresFaultAndDegradeSections) {
+  // A v2-tagged report without the robustness sections is invalid; their
+  // *presence* (not nonzero-ness) is the v2 contract.
+  Registry r;
+  r.add("exhaustive.batches", 3);
+  r.add("cut.pass1.checks", 12);
+  r.add("ec.builds", 2);
+  r.add("partial_sim.simulate_calls", 5);
+  r.add("miter.rebuilds", 1);
+  r.set("pool.workers", 4.0);
+  std::string error;
+  EXPECT_FALSE(validate_report_json(to_json(r.snapshot()), &error));
+  EXPECT_NE(error.find("faults"), std::string::npos);
+
+  r.add("faults.injected", 0);
+  EXPECT_FALSE(validate_report_json(to_json(r.snapshot()), &error));
+  EXPECT_NE(error.find("degrade"), std::string::npos);
+
+  r.add("degrade.ladder_steps", 0);
+  EXPECT_TRUE(validate_report_json(to_json(r.snapshot()), &error)) << error;
+}
+
+TEST(ObsReport, V1ReportsStillAccepted) {
+  // Archived v1 documents (no fault telemetry) keep validating: emit a v2
+  // report without the robustness sections and retag it as v1.
+  Registry r;
+  r.add("exhaustive.batches", 3);
+  r.add("cut.pass1.checks", 12);
+  r.add("ec.builds", 2);
+  r.add("partial_sim.simulate_calls", 5);
+  r.add("miter.rebuilds", 1);
+  r.set("pool.workers", 4.0);
+  std::string json = to_json(r.snapshot());
+  const std::size_t at = json.find(kSchemaId);
+  ASSERT_NE(at, std::string::npos);
+  json.replace(at, std::string(kSchemaId).size(), kSchemaIdV1);
+  std::string error;
+  EXPECT_TRUE(validate_report_json(json, &error)) << error;
 }
 
 TEST(ObsReport, EngineRunEmitsValidReport) {

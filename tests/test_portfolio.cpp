@@ -136,6 +136,49 @@ TEST(Combined, InterleavedRewritingMergesAttemptStats) {
                    static_cast<double>(r.engine_stats.pairs_proved_local));
 }
 
+TEST(Combined, SweeperGetsRemainingBudgetNotFullBudget) {
+  // Regression (deadline plumbing, DESIGN.md §2.4): engine.time_limit is
+  // the budget of the WHOLE combined flow. The SAT fallback used to be
+  // handed the full budget again, so a combined run could legally take
+  // twice its nominal limit. Now the sweeper's effective time_limit is
+  // the budget *minus* the engine's elapsed time (floored at a small
+  // epsilon), and CombinedResult records it for inspection.
+  const Aig a = testutil::random_aig(12, 260, 6, 300);
+  const Aig b = opt::resyn_light(a);
+  if (aig::miter_proved(aig::make_miter(a, b)))
+    GTEST_SKIP() << "strash solved it";
+  CombinedParams p = small_combined();
+  // Disable every engine phase so the undecided residue — and therefore
+  // the SAT fallback — is guaranteed, making the budget check
+  // deterministic.
+  p.engine.enable_po_phase = false;
+  p.engine.enable_global_phase = false;
+  p.engine.max_local_phases = 0;
+  p.engine.escalate_global = false;
+  p.engine.time_limit = 30.0;  // generous: the engine spends a sliver of it
+  const CombinedResult r = combined_check(a, b, p);
+  ASSERT_TRUE(r.used_sat);
+  EXPECT_GT(r.sweeper_time_limit, 0.0);
+  EXPECT_LE(r.sweeper_time_limit, p.engine.time_limit);
+  // The remaining budget is the total minus what the engine consumed.
+  EXPECT_LE(r.sweeper_time_limit, p.engine.time_limit - r.engine_seconds + 0.5);
+
+  // A caller-set sweeper limit tighter than the remaining budget wins.
+  CombinedParams tight = p;
+  tight.sweeper.time_limit = 1e-6;
+  const CombinedResult rt = combined_check(a, b, tight);
+  ASSERT_TRUE(rt.used_sat);
+  EXPECT_LE(rt.sweeper_time_limit, 1e-6);
+  EXPECT_EQ(rt.verdict, Verdict::kUndecided);  // no time to decide
+
+  // Unbounded flow: no clamping happens and the field stays 0.
+  CombinedParams unbounded = p;
+  unbounded.engine.time_limit = 0;
+  const CombinedResult ru = combined_check(a, b, unbounded);
+  ASSERT_TRUE(ru.used_sat);
+  EXPECT_DOUBLE_EQ(ru.sweeper_time_limit, 0.0);
+}
+
 TEST(Portfolio, FirstDecisiveEngineWins) {
   const Aig a = gen::array_multiplier(4);
   const Aig b = gen::wallace_multiplier(4);

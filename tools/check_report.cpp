@@ -3,9 +3,11 @@
 ///
 /// Runs the same flow as `cec_tool --demo` (multiplier pair, CPU-rescaled
 /// engine parameters), writes the run report to argv[1], reads it back
-/// and validates it against schema simsweep.run_report.v1 — including the
+/// and validates it against schema simsweep.run_report.v2 — including the
 /// acceptance contract that all five paper-module sections carry nonzero
-/// counters. Exit code 0 on success, 1 on any failure.
+/// counters and that the v2 robustness sections (`faults`, `degrade`,
+/// DESIGN.md §2.4) are present with their expected leaves. Exit code 0 on
+/// success, 1 on any failure.
 ///
 /// Usage: ./check_report <report-path>
 
@@ -66,6 +68,27 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "check_report: invalid report: %s\n", error.c_str());
     return 1;
   }
+
+  // The generic validator only requires the v2 robustness sections to be
+  // present; the demo flow additionally guarantees the specific leaves
+  // the engine publishes unconditionally (zero-valued when healthy).
+  for (const char* leaf : {"\"faults\"", "\"injected\"", "\"degrade\"",
+                           "\"ladder_steps\"", "\"units_abandoned\""}) {
+    if (json.find(leaf) == std::string::npos) {
+      std::fprintf(stderr, "check_report: report lacks expected key %s\n",
+                   leaf);
+      return 1;
+    }
+  }
+
+  // A healthy (injection-free) demo run must not record any fired fault
+  // or ladder activity.
+  if (json.find("\"injected\": 0") == std::string::npos) {
+    std::fprintf(stderr,
+                 "check_report: healthy run reports nonzero faults.injected\n");
+    return 1;
+  }
+
   std::printf("check_report: %s is a valid %s report\n", path.c_str(),
               obs::kSchemaId);
   return 0;

@@ -1,0 +1,31 @@
+# Ctest wrapper asserting an EXACT exit code (WILL_FAIL only checks
+# "nonzero", which cannot tell a clean diagnostic exit (rc 3) from an
+# undecided verdict (rc 2) or a crash). Used by the cli_bad_* tests to
+# pin the cec_tool error contract (DESIGN.md §2.4).
+#
+# Usage:
+#   cmake -DEXPECT_RC=<n> -DCMD=<exe> -DARGS=<a;b;c> -P expect_rc.cmake
+if(NOT DEFINED EXPECT_RC OR NOT DEFINED CMD)
+  message(FATAL_ERROR "expect_rc.cmake: EXPECT_RC and CMD are required")
+endif()
+if(DEFINED ARGS)
+  separate_arguments(ARGS)
+endif()
+execute_process(COMMAND ${CMD} ${ARGS}
+                RESULT_VARIABLE rc
+                OUTPUT_VARIABLE out
+                ERROR_VARIABLE err)
+message(STATUS "expect_rc: '${CMD}' exited ${rc} (want ${EXPECT_RC})")
+if(out)
+  message(STATUS "stdout:\n${out}")
+endif()
+if(err)
+  message(STATUS "stderr:\n${err}")
+endif()
+if(NOT rc EQUAL ${EXPECT_RC})
+  message(FATAL_ERROR "expected exit code ${EXPECT_RC}, got ${rc}")
+endif()
+# The error contract also requires a one-line diagnostic on stderr.
+if(EXPECT_RC EQUAL 3 AND NOT err MATCHES "error:")
+  message(FATAL_ERROR "expected an 'error:' diagnostic on stderr")
+endif()
