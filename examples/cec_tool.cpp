@@ -3,12 +3,14 @@
 /// "&cec"-style front end of the library.
 ///
 /// Usage:
-///   ./cec_tool [--json-report <path>] a.aig b.aig
-///   ./cec_tool [--json-report <path>] --demo
+///   ./cec_tool [--json-report <path>] [--sweep-threads <n>] a.aig b.aig
+///   ./cec_tool [--json-report <path>] [--sweep-threads <n>] --demo
 ///
 /// --demo generates a demo pair, writes it to the working directory, and
 /// checks it. --json-report writes the run's metric snapshot (DESIGN.md
-/// §2.3, schema simsweep.run_report.v2) to <path>.
+/// §2.3, schema simsweep.run_report.v2) to <path>. --sweep-threads <n>
+/// shards the SAT residue sweep over n cooperating solvers (DESIGN.md
+/// §2.5; default 1 = sequential).
 ///
 /// Exit code: 0 equivalent, 1 not equivalent, 2 undecided, 3 error (bad
 /// usage, unreadable/malformed input, or any internal failure — every
@@ -16,6 +18,7 @@
 /// never crashes on bad input).
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -30,7 +33,7 @@
 namespace {
 
 int check(const simsweep::aig::Aig& a, const simsweep::aig::Aig& b,
-          const std::string& report_path) {
+          const std::string& report_path, unsigned sweep_threads) {
   using namespace simsweep;
   portfolio::CombinedParams params;
   // The paper's engine parameters rescaled to CPU exhaustive-simulation
@@ -38,6 +41,7 @@ int check(const simsweep::aig::Aig& a, const simsweep::aig::Aig& b,
   params.engine.k_P = 24;
   params.engine.k_p = 14;
   params.engine.k_g = 14;
+  params.sweeper.num_threads = sweep_threads;
   const portfolio::CombinedResult r = portfolio::combined_check(a, b, params);
   std::printf("engine:   %.3fs, reduced %.1f%% of the miter\n",
               r.engine_seconds, r.reduction_percent);
@@ -81,7 +85,8 @@ int check(const simsweep::aig::Aig& a, const simsweep::aig::Aig& b,
 
 int usage(const char* prog) {
   std::fprintf(stderr,
-               "usage: %s [--json-report <path>] (<a.aig> <b.aig> | --demo)\n",
+               "usage: %s [--json-report <path>] [--sweep-threads <n>] "
+               "(<a.aig> <b.aig> | --demo)\n",
                prog);
   return 3;
 }
@@ -90,6 +95,7 @@ int run(int argc, char** argv) {
   using namespace simsweep;
   bool demo = false;
   std::string report_path;
+  unsigned sweep_threads = 1;
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--demo") == 0) {
@@ -97,6 +103,13 @@ int run(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--json-report") == 0) {
       if (i + 1 >= argc) return usage(argv[0]);
       report_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--sweep-threads") == 0) {
+      // Shard count of the SAT residue sweep (DESIGN.md §2.5); 1 keeps
+      // the sequential sweeper.
+      if (i + 1 >= argc) return usage(argv[0]);
+      const long v = std::strtol(argv[++i], nullptr, 10);
+      if (v < 1 || v > 256) return usage(argv[0]);
+      sweep_threads = static_cast<unsigned>(v);
     } else if (argv[i][0] == '-') {
       return usage(argv[0]);
     } else {
@@ -115,7 +128,7 @@ int run(int argc, char** argv) {
     std::printf("wrote demo_original.aig (%zu ANDs) and "
                 "demo_optimized.aig (%zu ANDs)\n",
                 c.original.num_ands(), c.optimized.num_ands());
-    return check(c.original, c.optimized, report_path);
+    return check(c.original, c.optimized, report_path, sweep_threads);
   }
   if (files.size() != 2) return usage(argv[0]);
   const aig::Aig a = aig::read_aiger_file(files[0].c_str());
@@ -124,7 +137,7 @@ int run(int argc, char** argv) {
               a.num_pis(), a.num_pos(), a.num_ands());
   std::printf("%s: %u PIs, %zu POs, %zu ANDs\n", files[1].c_str(),
               b.num_pis(), b.num_pos(), b.num_ands());
-  return check(a, b, report_path);
+  return check(a, b, report_path, sweep_threads);
 }
 
 }  // namespace

@@ -13,9 +13,12 @@ sat::Var TseitinEncoder::touch(aig::Var v) {
 }
 
 sat::Lit TseitinEncoder::encode(aig::Lit lit) {
-  const aig::Var root = aig::lit_var(lit);
+  const aig::Lit rlit = resolved(lit);
+  const aig::Var root = aig::lit_var(rlit);
 
-  // Iterative DFS: encode every unencoded AND node in the cone.
+  // Iterative DFS: encode every unencoded AND node in the (resolved)
+  // cone. A node pushed here is already resolved, i.e. it represents its
+  // equivalence class; its fanins are resolved before the recursion.
   std::vector<aig::Var> stack{root};
   std::vector<aig::Var> post;  // nodes needing clauses, any order is fine
   while (!stack.empty()) {
@@ -25,13 +28,13 @@ sat::Lit TseitinEncoder::encode(aig::Lit lit) {
     touch(v);
     if (!aig_.is_and(v)) continue;
     post.push_back(v);
-    stack.push_back(aig::lit_var(aig_.fanin0(v)));
-    stack.push_back(aig::lit_var(aig_.fanin1(v)));
+    stack.push_back(aig::lit_var(resolved(aig_.fanin0(v))));
+    stack.push_back(aig::lit_var(resolved(aig_.fanin1(v))));
   }
   for (const aig::Var v : post) {
-    // n = a & b  (a, b are the fanin literals as SAT literals).
-    const aig::Lit f0 = aig_.fanin0(v);
-    const aig::Lit f1 = aig_.fanin1(v);
+    // n = a & b  (a, b are the resolved fanin literals as SAT literals).
+    const aig::Lit f0 = resolved(aig_.fanin0(v));
+    const aig::Lit f1 = resolved(aig_.fanin1(v));
     const sat::Lit n = sat::mk_lit(sat_var_[v]);
     const sat::Lit a =
         sat::mk_lit(touch(aig::lit_var(f0)), aig::lit_compl(f0));
@@ -41,7 +44,7 @@ sat::Lit TseitinEncoder::encode(aig::Lit lit) {
     solver_.add_clause(~n, b);
     solver_.add_clause(n, ~a, ~b);
   }
-  return sat::mk_lit(sat_var_[root], aig::lit_compl(lit));
+  return sat::mk_lit(sat_var_[root], aig::lit_compl(rlit));
 }
 
 }  // namespace simsweep::cnf

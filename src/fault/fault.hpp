@@ -32,6 +32,8 @@
 ///   cut.enum_overflow     — common-cut buffer insertion (Alg. 2)
 ///   sat.solve             — a SAT-sweeper solve entry
 ///   pool.spawn            — executor worker-thread spawn
+///   sweep.shard_alloc     — parallel-sweeper shard-state allocation
+///   sweep.board_merge     — applying a shard-proved merge at the barrier
 
 #include <cstdint>
 #include <stdexcept>
@@ -135,7 +137,7 @@ std::vector<std::pair<std::string, std::uint64_t>> active_fire_counts();
 /// soak tooling can iterate every site.
 inline constexpr const char* kCataloguedSites[] = {
     "exhaustive.simt_alloc", "window_merge.build", "cut.enum_overflow",
-    "sat.solve", "pool.spawn"};
+    "sat.solve", "pool.spawn", "sweep.shard_alloc", "sweep.board_merge"};
 
 namespace detail {
 /// Records a hit of `site` against the installed plan and returns true

@@ -118,11 +118,11 @@ bool ThreadPool::run_stages(const StagePlan& plan) {
   refs.reserve(plan.stages_.size());
   for (const auto& s : plan.stages_)
     refs.push_back(StageRef{s.begin, s.end, &s.block});
-  return execute(refs.data(), refs.size(), cancel);
+  return execute(refs.data(), refs.size(), cancel, plan.granular_);
 }
 
 bool ThreadPool::execute(const StageRef* stages, std::size_t n,
-                         const std::atomic<bool>* cancel) {
+                         const std::atomic<bool>* cancel, bool granular) {
   const auto cancelled = [cancel] {
     return cancel != nullptr && cancel->load(std::memory_order_relaxed);
   };
@@ -130,8 +130,10 @@ bool ThreadPool::execute(const StageRef* stages, std::size_t n,
   for (std::size_t i = 0; i < n; ++i)
     if (stages[i].begin < stages[i].end) total += stages[i].end - stages[i].begin;
   // Inline path: no workers, or too little work to amortize a launch. The
-  // cancellation flag is still honoured between stages.
-  if (workers_.empty() || total < 2 * concurrency()) {
+  // cancellation flag is still honoured between stages. Granular launches
+  // skip the amortization heuristic (their items are long-running bodies,
+  // not loop iterations) but still run inline on a workerless pool.
+  if (workers_.empty() || (!granular && total < 2 * concurrency())) {
     inline_jobs_.fetch_add(1, std::memory_order_relaxed);
     for (std::size_t i = 0; i < n; ++i) {
       if (cancelled()) return false;
@@ -157,7 +159,8 @@ bool ThreadPool::execute(const StageRef* stages, std::size_t n,
     slot.end = stages[i].end;
     const std::size_t items =
         slot.end > slot.begin ? slot.end - slot.begin : 0;
-    slot.chunk = std::max<std::size_t>(1, items / (threads * 8));
+    slot.chunk =
+        granular ? 1 : std::max<std::size_t>(1, items / (threads * 8));
     slot.block = stages[i].block;
     slot.cursor.store(slot.begin, std::memory_order_relaxed);
     slot.remaining.store(items, std::memory_order_relaxed);

@@ -128,6 +128,14 @@ class StagePlan {
   /// Cooperative cancellation for the whole plan (may be nullptr).
   void set_cancel(const std::atomic<bool>* cancel) { cancel_ = cancel; }
 
+  /// Granular launch: every index is its own chunk and the launch is
+  /// distributed even when the index space is tiny. For stages whose
+  /// items are long-running bodies (e.g. the sweeper's shard loops, each
+  /// processing work off its own ticket cursor), not fine-grained data
+  /// parallelism — the usual "too little work to amortize a launch"
+  /// heuristic would run them sequentially inline.
+  void set_granular(bool granular) { granular_ = granular; }
+
   void clear() { stages_.clear(); }
   std::size_t num_stages() const { return stages_.size(); }
 
@@ -141,6 +149,7 @@ class StagePlan {
   };
   std::vector<PlanStage> stages_;
   const std::atomic<bool>* cancel_ = nullptr;
+  bool granular_ = false;
 };
 
 class ThreadPool {
@@ -252,7 +261,8 @@ class ThreadPool {
   }
 
   bool execute(const StageRef* stages, std::size_t n,
-               const std::atomic<bool>* cancel) SIMSWEEP_EXCLUDES(submit_mutex_);
+               const std::atomic<bool>* cancel, bool granular = false)
+      SIMSWEEP_EXCLUDES(submit_mutex_);
   /// `stat_slot` selects the per-thread utilization cell chunk claims are
   /// charged to: 0 for submitting threads, i+1 for worker i.
   void run_job(std::uint32_t epoch, std::size_t stat_slot)

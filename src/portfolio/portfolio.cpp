@@ -2,13 +2,16 @@
 
 #include <algorithm>
 #include <atomic>
+#include <string>
 #include <thread>
 #include <utility>
 
 #include "common/log.hpp"
 #include "common/thread_annotations.hpp"
 #include "common/timer.hpp"
+#include "fault/fault.hpp"
 #include "opt/resyn.hpp"
+#include "sweep/parallel_sweeper.hpp"
 
 namespace simsweep::portfolio {
 
@@ -65,6 +68,26 @@ void publish_sweeper_stats(obs::Registry& r, bool used,
   r.set("sat_sweeper.conflicts", static_cast<double>(s.conflicts));
   r.set("sat_sweeper.solve_faults", static_cast<double>(s.solve_faults));
   r.set("sat_sweeper.seconds", seconds);
+  // Parallel-sweep shard telemetry (DESIGN.md §2.5). Published only when
+  // the sweep ran sharded (or degraded from a sharded attempt), so purely
+  // sequential v2 reports keep their exact historical shape.
+  if (s.shards == 0 && s.parallel_fallbacks == 0) return;
+  r.set("sat_sweeper.shards", static_cast<double>(s.shards));
+  r.set("sat_sweeper.chunks", static_cast<double>(s.chunks));
+  r.set("sat_sweeper.steals", static_cast<double>(s.steals));
+  r.set("sat_sweeper.board_merges", static_cast<double>(s.board_merges));
+  r.set("sat_sweeper.cex_shared", static_cast<double>(s.cex_shared));
+  r.set("sat_sweeper.pairs_sim_resolved",
+        static_cast<double>(s.pairs_sim_resolved));
+  r.set("sat_sweeper.pairs_pruned", static_cast<double>(s.pairs_pruned));
+  r.set("sat_sweeper.parallel_fallbacks",
+        static_cast<double>(s.parallel_fallbacks));
+  for (std::size_t i = 0; i < s.shard.size(); ++i) {
+    const std::string p = "sat_sweeper.shard.s" + std::to_string(i);
+    r.set(p + ".chunks", static_cast<double>(s.shard[i].chunks));
+    r.set(p + ".steals", static_cast<double>(s.shard[i].steals));
+    r.set(p + ".busy_seconds", s.shard[i].busy_seconds);
+  }
 }
 
 }  // namespace
@@ -141,10 +164,15 @@ CombinedResult combined_check_miter(const aig::Aig& miter,
     if (params.transfer_ec && er.bank &&
         er.bank->num_pis() == er.reduced.num_pis())
       sweeper_params.initial_bank = &*er.bank;
-    const sweep::SatSweeper sweeper(sweeper_params);
+    // The engine published its own faults.injected delta in finish();
+    // the sweep phase runs after, so its injected fires (parallel-path
+    // degradation sites included) are accounted here as a second delta.
+    const std::uint64_t sweep_fires_before = fault::fires_total();
     Timer sat_timer;
-    sweep::SweepResult sr = sweeper.check_miter(er.reduced);
+    sweep::SweepResult sr = sweep::sweep_miter(er.reduced, sweeper_params);
     result.sat_seconds = sat_timer.seconds();
+    registry.add("faults.injected",
+                 fault::fires_total() - sweep_fires_before);
     result.sweeper_stats = sr.stats;
     result.verdict = sr.verdict;
     result.cex = std::move(sr.cex);
@@ -179,7 +207,7 @@ PortfolioResult portfolio_check_miter(const aig::Aig& miter,
     threads.emplace_back([&] {
       sweep::SweeperParams sp = params.sweeper;
       sp.cancel = cancel;
-      sweep::SweepResult r = sweep::SatSweeper(sp).check_miter(miter);
+      sweep::SweepResult r = sweep::sweep_miter(miter, sp);
       box.deliver(r.verdict, std::move(r.cex), "sat", total.seconds());
     });
   }

@@ -3,39 +3,33 @@
 #include <algorithm>
 
 #include "aig/rebuild.hpp"
-#include "cnf/tseitin.hpp"
 #include "common/log.hpp"
 #include "common/timer.hpp"
-#include "fault/fault.hpp"
 #include "sim/ec_manager.hpp"
-#include "sim/partial_sim.hpp"
+#include "sweep/pair_solver.hpp"
 
 namespace simsweep::sweep {
 
-namespace {
-
-/// Extracts a full PI assignment from the SAT model (unencoded PIs get 0).
-std::vector<bool> model_to_cex(const aig::Aig& miter,
-                               const cnf::TseitinEncoder& enc,
-                               const sat::Solver& solver) {
-  std::vector<bool> pis(miter.num_pis(), false);
-  for (unsigned i = 0; i < miter.num_pis(); ++i) {
-    const sat::Var v = enc.sat_var(i + 1);
-    if (v >= 0) pis[i] = solver.model_bool(v);
+sim::PatternBank make_init_bank(unsigned num_pis,
+                                const SweeperParams& params) {
+  sim::PatternBank bank =
+      sim::PatternBank::random(num_pis, params.sim_words, params.seed);
+  if (params.initial_bank != nullptr &&
+      params.initial_bank->num_pis() == num_pis) {
+    for (std::size_t w = 0; w < params.initial_bank->num_words(); ++w) {
+      std::vector<sim::Word> column(num_pis);
+      for (unsigned pi = 0; pi < num_pis; ++pi)
+        column[pi] = params.initial_bank->word(pi, w);
+      bank.append_words(column);
+    }
+    bank.truncate_front(params.max_pattern_words);
   }
-  return pis;
+  return bank;
 }
-
-}  // namespace
 
 SweepResult SatSweeper::check_miter(const aig::Aig& miter) const {
   Timer t;
   SweepResult result;
-  auto finish = [&](Verdict v) {
-    result.verdict = v;
-    result.stats.seconds = t.seconds();
-    return result;
-  };
   auto out_of_time = [&] {
     if (params_.cancel != nullptr &&
         params_.cancel->load(std::memory_order_relaxed))
@@ -43,54 +37,30 @@ SweepResult SatSweeper::check_miter(const aig::Aig& miter) const {
     return params_.time_limit > 0 && t.seconds() > params_.time_limit;
   };
 
+  // One long-lived SAT core for the whole run: cones are encoded verbatim
+  // (no substitution map attached) and proved merges are reinforced with
+  // equality clauses, so the solver keeps all learned facts.
+  PairSolver core(miter);
+  core.set_interrupt([&] { return out_of_time(); });
+  aig::SubstitutionMap subst(miter.num_nodes());
+
+  auto finish = [&](Verdict v) {
+    result.verdict = v;
+    result.stats.sat_calls = core.sat_calls();
+    result.stats.conflicts = core.conflicts();
+    result.stats.solve_faults = core.solve_faults();
+    result.stats.seconds = t.seconds();
+    return result;
+  };
+
   if (aig::miter_disproved(miter)) return finish(Verdict::kNotEquivalent);
   if (aig::miter_proved(miter)) return finish(Verdict::kEquivalent);
 
-  sat::Solver solver;
-  solver.interrupt = [&] { return out_of_time(); };
-  cnf::TseitinEncoder enc(miter, solver);
-  aig::SubstitutionMap subst(miter.num_nodes());
-
   // EC initialization by partial random simulation, extended with any
   // transferred patterns (§V EC-transfer extension).
-  sim::PatternBank bank =
-      sim::PatternBank::random(miter.num_pis(), params_.sim_words,
-                               params_.seed);
-  if (params_.initial_bank != nullptr &&
-      params_.initial_bank->num_pis() == miter.num_pis()) {
-    for (std::size_t w = 0; w < params_.initial_bank->num_words(); ++w) {
-      std::vector<sim::Word> column(miter.num_pis());
-      for (unsigned pi = 0; pi < miter.num_pis(); ++pi)
-        column[pi] = params_.initial_bank->word(pi, w);
-      bank.append_words(column);
-    }
-    bank.truncate_front(params_.max_pattern_words);
-  }
+  sim::PatternBank bank = make_init_bank(miter.num_pis(), params_);
   sim::EcManager ec;
   ec.build(miter, sim::simulate(miter, bank));
-
-  // One SAT query: is (a != b) satisfiable? Split into the two polarity
-  // cases so the incremental solver needs no temporary clauses.
-  // Injection site "sat.solve" (DESIGN.md §2.4): a fired solve entry is
-  // answered like a conflict-limit kUnknown — the sweeper's native sound
-  // failure mode (the pair stays unmerged / the PO stays unproved).
-  auto solve_faulted = [&] {
-    if (!SIMSWEEP_FAULT_POINT("sat.solve")) return false;
-    ++result.stats.solve_faults;
-    return true;
-  };
-  auto check_pair_sat = [&](aig::Lit a, aig::Lit b)
-      -> sat::Solver::Result {
-    if (solve_faulted()) return sat::Solver::Result::kUnknown;
-    const sat::Lit la = enc.encode(a);
-    const sat::Lit lb = enc.encode(b);
-    ++result.stats.sat_calls;
-    sat::Solver::Result r =
-        solver.solve({la, ~lb}, params_.conflict_limit);
-    if (r != sat::Solver::Result::kUnsat) return r;
-    ++result.stats.sat_calls;
-    return solver.solve({~la, lb}, params_.conflict_limit);
-  };
 
   for (unsigned round = 0; round < params_.max_rounds; ++round) {
     std::vector<sim::CandidatePair> pairs = ec.candidate_pairs();
@@ -108,37 +78,33 @@ SweepResult SatSweeper::check_miter(const aig::Aig& miter) const {
       if (out_of_time()) return finish(Verdict::kUndecided);
       const aig::Lit lr = aig::make_lit(pair.repr, pair.phase);
       const aig::Lit ln = aig::make_lit(pair.node);
-      switch (check_pair_sat(lr, ln)) {
-        case sat::Solver::Result::kUnsat: {
+      switch (core.check_pair(lr, ln, params_.conflict_limit)) {
+        case PairSolver::Outcome::kEqual: {
           // Equivalent: merge and add equality clauses to the solver.
           subst.merge(pair.node, lr);
           ec.mark_proved(pair.node);
-          const sat::Lit la = enc.encode(lr);
-          const sat::Lit lb = enc.encode(ln);
-          solver.add_clause(~la, lb);
-          solver.add_clause(la, ~lb);
+          core.assert_equal(lr, ln);
           ++proved;
           ++result.stats.pairs_proved;
           break;
         }
-        case sat::Solver::Result::kSat: {
+        case PairSolver::Outcome::kDistinct: {
           ++result.stats.pairs_disproved;
           std::vector<std::pair<unsigned, bool>> assignment;
-          const std::vector<bool> pis = model_to_cex(miter, enc, solver);
+          const std::vector<bool> pis = core.model_cex();
           assignment.reserve(pis.size());
           for (unsigned i = 0; i < pis.size(); ++i)
             assignment.emplace_back(i, pis[i]);
           collector.add(assignment);
           break;
         }
-        case sat::Solver::Result::kUnknown:
+        case PairSolver::Outcome::kUnknown:
           ++result.stats.pairs_undecided;
           ec.remove_node(pair.node);  // do not retry within this run
           break;
       }
-      if (solver.inconsistent()) break;
+      if (core.inconsistent()) break;
     }
-    result.stats.conflicts = solver.conflicts;
     SIMSWEEP_LOG_INFO("sweep round %u: %zu proved, %zu CEX", round, proved,
                       collector.num_cexes());
 
@@ -155,23 +121,17 @@ SweepResult SatSweeper::check_miter(const aig::Aig& miter) const {
     const aig::Lit r = subst.resolve(po);
     if (r == aig::kLitFalse) continue;
     if (r == aig::kLitTrue) return finish(Verdict::kNotEquivalent);
-    if (solve_faulted()) {
-      all_proved = false;  // this PO stays soundly undecided
-      continue;
-    }
-    ++result.stats.sat_calls;
-    switch (solver.solve({enc.encode(r)}, params_.conflict_limit)) {
+    switch (core.prove_false(r, params_.conflict_limit)) {
       case sat::Solver::Result::kUnsat:
         break;  // this PO is constant 0
       case sat::Solver::Result::kSat:
-        result.cex = model_to_cex(miter, enc, solver);
+        result.cex = core.model_cex();
         return finish(Verdict::kNotEquivalent);
       case sat::Solver::Result::kUnknown:
         all_proved = false;
         break;
     }
   }
-  result.stats.conflicts = solver.conflicts;
   return finish(all_proved ? Verdict::kEquivalent : Verdict::kUndecided);
 }
 

@@ -33,6 +33,31 @@ struct SweeperParams {
   /// Wall-clock budget in seconds; 0 = unbounded. On expiry the checker
   /// returns kUndecided (used by the portfolio).
   double time_limit = 0;
+  /// Shard count of the parallel sweeper (sweep_miter() dispatcher;
+  /// DESIGN.md §2.5). 1 selects the sequential SatSweeper. Values > 1
+  /// partition each round's candidate pairs over that many cooperating
+  /// shard loops on a private staged executor.
+  unsigned num_threads = 1;
+  /// Candidate pairs per work chunk of the parallel sweeper. A chunk is
+  /// the determinism unit: it is checked hermetically against the
+  /// round-start state by a fresh solver, so its outcome is independent of
+  /// which shard runs it and of the thread count.
+  std::size_t pairs_per_chunk = 32;
+  /// Deterministic mode (default): shards exchange proofs and CEX
+  /// patterns only at round barriers, making verdict and merged stats
+  /// bit-identical across thread counts and repeated runs. When false,
+  /// shards additionally poll the shared equivalence board and CEX bank
+  /// at every pair boundary (faster convergence, interleaving-dependent
+  /// stats).
+  bool deterministic = true;
+  /// Simulation-first pair resolution (parallel sweeper only): a
+  /// candidate pair whose combined structural support has at most this
+  /// many PIs is resolved by exhaustively simulating both cones over
+  /// that support window — a complete proof with zero SAT conflicts,
+  /// and a pure function of the miter, so the determinism contract is
+  /// unaffected. 0 disables. The sequential SatSweeper ignores this:
+  /// it stays the pure-SAT "ABC &cec" baseline.
+  unsigned sim_support_limit = 12;
   /// Cooperative cancellation (portfolio use): checked between SAT calls.
   /// Annotation audit: the only cross-thread cell of a sweep — written by
   /// the portfolio/watchdog, read relaxed here; all other sweeper state
@@ -47,6 +72,15 @@ struct SweeperParams {
   const sim::PatternBank* initial_bank = nullptr;
 };
 
+/// Per-shard scheduling telemetry of one parallel sweep. Chunk/steal
+/// counts and busy time depend on worker interleaving, so they are
+/// telemetry only — excluded from the determinism contract below.
+struct ShardStats {
+  std::size_t chunks = 0;  ///< work chunks this shard claimed
+  std::size_t steals = 0;  ///< claims outside the shard's home partition
+  double busy_seconds = 0; ///< wall time inside the shard loop
+};
+
 struct SweeperStats {
   std::size_t sat_calls = 0;
   std::size_t pairs_proved = 0;
@@ -58,6 +92,31 @@ struct SweeperStats {
   /// §2.4); each is treated exactly like a conflict-limit kUnknown, the
   /// sweeper's native sound failure mode.
   std::size_t solve_faults = 0;
+
+  // --- Parallel-sweep extras (zero / empty for the sequential sweeper).
+  //
+  // Determinism contract (DESIGN.md §2.5): every count above plus
+  // chunks, board_merges, cex_shared and pairs_sim_resolved is a pure
+  // function of the miter and the parameters — identical across
+  // num_threads and across runs in deterministic mode. shards echoes
+  // min(num_threads, chunks of the widest round); steals, pairs_pruned
+  // and the per-shard breakdown are scheduling telemetry and may vary.
+  // seconds/busy_seconds are wall time.
+  std::size_t shards = 0;        ///< shard loops of the widest round
+  std::size_t chunks = 0;        ///< work chunks across all rounds
+  std::size_t steals = 0;        ///< cross-partition chunk claims
+  std::size_t board_merges = 0;  ///< merges published to the shared board
+  std::size_t cex_shared = 0;    ///< CEX patterns published to the bank
+  /// Pairs settled by exhaustive cone simulation over their combined
+  /// support window (sim_support_limit) instead of SAT.
+  std::size_t pairs_sim_resolved = 0;
+  /// Pairs skipped because a concurrently shared CEX already
+  /// distinguished them (opportunistic mode only).
+  std::size_t pairs_pruned = 0;
+  /// Parallel attempts that degraded to the sequential sweeper (fault
+  /// ladder; set by the sweep_miter() dispatcher).
+  std::size_t parallel_fallbacks = 0;
+  std::vector<ShardStats> shard;
 };
 
 struct SweepResult {
@@ -81,5 +140,10 @@ class SatSweeper {
  private:
   SweeperParams params_;
 };
+
+/// Builds the EC-initialization pattern bank both sweepers start from:
+/// params.sim_words random words extended with the transferred
+/// initial_bank (§V EC transfer) and truncated to max_pattern_words.
+sim::PatternBank make_init_bank(unsigned num_pis, const SweeperParams& params);
 
 }  // namespace simsweep::sweep

@@ -7,8 +7,10 @@
 
 #include "aig/aig_analysis.hpp"
 #include "cnf/tseitin.hpp"
+#include "gen/arith.hpp"
 #include "opt/refactor.hpp"
 #include "opt/resyn.hpp"
+#include "sweep/pair_solver.hpp"
 #include "sweep/sat_sweeper.hpp"
 #include "test_util.hpp"
 
@@ -153,6 +155,32 @@ TEST(SatSweeper, CancellationYieldsUndecided) {
   p.cancel = &cancel;
   const sweep::SweepResult r = sweep::SatSweeper(p).check_miter(m);
   EXPECT_EQ(r.verdict, Verdict::kUndecided);
+}
+
+TEST(SatSweeper, ConflictBudgetCoversBothDirectionalSolves) {
+  // Regression: check_pair() issues two directional solves (a&!b, !a&b).
+  // Each used to receive the full conflict_limit, so one candidate pair
+  // could spend up to twice its budget; now the second call gets only
+  // what the first left over. Metered on a pair of hard const-false POs
+  // of a multiplier miter, where BOTH directions need real conflicts.
+  const Aig m = aig::make_miter(gen::array_multiplier(4),
+                                gen::wallace_multiplier(4));
+  ASSERT_GE(m.num_pos(), 8u);
+  const Lit p = m.pos()[6];
+  const Lit q = m.pos()[7];
+  sweep::PairSolver unbounded(m);
+  ASSERT_EQ(unbounded.check_pair(p, q, -1),
+            sweep::PairSolver::Outcome::kEqual);
+  const std::uint64_t total = unbounded.conflicts();
+  if (total < 8) GTEST_SKIP() << "pair too easy to meter the budget";
+  // A budget that the first direction fits in but the pair as a whole
+  // exceeds. Pre-fix the pair would spend ~total (> budget + 1).
+  const std::int64_t budget = static_cast<std::int64_t>(total) * 3 / 4;
+  sweep::PairSolver bounded(m);
+  bounded.check_pair(p, q, budget);
+  // +1: a direction entered with 0 remaining still detects its first
+  // conflict before giving up.
+  EXPECT_LE(bounded.conflicts(), static_cast<std::uint64_t>(budget) + 1);
 }
 
 TEST(SatSweeper, StructurallySolvedMitersShortCircuit) {

@@ -30,6 +30,7 @@
 #include "opt/resyn.hpp"
 #include "parallel/thread_pool.hpp"
 #include "portfolio/portfolio.hpp"
+#include "sweep/parallel_sweeper.hpp"
 #include "sweep/sat_sweeper.hpp"
 #include "test_util.hpp"
 
@@ -396,6 +397,62 @@ TEST(FaultRecovery, PoolSpawnFailuresDegradeToFewerWorkers) {
   }
 }
 
+TEST(FaultRecovery, ShardAllocFaultDegradesToSequentialSweep) {
+  // "sweep.shard_alloc" throws bad_alloc before the parallel sweep
+  // commits any thread; the dispatcher must degrade to the sequential
+  // sweeper, record the fallback, and still prove the miter.
+  const aig::Aig a = testutil::random_aig(8, 120, 5, 501);
+  const aig::Aig miter = aig::make_miter(a, opt::resyn_light(a));
+  fault::FaultPlan plan;
+  plan.on_hit("sweep.shard_alloc", 1, /*fires=*/1);
+  fault::ScopedFaultPlan scoped(plan);
+  sweep::SweeperParams sp;
+  sp.num_threads = 4;
+  const sweep::SweepResult r = sweep::sweep_miter(miter, sp);
+  EXPECT_EQ(r.verdict, Verdict::kEquivalent);
+  EXPECT_EQ(scoped.fires("sweep.shard_alloc"), 1u);
+  EXPECT_EQ(r.stats.parallel_fallbacks, 1u);
+  EXPECT_EQ(r.stats.shards, 0u);  // the fallback ran sequentially
+}
+
+TEST(FaultRecovery, BoardMergeFaultDegradesToSequentialSweep) {
+  // "sweep.board_merge" fires at the round barrier, i.e. after shards
+  // already ran: the dispatcher abandons the partial parallel attempt
+  // and re-checks sequentially — sound, never partial.
+  const aig::Aig a = testutil::random_aig(8, 120, 5, 501);
+  const aig::Aig miter = aig::make_miter(a, opt::resyn_light(a));
+  fault::FaultPlan plan;
+  plan.on_hit("sweep.board_merge", 1, /*fires=*/1);
+  fault::ScopedFaultPlan scoped(plan);
+  sweep::SweeperParams sp;
+  sp.num_threads = 2;
+  const sweep::SweepResult r = sweep::sweep_miter(miter, sp);
+  EXPECT_EQ(r.verdict, Verdict::kEquivalent);
+  EXPECT_GT(scoped.fires("sweep.board_merge"), 0u);
+  EXPECT_EQ(r.stats.parallel_fallbacks, 1u);
+}
+
+TEST(FaultRecovery, CombinedFlowCountsSweepFaultsInjected) {
+  // The combined flow accounts sweep-phase fires as its own
+  // faults.injected delta (the engine publishes only its delta), and the
+  // report records the degradation under sat_sweeper.parallel_fallbacks.
+  const aig::Aig a = gen::array_multiplier(4);
+  const aig::Aig b = gen::wallace_multiplier(4);
+  fault::FaultPlan plan;
+  plan.on_hit("sweep.shard_alloc", 1, /*fires=*/1);
+  fault::ScopedFaultPlan scoped(plan);
+  portfolio::CombinedParams p;
+  p.engine = small_engine();
+  // Expire every engine phase so the whole miter reaches the sweep.
+  p.engine.phase_time_limit = 1e-9;
+  p.sweeper.num_threads = 2;
+  const portfolio::CombinedResult r = portfolio::combined_check(a, b, p);
+  EXPECT_NE(r.verdict, Verdict::kNotEquivalent);
+  EXPECT_GT(scoped.fires("sweep.shard_alloc"), 0u);
+  EXPECT_GE(r.report.count("faults.injected"), 1u);
+  EXPECT_DOUBLE_EQ(r.report.value("sat_sweeper.parallel_fallbacks"), 1.0);
+}
+
 // ---------------------------------------------------------------------------
 // The acceptance soak: every catalogued site, fixed seed, sound verdicts.
 // ---------------------------------------------------------------------------
@@ -426,6 +483,14 @@ TEST(FaultSites, EveryCataloguedSiteSurvivesInjection) {
       const sweep::SweepResult r =
           sweep::SatSweeper().check_miter(sat_miter);
       EXPECT_NE(r.verdict, Verdict::kNotEquivalent);
+    } else if (name == "sweep.shard_alloc" || name == "sweep.board_merge") {
+      // Parallel-sweep host faults: the dispatcher must degrade to the
+      // sequential sweeper and still produce a sound verdict.
+      sweep::SweeperParams sp;
+      sp.num_threads = 2;
+      const sweep::SweepResult r = sweep::sweep_miter(sat_miter, sp);
+      EXPECT_NE(r.verdict, Verdict::kNotEquivalent);
+      EXPECT_EQ(r.stats.parallel_fallbacks, 1u);
     } else {
       const engine::EngineResult r =
           engine::SimCecEngine(small_engine()).check(a, b);
@@ -439,9 +504,10 @@ TEST(FaultSites, EveryCataloguedSiteSurvivesInjection) {
 }
 
 TEST(FaultSites, ProbabilisticMultiSiteSoakStaysSound) {
-  // All five sites armed at once with a low per-hit probability and a
-  // fixed seed (replayable). The combined checker must come through with
-  // a sound verdict for an equivalent pair: anything except
+  // Every catalogued site armed at once with a low per-hit probability
+  // and a fixed seed (replayable), the sweep phase running parallel so
+  // the sweep.* sites are on-path. The combined checker must come
+  // through with a sound verdict for an equivalent pair: anything except
   // kNotEquivalent, and no crash.
   const aig::Aig a = gen::array_multiplier(4);
   const aig::Aig b = gen::wallace_multiplier(4);
@@ -452,6 +518,7 @@ TEST(FaultSites, ProbabilisticMultiSiteSoakStaysSound) {
   fault::ScopedFaultPlan scoped(plan);
   portfolio::CombinedParams p;
   p.engine = small_engine();
+  p.sweeper.num_threads = 2;
   const portfolio::CombinedResult r = portfolio::combined_check(a, b, p);
   EXPECT_NE(r.verdict, Verdict::kNotEquivalent);
   EXPECT_GT(scoped.hits("exhaustive.simt_alloc"), 0u);

@@ -1,0 +1,375 @@
+/// \file test_parallel_sweep.cpp
+/// \brief Parallel residue sweeping tests (DESIGN.md §2.5): determinism
+/// of the sharded sweep across thread counts and repeated runs, oracle
+/// soundness (deterministic and opportunistic modes), dispatcher routing,
+/// and tsan-targeted stress of the shared EquivBoard / SharedCexBank.
+///
+/// Suite names carry the "ParallelSweep" prefix on purpose: the checked-
+/// executor leg of tools/run_static_analysis.sh selects them by that
+/// regex (together with ThreadPool/StagePlan/Checked).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "aig/aig_analysis.hpp"
+#include "gen/arith.hpp"
+#include "opt/refactor.hpp"
+#include "portfolio/portfolio.hpp"
+#include "sweep/parallel_sweeper.hpp"
+#include "test_util.hpp"
+
+namespace simsweep {
+namespace {
+
+using aig::Aig;
+using aig::Lit;
+
+/// The deterministic core of SweeperStats (sat_sweeper.hpp contract):
+/// everything except scheduling telemetry (steals, pairs_pruned, shard
+/// breakdown, wall times) and the shards config echo.
+using CoreStats = std::tuple<Verdict, std::size_t, std::size_t, std::size_t,
+                             std::size_t, std::uint64_t, std::size_t,
+                             std::size_t, std::size_t, std::size_t,
+                             std::size_t>;
+
+CoreStats core_stats(const sweep::SweepResult& r) {
+  const sweep::SweeperStats& s = r.stats;
+  return {r.verdict,      s.sat_calls,  s.pairs_proved, s.pairs_disproved,
+          s.pairs_undecided, s.conflicts, s.solve_faults, s.chunks,
+          s.board_merges, s.cex_shared, s.pairs_sim_resolved};
+}
+
+/// A miter the structural front end cannot solve: array vs Wallace
+/// multiplier (genuinely different structures, many internal candidate
+/// pairs). The inequivalent variant mutates the Wallace side until the
+/// mutation provably changes the function.
+Aig hard_miter(std::uint64_t seed, bool equivalent) {
+  const Aig a = gen::array_multiplier(4);
+  Aig b = gen::wallace_multiplier(4);
+  if (!equivalent) {
+    for (std::uint64_t s = seed;; ++s) {
+      Aig c = testutil::mutate(b, s);
+      if (!aig::brute_force_equivalent(b, c)) {
+        b = std::move(c);
+        break;
+      }
+    }
+  }
+  return aig::make_miter(a, b);
+}
+
+TEST(ParallelSweep, BoardDedupsAndJournals) {
+  sweep::EquivBoard board(16);
+  EXPECT_TRUE(board.publish(5, aig::kLitTrue));
+  EXPECT_TRUE(board.publish(7, 4));
+  // Duplicate proofs of the same node count once.
+  EXPECT_FALSE(board.publish(5, 6));
+  EXPECT_EQ(board.size(), 2u);
+  const auto all = board.merges_since(0);
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].first, 5u);
+  EXPECT_EQ(all[0].second, aig::kLitTrue);
+  const auto tail = board.merges_since(1);
+  ASSERT_EQ(tail.size(), 1u);
+  EXPECT_EQ(tail[0].first, 7u);
+  EXPECT_TRUE(board.merges_since(2).empty());
+  EXPECT_TRUE(board.merges_since(99).empty());
+}
+
+TEST(ParallelSweep, CexBankJournalsAndPacks) {
+  sweep::SharedCexBank bank(3);
+  bank.publish({true, false, true});
+  bank.publish({false, true, false});
+  EXPECT_EQ(bank.size(), 2u);
+  ASSERT_EQ(bank.rows_since(1).size(), 1u);
+  EXPECT_EQ(bank.rows_since(1)[0], (std::vector<bool>{false, true, false}));
+  EXPECT_TRUE(bank.rows_since(2).empty());
+  const sim::PatternBank packed = bank.pack();
+  EXPECT_EQ(packed.num_pis(), 3u);
+  ASSERT_GE(packed.num_words(), 1u);
+  // Pattern 0 is the first published row.
+  EXPECT_EQ(packed.word(0, 0) & 1u, 1u);
+  EXPECT_EQ(packed.word(1, 0) & 1u, 0u);
+  EXPECT_EQ(packed.word(2, 0) & 1u, 1u);
+}
+
+TEST(ParallelSweep, DeterministicAcrossThreadCountsAndRuns) {
+  // sim_support_limit 0 forces every pair through the sharded SAT path;
+  // the default resolves them by cone simulation. Both must honor the
+  // determinism contract.
+  for (const unsigned sim_limit : {0u, 12u}) {
+    for (const bool equivalent : {true, false}) {
+      const Aig m = hard_miter(2024, equivalent);
+      sweep::SweeperParams p;
+      p.sim_support_limit = sim_limit;
+      p.pairs_per_chunk = 4;  // many chunks => real sharding on small miters
+      std::vector<CoreStats> runs;
+      for (const unsigned threads : {1u, 2u, 4u}) {
+        for (int rep = 0; rep < 2; ++rep) {
+          p.num_threads = threads;
+          runs.push_back(
+              core_stats(sweep::ParallelSatSweeper(p).check_miter(m)));
+        }
+      }
+      for (std::size_t i = 1; i < runs.size(); ++i)
+        EXPECT_EQ(runs[i], runs[0])
+            << "sim_limit=" << sim_limit << " equivalent=" << equivalent
+            << " run " << i << " diverged";
+    }
+  }
+}
+
+TEST(ParallelSweep, SimResolutionSettlesSmallSupportPairsWithoutSat) {
+  // The multiplier miter has 8 PIs, so with the default support limit
+  // every candidate pair fits the simulation window: the whole sweep —
+  // including the PO phase, whose cones collapse to constant false
+  // through the merges — must finish with zero SAT activity.
+  const Aig m = hard_miter(808, /*equivalent=*/true);
+  sweep::SweeperParams p;
+  p.num_threads = 2;
+  const sweep::SweepResult sim = sweep::ParallelSatSweeper(p).check_miter(m);
+  EXPECT_EQ(sim.verdict, Verdict::kEquivalent);
+  EXPECT_GT(sim.stats.pairs_sim_resolved, 0u);
+  EXPECT_EQ(sim.stats.sat_calls, 0u);
+  EXPECT_EQ(sim.stats.conflicts, 0u);
+  // Disabling the window sends the same pairs to the solvers instead,
+  // with the same verdict and merge set.
+  p.sim_support_limit = 0;
+  const sweep::SweepResult sat = sweep::ParallelSatSweeper(p).check_miter(m);
+  EXPECT_EQ(sat.verdict, Verdict::kEquivalent);
+  EXPECT_EQ(sat.stats.pairs_sim_resolved, 0u);
+  EXPECT_GT(sat.stats.sat_calls, 0u);
+  EXPECT_EQ(sat.stats.pairs_proved, sim.stats.pairs_proved);
+
+  // Inequivalent side: simulation finds the distinguishing minterms and
+  // the reconstructed CEX patterns drive class refinement to a sound
+  // kNotEquivalent.
+  const Aig n = hard_miter(809, /*equivalent=*/false);
+  sweep::SweeperParams q;
+  q.num_threads = 2;
+  const sweep::SweepResult r = sweep::ParallelSatSweeper(q).check_miter(n);
+  EXPECT_EQ(r.verdict, Verdict::kNotEquivalent);
+  EXPECT_GT(r.stats.pairs_sim_resolved, 0u);
+}
+
+TEST(ParallelSweep, ShardTelemetryIsPopulated) {
+  const Aig m = hard_miter(31337, /*equivalent=*/true);
+  sweep::SweeperParams p;
+  p.num_threads = 3;
+  p.pairs_per_chunk = 2;
+  const sweep::SweepResult r = sweep::ParallelSatSweeper(p).check_miter(m);
+  EXPECT_EQ(r.verdict, Verdict::kEquivalent);
+  EXPECT_GE(r.stats.shards, 1u);
+  EXPECT_LE(r.stats.shards, 3u);
+  EXPECT_GT(r.stats.chunks, 0u);
+  EXPECT_EQ(r.stats.shard.size(), 3u);
+  std::size_t claimed = 0;
+  for (const sweep::ShardStats& s : r.stats.shard) claimed += s.chunks;
+  EXPECT_GT(claimed, 0u);
+  // Every proved pair was published to the board exactly once.
+  EXPECT_EQ(r.stats.board_merges, r.stats.pairs_proved);
+}
+
+class ParallelSweepOracle : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ParallelSweepOracle, AgreesWithBruteForce) {
+  const Aig a = testutil::random_aig(7, 80, 5, GetParam());
+  const Aig b = testutil::mutate(a, GetParam() * 31 + 7);
+  sweep::SweeperParams p;
+  p.num_threads = 3;
+  p.pairs_per_chunk = 8;
+  const sweep::SweepResult r = sweep::sweep_miter(aig::make_miter(a, b), p);
+  ASSERT_NE(r.verdict, Verdict::kUndecided);
+  EXPECT_EQ(r.verdict == Verdict::kEquivalent,
+            aig::brute_force_equivalent(a, b));
+  if (r.verdict == Verdict::kNotEquivalent) {
+    ASSERT_TRUE(r.cex.has_value());
+    EXPECT_NE(a.evaluate(*r.cex), b.evaluate(*r.cex));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParallelSweepOracle,
+                         ::testing::Values(201, 202, 203, 204, 205, 206));
+
+TEST(ParallelSweep, OpportunisticModeStaysSound) {
+  // Opportunistic mode trades determinism for convergence: stats may vary
+  // with interleaving, the verdict must not.
+  for (const std::uint64_t seed : {401u, 402u, 403u, 404u}) {
+    const Aig a = testutil::random_aig(7, 80, 5, seed);
+    const Aig b = testutil::mutate(a, seed * 13 + 5);
+    sweep::SweeperParams p;
+    p.num_threads = 4;
+    p.pairs_per_chunk = 2;  // maximal chunk interleaving
+    p.deterministic = false;
+    const sweep::SweepResult r = sweep::sweep_miter(aig::make_miter(a, b), p);
+    ASSERT_NE(r.verdict, Verdict::kUndecided) << "seed " << seed;
+    EXPECT_EQ(r.verdict == Verdict::kEquivalent,
+              aig::brute_force_equivalent(a, b))
+        << "seed " << seed;
+    if (r.cex) {
+      EXPECT_NE(a.evaluate(*r.cex), b.evaluate(*r.cex));
+    }
+  }
+}
+
+TEST(ParallelSweep, DispatcherRoutesByThreadCount) {
+  const Aig m = hard_miter(555, /*equivalent=*/true);
+  sweep::SweeperParams p;
+  p.num_threads = 1;
+  const sweep::SweepResult seq = sweep::sweep_miter(m, p);
+  EXPECT_EQ(seq.verdict, Verdict::kEquivalent);
+  EXPECT_EQ(seq.stats.shards, 0u);  // sequential path: no shard loops
+  EXPECT_EQ(seq.stats.chunks, 0u);
+  EXPECT_EQ(seq.stats.parallel_fallbacks, 0u);
+  p.num_threads = 2;
+  const sweep::SweepResult par = sweep::sweep_miter(m, p);
+  EXPECT_EQ(par.verdict, Verdict::kEquivalent);
+  EXPECT_GE(par.stats.shards, 1u);
+  EXPECT_EQ(par.stats.parallel_fallbacks, 0u);
+}
+
+TEST(ParallelSweep, ParallelMatchesSequentialVerdict) {
+  for (const std::uint64_t seed : {611u, 612u, 613u}) {
+    for (const bool equivalent : {true, false}) {
+      const Aig m = hard_miter(seed, equivalent);
+      sweep::SweeperParams p;
+      const sweep::SweepResult seq = sweep::SatSweeper(p).check_miter(m);
+      p.num_threads = 2;
+      p.pairs_per_chunk = 4;
+      const sweep::SweepResult par = sweep::sweep_miter(m, p);
+      EXPECT_EQ(par.verdict, seq.verdict)
+          << "seed " << seed << " equivalent=" << equivalent;
+    }
+  }
+}
+
+TEST(ParallelSweep, TimeLimitYieldsUndecided) {
+  const Aig a = testutil::random_aig(10, 300, 6, 121);
+  const Aig m = aig::make_miter(a, opt::refactor(a));
+  if (aig::miter_proved(m)) GTEST_SKIP() << "refactor was the identity";
+  sweep::SweeperParams p;
+  p.num_threads = 4;
+  p.time_limit = 1e-9;  // expires immediately
+  const sweep::SweepResult r = sweep::sweep_miter(m, p);
+  EXPECT_EQ(r.verdict, Verdict::kUndecided);
+}
+
+TEST(ParallelSweep, CancellationYieldsUndecided) {
+  const Aig a = testutil::random_aig(10, 300, 6, 121);
+  const Aig m = aig::make_miter(a, opt::refactor(a));
+  if (aig::miter_proved(m)) GTEST_SKIP() << "refactor was the identity";
+  std::atomic<bool> cancel{true};
+  sweep::SweeperParams p;
+  p.num_threads = 4;
+  p.cancel = &cancel;
+  const sweep::SweepResult r = sweep::sweep_miter(m, p);
+  EXPECT_EQ(r.verdict, Verdict::kUndecided);
+}
+
+TEST(ParallelSweep, StructurallySolvedMitersShortCircuit) {
+  sweep::SweeperParams p;
+  p.num_threads = 4;
+  Aig zero(2);
+  zero.add_po(aig::kLitFalse);
+  EXPECT_EQ(sweep::sweep_miter(zero, p).verdict, Verdict::kEquivalent);
+  Aig one(2);
+  one.add_po(aig::kLitTrue);
+  EXPECT_EQ(sweep::sweep_miter(one, p).verdict, Verdict::kNotEquivalent);
+}
+
+TEST(ParallelSweep, StressBoardAndBankUnderContention) {
+  // tsan target: hammer both shared channels from concurrent publishers
+  // that interleave reads of the journal suffixes — the exact access mix
+  // of an opportunistic shard loop.
+  constexpr int kThreads = 4;
+  constexpr std::size_t kPerThread = 256;
+  sweep::EquivBoard board(kThreads * kPerThread + 1);
+  sweep::SharedCexBank bank(8);
+  std::atomic<std::size_t> dup_rejected{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      std::size_t board_seen = 0, bank_seen = 0;
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        const aig::Var node =
+            static_cast<aig::Var>(1 + t * kPerThread + i);
+        ASSERT_TRUE(board.publish(node, aig::kLitTrue));
+        // Every thread also races on a contended node; exactly one wins.
+        if (!board.publish(0, aig::kLitFalse))
+          dup_rejected.fetch_add(1, std::memory_order_relaxed);
+        bank.publish(std::vector<bool>(8, (i & 1) != 0));
+        for (const auto& m : board.merges_since(board_seen)) {
+          ASSERT_LT(m.first, board.size() + kThreads * kPerThread);
+          ++board_seen;
+        }
+        for (const auto& row : bank.rows_since(bank_seen)) {
+          ASSERT_EQ(row.size(), 8u);
+          ++bank_seen;
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(board.size(), kThreads * kPerThread + 1);
+  EXPECT_EQ(dup_rejected.load(), kThreads * kPerThread - 1);
+  EXPECT_EQ(bank.size(), kThreads * kPerThread);
+  EXPECT_EQ(bank.pack().num_patterns() % 64, 0u);
+}
+
+TEST(ParallelSweep, CombinedFlowPublishesShardCounters) {
+  // When the combined flow's sweep phase runs sharded, the v2 run report
+  // gains the sat_sweeper.{shards,chunks,...} gauges and the per-shard
+  // breakdown; sequential runs keep their historical report shape.
+  const aig::Aig a = gen::array_multiplier(4);
+  const aig::Aig b = gen::wallace_multiplier(4);
+  portfolio::CombinedParams p;
+  p.engine.enable_po_phase = false;
+  p.engine.k_P = 10;
+  p.engine.k_p = 4;
+  p.engine.k_g = 5;
+  p.engine.k_l = 6;
+  p.engine.memory_words = 1 << 16;
+  // Expire the engine phases so the whole miter reaches the sweep.
+  p.engine.phase_time_limit = 1e-9;
+  p.sweeper.num_threads = 2;
+  p.sweeper.pairs_per_chunk = 4;
+  const portfolio::CombinedResult r = portfolio::combined_check(a, b, p);
+  EXPECT_EQ(r.verdict, Verdict::kEquivalent);
+  EXPECT_GE(r.report.value("sat_sweeper.shards"), 1.0);
+  EXPECT_GE(r.report.value("sat_sweeper.chunks"), 1.0);
+  EXPECT_GT(r.report.value("sat_sweeper.board_merges"), 0.0);
+  EXPECT_DOUBLE_EQ(r.report.value("sat_sweeper.parallel_fallbacks"), 0.0);
+  // Every shard gauge (including the per-shard breakdown) is present.
+  EXPECT_NE(r.report.find("sat_sweeper.cex_shared"), nullptr);
+  EXPECT_NE(r.report.find("sat_sweeper.pairs_sim_resolved"), nullptr);
+  EXPECT_NE(r.report.find("sat_sweeper.steals"), nullptr);
+  EXPECT_NE(r.report.find("sat_sweeper.pairs_pruned"), nullptr);
+  EXPECT_NE(r.report.find("sat_sweeper.shard.s0.busy_seconds"), nullptr);
+  EXPECT_NE(r.report.find("sat_sweeper.shard.s1.chunks"), nullptr);
+}
+
+TEST(ParallelSweep, ConcurrentSweepsShareNothing) {
+  // Two full parallel sweeps in flight at once (the portfolio races a
+  // pure-SAT arm against the combined arm): private pools and shared
+  // state must not interfere.
+  const Aig m1 = hard_miter(777, /*equivalent=*/true);
+  const Aig m2 = hard_miter(778, /*equivalent=*/false);
+  sweep::SweeperParams p;
+  p.num_threads = 2;
+  p.pairs_per_chunk = 4;
+  sweep::SweepResult r1, r2;
+  std::thread a([&] { r1 = sweep::sweep_miter(m1, p); });
+  std::thread b([&] { r2 = sweep::sweep_miter(m2, p); });
+  a.join();
+  b.join();
+  EXPECT_EQ(r1.verdict, Verdict::kEquivalent);
+  EXPECT_EQ(r2.verdict, Verdict::kNotEquivalent);
+}
+
+}  // namespace
+}  // namespace simsweep

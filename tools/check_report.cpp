@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <string>
 
+#include "gen/arith.hpp"
 #include "gen/suite.hpp"
 #include "obs/report.hpp"
 #include "portfolio/portfolio.hpp"
@@ -91,5 +92,49 @@ int main(int argc, char** argv) {
 
   std::printf("check_report: %s is a valid %s report\n", path.c_str(),
               obs::kSchemaId);
+
+  // Second flow: a sharded residue sweep (sweeper.num_threads = 2) on a
+  // small multiplier pair. The report must still validate as v2 and
+  // additionally carry the sat_sweeper.* shard gauges (DESIGN.md §2.5)
+  // — the demo report above, whose sweep is sequential, is the shape
+  // without them. k_P below the PI count keeps the P phase from solving
+  // the POs outright, so the engine publishes every module section yet
+  // still hands a nonempty residue to the sharded sweep.
+  const aig::Aig small_a = gen::array_multiplier(4);
+  const aig::Aig small_b = gen::wallace_multiplier(4);
+  portfolio::CombinedParams shard_params;
+  shard_params.engine.enable_po_phase = false;
+  shard_params.engine.k_P = 6;
+  shard_params.engine.k_p = 4;
+  shard_params.engine.k_g = 4;
+  shard_params.engine.k_l = 4;
+  shard_params.engine.memory_words = 1 << 16;
+  shard_params.sweeper.num_threads = 2;
+  shard_params.sweeper.pairs_per_chunk = 4;
+  const portfolio::CombinedResult rs =
+      portfolio::combined_check(small_a, small_b, shard_params);
+  if (rs.verdict != Verdict::kEquivalent) {
+    std::fprintf(stderr, "check_report: sharded-sweep pair not proved\n");
+    return 1;
+  }
+  std::string shard_json = obs::to_json(rs.report);
+  if (!obs::validate_report_json(shard_json, &error)) {
+    std::fprintf(stderr, "check_report: invalid sharded report: %s\n",
+                 error.c_str());
+    return 1;
+  }
+  for (const char* leaf :
+       {"\"shards\"", "\"chunks\"", "\"steals\"", "\"board_merges\"",
+        "\"cex_shared\"", "\"pairs_sim_resolved\"", "\"parallel_fallbacks\"",
+        "\"shard\""}) {
+    if (shard_json.find(leaf) == std::string::npos) {
+      std::fprintf(stderr,
+                   "check_report: sharded report lacks expected key %s\n",
+                   leaf);
+      return 1;
+    }
+  }
+  std::printf("check_report: sharded-sweep report carries the "
+              "sat_sweeper shard gauges\n");
   return 0;
 }
