@@ -3,6 +3,8 @@
 #include <atomic>
 #include <cstdarg>
 
+#include "common/lock_ranks.hpp"
+
 namespace simsweep {
 
 namespace {
@@ -10,6 +12,12 @@ namespace {
 /// on every log call from pool workers and engine threads; relaxed order
 /// is fine — a level change only needs to become visible eventually.
 std::atomic<LogLevel> g_level{LogLevel::Warn};
+
+/// Serializes the tag/body/newline fprintf sequence so concurrent
+/// loggers (pool workers, portfolio engine threads) never interleave a
+/// message. Rank `log` is the innermost of the lock order (DESIGN.md
+/// §2.6): logging must stay legal while holding any other lock.
+common::Mutex g_out_mutex;
 
 const char* tag(LogLevel level) {
   switch (level) {
@@ -30,13 +38,16 @@ void set_log_level(LogLevel level) {
 
 void log_message(LogLevel level, const char* fmt, ...) {
   if (level < log_level()) return;
-  std::fprintf(stderr, "[simsweep %s] ", tag(level));
   va_list args;
   va_start(args, fmt);
-  std::vfprintf(stderr, fmt, args);
+  {
+    common::RankedMutexLock lock(g_out_mutex, common::lock_ranks::log);
+    std::fprintf(stderr, "[simsweep %s] ", tag(level));
+    std::vfprintf(stderr, fmt, args);
+    std::fputc('\n', stderr);
+    std::fflush(stderr);
+  }
   va_end(args);
-  std::fputc('\n', stderr);
-  std::fflush(stderr);
 }
 
 }  // namespace simsweep

@@ -55,6 +55,16 @@
 #define SIMSWEEP_EXCLUDES(...) \
   SIMSWEEP_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
 
+/// Declares that this capability must be acquired after the listed ones
+/// (lock-rank edges; checked by Clang under `-Wthread-safety-beta`). The
+/// rank table lives in src/common/lock_ranks.hpp.
+#define SIMSWEEP_ACQUIRED_AFTER(...) \
+  SIMSWEEP_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// Declares that this capability must be acquired before the listed ones.
+#define SIMSWEEP_ACQUIRED_BEFORE(...) \
+  SIMSWEEP_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+
 /// Escape hatch for code whose correctness rests on a synchronization
 /// protocol the static analysis cannot model (lock-free publication,
 /// acquire/release on atomics). Every use must carry a comment naming the

@@ -241,11 +241,11 @@ PassResult run_checking_pass(const aig::Aig& aig,
       if (cuts.size() > params.buffer_capacity - buffer.size())
         flush_buffer(aig, tasks, buffer, result.proved, params, sim_memory,
                      result.stats);
-      // Injection site "cut.enum_overflow" (DESIGN.md §2.4): models the
+      // Injection site `cut.enum_overflow` (DESIGN.md §2.4): models the
       // bounded buffer failing to grow. Host-thread insertion loop, so
       // the throw unwinds cleanly to the engine's pass-retry ladder.
-      if (SIMSWEEP_FAULT_POINT("cut.enum_overflow"))
-        throw fault::FaultError("cut.enum_overflow");
+      if (SIMSWEEP_FAULT_POINT(fault::sites::kCutEnumOverflow))
+        throw fault::FaultError(fault::sites::kCutEnumOverflow);
       for (const Cut& c : cuts) {
         buffer.push_back(BufEntry{t, c});
         ++result.stats.common_cuts;

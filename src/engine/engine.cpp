@@ -9,6 +9,7 @@
 #include "common/log.hpp"
 #include "common/timer.hpp"
 #include "fault/fault.hpp"
+#include "obs/metric_names.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace simsweep::engine {
@@ -17,23 +18,23 @@ namespace simsweep::engine {
 /// attempts shares one registry the caller republishes its merged stats
 /// last, so the final snapshot shows chain totals.
 void publish_engine_stats(obs::Registry& r, const EngineStats& s) {
-  r.set("engine.po_seconds", s.po_seconds);
-  r.set("engine.global_seconds", s.global_seconds);
-  r.set("engine.local_seconds", s.local_seconds);
-  r.set("engine.other_seconds", s.other_seconds);
-  r.set("engine.total_seconds", s.total_seconds);
-  r.set("engine.initial_ands", static_cast<double>(s.initial_ands));
-  r.set("engine.final_ands", static_cast<double>(s.final_ands));
-  r.set("engine.pos_total", static_cast<double>(s.pos_total));
-  r.set("engine.pos_proved", static_cast<double>(s.pos_proved));
-  r.set("engine.pairs_proved_global",
+  r.set(obs::metric::kEnginePoSeconds, s.po_seconds);
+  r.set(obs::metric::kEngineGlobalSeconds, s.global_seconds);
+  r.set(obs::metric::kEngineLocalSeconds, s.local_seconds);
+  r.set(obs::metric::kEngineOtherSeconds, s.other_seconds);
+  r.set(obs::metric::kEngineTotalSeconds, s.total_seconds);
+  r.set(obs::metric::kEngineInitialAnds, static_cast<double>(s.initial_ands));
+  r.set(obs::metric::kEngineFinalAnds, static_cast<double>(s.final_ands));
+  r.set(obs::metric::kEnginePosTotal, static_cast<double>(s.pos_total));
+  r.set(obs::metric::kEnginePosProved, static_cast<double>(s.pos_proved));
+  r.set(obs::metric::kEnginePairsProvedGlobal,
         static_cast<double>(s.pairs_proved_global));
-  r.set("engine.pairs_proved_local",
+  r.set(obs::metric::kEnginePairsProvedLocal,
         static_cast<double>(s.pairs_proved_local));
-  r.set("engine.pairs_disproved", static_cast<double>(s.pairs_disproved));
-  r.set("engine.cex_count", static_cast<double>(s.cex_count));
-  r.set("engine.local_phases", static_cast<double>(s.local_phases));
-  r.set("engine.reduction_percent", s.reduction_percent());
+  r.set(obs::metric::kEnginePairsDisproved, static_cast<double>(s.pairs_disproved));
+  r.set(obs::metric::kEngineCexCount, static_cast<double>(s.cex_count));
+  r.set(obs::metric::kEngineLocalPhases, static_cast<double>(s.local_phases));
+  r.set(obs::metric::kEngineReductionPercent, s.reduction_percent());
 }
 
 void accumulate_attempt_stats(EngineStats& next, const EngineStats& prev) {
@@ -71,6 +72,8 @@ EngineResult SimCecEngine::check_miter(aig::Aig miter) const {
   // read concurrently afterwards.
   std::atomic<bool> stop{false};
   std::atomic<bool> done{false};
+  // audit:exempt(dedicated watchdog thread: it must keep ticking while
+  // the pool is saturated by the job it supervises)
   std::thread watchdog;
   EngineParams effective = params_;
   if (params_.time_limit > 0 || params_.cancel != nullptr) {
@@ -81,6 +84,7 @@ EngineResult SimCecEngine::check_miter(aig::Aig miter) const {
     if (params_.cancel != nullptr &&
         params_.cancel->load(std::memory_order_relaxed))
       stop.store(true, std::memory_order_relaxed);
+    // audit:exempt(see watchdog declaration above)
     watchdog = std::thread([&] {
       while (!done.load(std::memory_order_relaxed)) {
         if (params_.cancel != nullptr &&
@@ -137,26 +141,27 @@ EngineResult SimCecEngine::check_miter(aig::Aig miter) const {
     // Fault & degradation sections (DESIGN.md §2.4). Published even when
     // all-zero so every v2 report carries both sections; counter add
     // semantics accumulate across shared-registry attempt chains.
-    registry.add("faults.injected",
+    registry.add(obs::metric::kFaultsInjected,
                  fault::fires_total() - fault_fires_before);
-    registry.add("faults.recovered", ctx.degrade.faults_recovered);
+    registry.add(obs::metric::kFaultsRecovered, ctx.degrade.faults_recovered);
     for (const auto& [site, fires] : fault::active_fire_counts()) {
       std::uint64_t before = 0;
       for (const auto& [s0, f0] : site_fires_before)
         if (s0 == site) before = f0;
-      if (fires > before) registry.add("faults.site." + site, fires - before);
+      if (fires > before)
+        registry.add(obs::metric::kFaultsSitePrefix + site, fires - before);
     }
-    registry.add("degrade.ladder_steps", ctx.degrade.ladder_steps);
-    registry.add("degrade.memory_halvings", ctx.degrade.memory_halvings);
-    registry.add("degrade.merge_fallbacks", ctx.degrade.merge_fallbacks);
-    registry.add("degrade.batch_splits", ctx.degrade.batch_splits);
-    registry.add("degrade.deadline_expiries", ctx.degrade.deadline_expiries);
-    registry.add("degrade.units_abandoned", ctx.degrade.units_abandoned);
-    registry.add("degrade.pass_retries", ctx.degrade.pass_retries);
+    registry.add(obs::metric::kDegradeLadderSteps, ctx.degrade.ladder_steps);
+    registry.add(obs::metric::kDegradeMemoryHalvings, ctx.degrade.memory_halvings);
+    registry.add(obs::metric::kDegradeMergeFallbacks, ctx.degrade.merge_fallbacks);
+    registry.add(obs::metric::kDegradeBatchSplits, ctx.degrade.batch_splits);
+    registry.add(obs::metric::kDegradeDeadlineExpiries, ctx.degrade.deadline_expiries);
+    registry.add(obs::metric::kDegradeUnitsAbandoned, ctx.degrade.units_abandoned);
+    registry.add(obs::metric::kDegradePassRetries, ctx.degrade.pass_retries);
     if (ctx.ledger != nullptr) {
-      registry.set("degrade.memory_peak_bytes",
+      registry.set(obs::metric::kDegradeMemoryPeakBytes,
                    static_cast<double>(ctx.ledger->peak_bytes()));
-      registry.set("degrade.memory_denials",
+      registry.set(obs::metric::kDegradeMemoryDenials,
                    static_cast<double>(ctx.ledger->denials()));
     }
     result.report = registry.snapshot();

@@ -9,6 +9,7 @@
 #include "engine/engine.hpp"
 #include "exhaustive/exhaustive_sim.hpp"
 #include "fault/governor.hpp"
+#include "obs/metric_names.hpp"
 #include "sim/ec_manager.hpp"
 #include "window/window_merge.hpp"
 
@@ -42,16 +43,16 @@ inline std::vector<bool> expand_cex(
 inline void publish_merge_stats(EngineContext& ctx,
                                 const window::MergeStats& ms) {
   obs::Registry& r = *ctx.obs;
-  r.add("exhaustive.merge.runs");
-  r.add("exhaustive.merge.windows_before", ms.windows_before);
-  r.add("exhaustive.merge.windows_after", ms.windows_after);
-  r.add("exhaustive.merge.sim_nodes_before", ms.sim_nodes_before);
-  r.add("exhaustive.merge.sim_nodes_after", ms.sim_nodes_after);
-  r.add("exhaustive.merge.merge_groups", ms.merge_groups);
-  r.add("exhaustive.merge.windows_merged", ms.windows_merged);
-  r.add("exhaustive.merge.rejected_capacity", ms.rejected_capacity);
-  r.add("exhaustive.merge.rejected_similarity", ms.rejected_similarity);
-  r.add("exhaustive.merge.build_failures", ms.build_failures);
+  r.add(obs::metric::kMergeRuns);
+  r.add(obs::metric::kMergeWindowsBefore, ms.windows_before);
+  r.add(obs::metric::kMergeWindowsAfter, ms.windows_after);
+  r.add(obs::metric::kMergeSimNodesBefore, ms.sim_nodes_before);
+  r.add(obs::metric::kMergeSimNodesAfter, ms.sim_nodes_after);
+  r.add(obs::metric::kMergeMergeGroups, ms.merge_groups);
+  r.add(obs::metric::kMergeWindowsMerged, ms.windows_merged);
+  r.add(obs::metric::kMergeRejectedCapacity, ms.rejected_capacity);
+  r.add(obs::metric::kMergeRejectedSimilarity, ms.rejected_similarity);
+  r.add(obs::metric::kMergeBuildFailures, ms.build_failures);
   if (ms.build_failures > 0) {
     auto& deg = ctx.degrade;
     deg.merge_fallbacks += ms.build_failures;
@@ -168,17 +169,17 @@ inline LadderOutcome run_batch_with_ladder(EngineContext& ctx,
 inline void note_rebuild(EngineContext& ctx, std::size_t ands_before,
                          std::size_t ands_after) {
   obs::Registry& r = *ctx.obs;
-  r.add("miter.rebuilds");
-  r.add("miter.ands_before", ands_before);
-  r.add("miter.ands_after", ands_after);
+  r.add(obs::metric::kMiterRebuilds);
+  r.add(obs::metric::kMiterAndsBefore, ands_before);
+  r.add(obs::metric::kMiterAndsAfter, ands_after);
   if (ands_before > ands_after)
-    r.add("miter.ands_removed", ands_before - ands_after);
+    r.add(obs::metric::kMiterAndsRemoved, ands_before - ands_after);
 }
 
 /// Records one sim::simulate() sweep under `partial_sim.*`.
 inline void note_partial_sim(EngineContext& ctx, std::size_t bank_words) {
-  ctx.obs->add("partial_sim.simulate_calls");
-  ctx.obs->add("partial_sim.pattern_words", bank_words);
+  ctx.obs->add(obs::metric::kPartialSimSimulateCalls);
+  ctx.obs->add(obs::metric::kPartialSimPatternWords, bank_words);
 }
 
 /// Publishes the deltas an EcManager accumulated since `since` under
@@ -188,11 +189,11 @@ inline void note_partial_sim(EngineContext& ctx, std::size_t bank_words) {
 inline void publish_ec_stats(EngineContext& ctx, const sim::EcStats& now,
                              const sim::EcStats& since = {}) {
   obs::Registry& r = *ctx.obs;
-  r.add("ec.builds", now.builds - since.builds);
-  r.add("ec.refines", now.refines - since.refines);
-  r.add("ec.classes_built", now.classes_built - since.classes_built);
-  r.add("ec.class_splits", now.class_splits - since.class_splits);
-  r.add("ec.classes_dissolved",
+  r.add(obs::metric::kEcBuilds, now.builds - since.builds);
+  r.add(obs::metric::kEcRefines, now.refines - since.refines);
+  r.add(obs::metric::kEcClassesBuilt, now.classes_built - since.classes_built);
+  r.add(obs::metric::kEcClassSplits, now.class_splits - since.class_splits);
+  r.add(obs::metric::kEcClassesDissolved,
         now.classes_dissolved - since.classes_dissolved);
 }
 

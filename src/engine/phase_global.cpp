@@ -15,6 +15,7 @@
 #include "common/log.hpp"
 #include "common/timer.hpp"
 #include "engine/phase_common.hpp"
+#include "obs/metric_names.hpp"
 #include "parallel/thread_pool.hpp"
 #include "sim/ec_manager.hpp"
 #include "sim/quality_patterns.hpp"
@@ -70,7 +71,7 @@ std::size_t run_global_phase(EngineContext& ctx, unsigned k_g) {
       inputs_of.push_back(std::move(inputs));
     }
     if (eligible.empty()) break;
-    ctx.obs->add("ec.eligible_pairs", eligible.size());
+    ctx.obs->add(obs::metric::kEcEligiblePairs, eligible.size());
 
     // Window per pair, built in parallel.
     std::vector<std::optional<window::Window>> built(eligible.size());
@@ -164,9 +165,9 @@ std::size_t run_global_phase(EngineContext& ctx, unsigned k_g) {
     ctx.stats.pairs_proved_global += proved;
     ctx.stats.pairs_disproved += disproved;
     ctx.stats.cex_count += collector.num_cexes();
-    ctx.obs->add("ec.pairs_proved", proved);
-    ctx.obs->add("ec.pairs_disproved", disproved);
-    ctx.obs->add("ec.cexs_absorbed", collector.num_cexes());
+    ctx.obs->add(obs::metric::kEcPairsProved, proved);
+    ctx.obs->add(obs::metric::kEcPairsDisproved, disproved);
+    ctx.obs->add(obs::metric::kEcCexsAbsorbed, collector.num_cexes());
     SIMSWEEP_LOG_INFO("G iter %u: %zu proved, %zu disproved (%zu CEX)", iter,
                       proved, disproved, collector.num_cexes());
 
@@ -187,8 +188,8 @@ std::size_t run_global_phase(EngineContext& ctx, unsigned k_g) {
     }
     const std::size_t dropped = ctx.bank->truncate_front(p.max_pattern_words);
     if (dropped > 0) {
-      ctx.obs->add("partial_sim.bank_truncations");
-      ctx.obs->add("partial_sim.words_dropped", dropped);
+      ctx.obs->add(obs::metric::kPartialSimBankTruncations);
+      ctx.obs->add(obs::metric::kPartialSimWordsDropped, dropped);
     }
   }
 

@@ -20,6 +20,7 @@
 #include "cut/checking_pass.hpp"
 #include "engine/phase_common.hpp"
 #include "fault/fault.hpp"
+#include "obs/metric_names.hpp"
 #include "sim/ec_manager.hpp"
 
 namespace simsweep::engine::detail {
@@ -32,7 +33,8 @@ void publish_pass_stats(EngineContext& ctx, unsigned pass_index,
                         const cut::PassStats& s) {
   obs::Registry& r = *ctx.obs;
   char prefix[24];
-  std::snprintf(prefix, sizeof prefix, "cut.pass%u.", pass_index + 1);
+  std::snprintf(prefix, sizeof prefix, "%s%u.", obs::metric::kCutPassPrefix,
+                pass_index + 1);
   const auto name = [&](const char* leaf) {
     return std::string(prefix) + leaf;
   };
@@ -53,7 +55,7 @@ void publish_pass_stats(EngineContext& ctx, unsigned pass_index,
   for (std::size_t b = 0; b < s.level_hist.size(); ++b) {
     if (s.level_hist[b] == 0) continue;
     char leaf[40];
-    std::snprintf(leaf, sizeof leaf, "cut.level_hist.b%u",
+    std::snprintf(leaf, sizeof leaf, "%s%u", obs::metric::kCutLevelHistPrefix,
                   static_cast<unsigned>(b));
     r.add(leaf, s.level_hist[b]);
   }

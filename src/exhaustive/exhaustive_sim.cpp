@@ -9,6 +9,7 @@
 #include "common/log.hpp"
 #include "common/word_kernels.hpp"
 #include "fault/fault.hpp"
+#include "obs/metric_names.hpp"
 #include "obs/registry.hpp"
 #include "parallel/thread_pool.hpp"
 #include "tt/truth_table.hpp"
@@ -125,21 +126,21 @@ BatchResult check_batch(const aig::Aig& aig,
   const auto publish = [&] {
     if (params.obs == nullptr) return;
     obs::Registry& r = *params.obs;
-    r.add("exhaustive.batches");
-    r.add("exhaustive.windows", windows.size());
-    r.add("exhaustive.items", num_items);
-    r.add("exhaustive.rounds", result.rounds);
-    r.add("exhaustive.words_simulated", result.words_simulated);
-    r.add(result.window_parallel ? "exhaustive.window_parallel_batches"
-                                 : "exhaustive.level_staged_batches");
-    if (cache_clamped) r.add("exhaustive.cache_clamped_batches");
+    r.add(obs::metric::kExhaustiveBatches);
+    r.add(obs::metric::kExhaustiveWindows, windows.size());
+    r.add(obs::metric::kExhaustiveItems, num_items);
+    r.add(obs::metric::kExhaustiveRounds, result.rounds);
+    r.add(obs::metric::kExhaustiveWordsSimulated, result.words_simulated);
+    r.add(result.window_parallel ? obs::metric::kExhaustiveWindowParallelBatches
+                                 : obs::metric::kExhaustiveLevelStagedBatches);
+    if (cache_clamped) r.add(obs::metric::kExhaustiveCacheClampedBatches);
     // Rounds beyond the first exist only because the memory/cache cap
     // forced the table to be swept in slices (Alg. 1 line 2).
-    if (result.rounds > 1) r.add("exhaustive.round_splits", result.rounds - 1);
-    r.add("exhaustive.cexes", result.cexes.size());
-    if (result.cancelled) r.add("exhaustive.cancelled_batches");
+    if (result.rounds > 1) r.add(obs::metric::kExhaustiveRoundSplits, result.rounds - 1);
+    r.add(obs::metric::kExhaustiveCexes, result.cexes.size());
+    if (result.cancelled) r.add(obs::metric::kExhaustiveCancelledBatches);
     if (result.failure != BatchFailure::kNone)
-      r.add("exhaustive.failed_batches");
+      r.add(obs::metric::kExhaustiveFailedBatches);
   };
 
   // --- Resource-governed table allocation (DESIGN.md §2.4). This is THE
@@ -156,7 +157,7 @@ BatchResult check_batch(const aig::Aig& aig,
   }
   std::vector<std::uint64_t> simt;
   try {
-    if (SIMSWEEP_FAULT_POINT("exhaustive.simt_alloc")) throw std::bad_alloc{};
+    if (SIMSWEEP_FAULT_POINT(fault::sites::kExhaustiveSimtAlloc)) throw std::bad_alloc{};
     simt.resize(num_slots * E);
   } catch (const std::bad_alloc&) {
     result.failure = BatchFailure::kAlloc;

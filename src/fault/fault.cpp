@@ -6,8 +6,8 @@
 #include <algorithm>
 #include <atomic>
 #include <memory>
-#include <mutex>
 
+#include "common/lock_ranks.hpp"
 #include "common/random.hpp"
 
 namespace simsweep::fault {
@@ -24,8 +24,9 @@ struct SiteState {
 /// An installed plan plus its counters. Owned by the ScopedFaultPlan that
 /// installed it; the global pointer only borrows it for the scope.
 struct ActivePlan {
-  std::mutex mu;
-  std::vector<SiteState> sites;  // sorted by spec.site for lookup
+  common::Mutex mu;
+  /// Sorted by spec.site for lookup.
+  std::vector<SiteState> sites SIMSWEEP_GUARDED_BY(mu);
 
   explicit ActivePlan(const FaultPlan& plan) {
     Rng base(plan.seed());
@@ -39,7 +40,7 @@ struct ActivePlan {
               });
   }
 
-  SiteState* find(std::string_view site) {
+  SiteState* find(std::string_view site) SIMSWEEP_REQUIRES(mu) {
     auto it = std::lower_bound(sites.begin(), sites.end(), site,
                                [](const SiteState& s, std::string_view v) {
                                  return s.spec.site < v;
@@ -76,20 +77,20 @@ ScopedFaultPlan::~ScopedFaultPlan() {
 }
 
 std::uint64_t ScopedFaultPlan::fires(std::string_view site) const {
-  std::lock_guard<std::mutex> lock(impl_->plan.mu);
+  common::RankedMutexLock lock(impl_->plan.mu, common::lock_ranks::fault);
   const SiteState* s = impl_->plan.find(site);
   return s ? s->fires : 0;
 }
 
 std::uint64_t ScopedFaultPlan::fires_total() const {
-  std::lock_guard<std::mutex> lock(impl_->plan.mu);
+  common::RankedMutexLock lock(impl_->plan.mu, common::lock_ranks::fault);
   std::uint64_t total = 0;
   for (const SiteState& s : impl_->plan.sites) total += s.fires;
   return total;
 }
 
 std::uint64_t ScopedFaultPlan::hits(std::string_view site) const {
-  std::lock_guard<std::mutex> lock(impl_->plan.mu);
+  common::RankedMutexLock lock(impl_->plan.mu, common::lock_ranks::fault);
   const SiteState* s = impl_->plan.find(site);
   return s ? s->hits : 0;
 }
@@ -102,7 +103,7 @@ std::vector<std::pair<std::string, std::uint64_t>> active_fire_counts() {
   std::vector<std::pair<std::string, std::uint64_t>> out;
   ActivePlan* plan = g_plan.load(std::memory_order_acquire);
   if (!plan) return out;
-  std::lock_guard<std::mutex> lock(plan->mu);
+  common::RankedMutexLock lock(plan->mu, common::lock_ranks::fault);
   out.reserve(plan->sites.size());
   for (const SiteState& s : plan->sites)
     out.emplace_back(s.spec.site, s.fires);
@@ -115,7 +116,7 @@ bool hit(const char* site) {
   ActivePlan* plan = g_plan.load(std::memory_order_relaxed);
   if (!plan) return false;
   std::atomic_thread_fence(std::memory_order_acquire);
-  std::lock_guard<std::mutex> lock(plan->mu);
+  common::RankedMutexLock lock(plan->mu, common::lock_ranks::fault);
   SiteState* s = plan->find(site);
   if (!s) return false;
   ++s->hits;

@@ -10,7 +10,7 @@
 /// named points of the real code paths so the recovery ladder
 /// (engine/phase_common.hpp) is exercised deterministically:
 ///
-///   if (SIMSWEEP_FAULT_POINT("exhaustive.simt_alloc"))
+///   if (SIMSWEEP_FAULT_POINT(fault::sites::kExhaustiveSimtAlloc))
 ///     throw std::bad_alloc{};
 ///
 /// A site fires according to the installed FaultPlan: either on the Nth
@@ -25,15 +25,13 @@
 /// configuring with -DSIMSWEEP_FAULT_INJECTION=OFF compiles every site to
 /// a constant `false` for release deployments.
 ///
-/// Catalogued sites (one per failure class the degradation ladder
-/// handles; see kCataloguedSites):
-///   exhaustive.simt_alloc — the big simulation-table allocation (Alg. 1)
-///   window_merge.build    — building a merged window (paper §III-B3)
-///   cut.enum_overflow     — common-cut buffer insertion (Alg. 2)
-///   sat.solve             — a SAT-sweeper solve entry
-///   pool.spawn            — executor worker-thread spawn
-///   sweep.shard_alloc     — parallel-sweeper shard-state allocation
-///   sweep.board_merge     — applying a shard-proved merge at the barrier
+/// Site names are catalogued once, in the X-macro table
+/// src/fault/fault_sites.def (one row per failure class the degradation
+/// ladder handles). Code never spells a site as a raw string: fault
+/// points and test plans reference the generated constants
+/// (fault::sites::k*), and the `simsweep_audit` static-analysis ctest
+/// rejects stray literals, unknown sites and dead catalog rows
+/// (DESIGN.md §2.6).
 
 #include <cstdint>
 #include <stdexcept>
@@ -133,11 +131,22 @@ std::uint64_t fires_total();
 /// plan is active). Sorted by site name.
 std::vector<std::pair<std::string, std::uint64_t>> active_fire_counts();
 
-/// The injection-site catalog (DESIGN.md §2.4). Kept in one place so
-/// soak tooling can iterate every site.
+/// Typed site-name constants, one per row of fault_sites.def. The ONLY
+/// way code may name a site (simsweep_audit enforces this).
+namespace sites {
+#define SIMSWEEP_FAULT_SITE(ident, name) \
+  inline constexpr const char ident[] = name;
+#include "fault/fault_sites.def"
+#undef SIMSWEEP_FAULT_SITE
+}  // namespace sites
+
+/// The injection-site catalog (DESIGN.md §2.4), expanded from
+/// fault_sites.def so soak tooling can iterate every site.
 inline constexpr const char* kCataloguedSites[] = {
-    "exhaustive.simt_alloc", "window_merge.build", "cut.enum_overflow",
-    "sat.solve", "pool.spawn", "sweep.shard_alloc", "sweep.board_merge"};
+#define SIMSWEEP_FAULT_SITE(ident, name) name,
+#include "fault/fault_sites.def"
+#undef SIMSWEEP_FAULT_SITE
+};
 
 namespace detail {
 /// Records a hit of `site` against the installed plan and returns true

@@ -1,5 +1,7 @@
 #include "obs/registry.hpp"
 
+#include "common/lock_ranks.hpp"
+
 #include <algorithm>
 
 namespace simsweep::obs {
@@ -23,7 +25,7 @@ double Snapshot::value(std::string_view name) const {
 }
 
 Counter& Registry::counter(std::string_view name) {
-  common::MutexLock lock(mutex_);
+  common::RankedMutexLock lock(mutex_, common::lock_ranks::registry);
   auto it = cells_.find(name);
   if (it == cells_.end())
     it = cells_.emplace(std::string(name),
@@ -33,7 +35,7 @@ Counter& Registry::counter(std::string_view name) {
 }
 
 Gauge& Registry::gauge(std::string_view name) {
-  common::MutexLock lock(mutex_);
+  common::RankedMutexLock lock(mutex_, common::lock_ranks::registry);
   auto it = cells_.find(name);
   if (it == cells_.end())
     it = cells_.emplace(std::string(name),
@@ -44,7 +46,7 @@ Gauge& Registry::gauge(std::string_view name) {
 
 Snapshot Registry::snapshot() const {
   Snapshot snap;
-  common::MutexLock lock(mutex_);
+  common::RankedMutexLock lock(mutex_, common::lock_ranks::registry);
   snap.metrics.reserve(cells_.size());
   for (const auto& [name, cell] : cells_) {
     Metric m;

@@ -4,7 +4,9 @@
 #include <string>
 #include <system_error>
 
+#include "common/lock_ranks.hpp"
 #include "fault/fault.hpp"
+#include "obs/metric_names.hpp"
 #include "obs/registry.hpp"
 
 #ifdef SIMSWEEP_CHECKED
@@ -76,13 +78,13 @@ ThreadPool::ThreadPool(unsigned num_workers) {
   worker_stats_ = std::make_unique<WorkerStat[]>(num_workers + 1);
   workers_.reserve(num_workers);
   for (unsigned i = 0; i < num_workers; ++i) {
-    // Injection site "pool.spawn" (DESIGN.md §2.4): thread creation can
+    // Injection site `pool.spawn` (DESIGN.md §2.4): thread creation can
     // fail under thread-count limits. The pool degrades to the workers
     // that did start — worker_stats_ was sized up front and worker
     // indices are dense in [0, workers_.size()), so a short pool is
     // fully functional; with zero workers every launch runs inline.
     try {
-      if (SIMSWEEP_FAULT_POINT("pool.spawn"))
+      if (SIMSWEEP_FAULT_POINT(fault::sites::kPoolSpawn))
         throw std::system_error(
             std::make_error_code(std::errc::resource_unavailable_try_again),
             "injected fault at pool.spawn");
@@ -143,7 +145,7 @@ bool ThreadPool::execute(const StageRef* stages, std::size_t n,
     return !cancelled();
   }
 
-  common::MutexLock submit(submit_mutex_);
+  common::RankedMutexLock submit(submit_mutex_, common::lock_ranks::pool);
   if (cancelled()) return false;
 
   // Stage slots may be (re)allocated here: quiescence is guaranteed — the
@@ -383,21 +385,22 @@ PoolStats ThreadPool::stats() const {
   return st;
 }
 
-void ThreadPool::publish(obs::Registry& registry, const char* prefix) const {
+void ThreadPool::publish(obs::Registry& registry) const {
   const PoolStats st = stats();
-  const std::string p = std::string(prefix) + ".";
   // Set (not add) semantics: these are process-lifetime totals, so the
   // publish is idempotent no matter how many callers emit them.
-  registry.set(p + "workers", static_cast<double>(st.workers));
-  registry.set(p + "jobs", static_cast<double>(st.jobs));
-  registry.set(p + "inline_jobs", static_cast<double>(st.inline_jobs));
-  registry.set(p + "stages", static_cast<double>(st.stages));
-  registry.set(p + "chunks", static_cast<double>(st.chunks));
-  registry.set(p + "lifetime_seconds", st.lifetime_seconds);
-  registry.set(p + "busy_fraction.mean", st.busy_mean);
-  registry.set(p + "busy_fraction.min", st.busy_min);
-  registry.set(p + "busy_fraction.max", st.busy_max);
-  registry.set(p + "spawn_failures", static_cast<double>(st.spawn_failures));
+  registry.set(obs::metric::kPoolWorkers, static_cast<double>(st.workers));
+  registry.set(obs::metric::kPoolJobs, static_cast<double>(st.jobs));
+  registry.set(obs::metric::kPoolInlineJobs,
+               static_cast<double>(st.inline_jobs));
+  registry.set(obs::metric::kPoolStages, static_cast<double>(st.stages));
+  registry.set(obs::metric::kPoolChunks, static_cast<double>(st.chunks));
+  registry.set(obs::metric::kPoolLifetimeSeconds, st.lifetime_seconds);
+  registry.set(obs::metric::kPoolBusyMean, st.busy_mean);
+  registry.set(obs::metric::kPoolBusyMin, st.busy_min);
+  registry.set(obs::metric::kPoolBusyMax, st.busy_max);
+  registry.set(obs::metric::kPoolSpawnFailures,
+               static_cast<double>(st.spawn_failures));
 }
 
 void ThreadPool::park(std::uint32_t seen_epoch) {

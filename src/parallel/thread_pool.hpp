@@ -217,9 +217,10 @@ class ThreadPool {
   /// relaxed counters give a consistent-enough view for reporting.
   PoolStats stats() const;
 
-  /// Publishes stats() into `registry` as gauges under `<prefix>.*`
-  /// (set semantics: lifetime totals, idempotent across publishers).
-  void publish(obs::Registry& registry, const char* prefix = "pool") const;
+  /// Publishes stats() into `registry` as the catalogued `pool.*` gauges
+  /// (obs/metric_names.def; set semantics: lifetime totals, idempotent
+  /// across publishers).
+  void publish(obs::Registry& registry) const;
 
  private:
   using BlockFn = StagePlan::BlockFn;
@@ -289,6 +290,8 @@ class ThreadPool {
   /// safe to call from multiple client threads. Held for the job duration.
   common::Mutex submit_mutex_;
 
+  // audit:exempt(written only in the constructor, joined in the
+  // destructor; between those points workers_ is immutable)
   std::vector<std::thread> workers_;
 
   // Job state. Written only under submit_mutex_ while the pool is
@@ -320,18 +323,22 @@ class ThreadPool {
     std::atomic<std::uint64_t> chunks{0};
     std::atomic<std::uint64_t> busy_ns{0};
   };
+  // audit:exempt(array of single-writer relaxed atomic cells, sized
+  // once in the constructor)
   std::unique_ptr<WorkerStat[]> worker_stats_;  ///< size workers_ + 1
   /// Threads that failed to start (written once in the constructor, read
-  /// only after — no synchronization needed).
+  /// only after — no synchronization needed). audit:exempt(write-once)
   unsigned spawn_failures_ = 0;
   std::atomic<std::uint64_t> jobs_{0};
   std::atomic<std::uint64_t> inline_jobs_{0};
   std::atomic<std::uint64_t> stages_submitted_{0};
+  // audit:exempt(set once in the constructor, read-only after)
   std::chrono::steady_clock::time_point created_;
 
   // Parking (only touched on the idle path). park_mutex_ guards no data —
   // it only pairs the condition variable with the control_/stop_ checks —
-  // so it stays a plain std::mutex outside the analysis.
+  // so it stays a plain std::mutex outside the analysis and outside the
+  // rank table. audit:exempt(condition_variable pairing; guards no data)
   std::mutex park_mutex_;
   std::condition_variable park_cv_;
   std::atomic<unsigned> num_parked_{0};

@@ -6,10 +6,12 @@
 #include <thread>
 #include <utility>
 
+#include "common/lock_ranks.hpp"
 #include "common/log.hpp"
 #include "common/thread_annotations.hpp"
 #include "common/timer.hpp"
 #include "fault/fault.hpp"
+#include "obs/metric_names.hpp"
 #include "opt/resyn.hpp"
 #include "sweep/parallel_sweeper.hpp"
 
@@ -28,7 +30,7 @@ class VerdictBox {
   void deliver(Verdict v, std::optional<std::vector<bool>> cex,
                const char* who, double seconds) SIMSWEEP_EXCLUDES(m_) {
     if (v == Verdict::kUndecided) return;
-    common::MutexLock lock(m_);
+    common::RankedMutexLock lock(m_, common::lock_ranks::executor);
     if (result_.verdict != Verdict::kUndecided) return;  // someone else won
     result_.verdict = v;
     result_.cex = std::move(cex);
@@ -43,7 +45,7 @@ class VerdictBox {
   /// Moves the result out. Must only be called after every engine thread
   /// joined (no concurrent deliver can be in flight).
   PortfolioResult take() SIMSWEEP_EXCLUDES(m_) {
-    common::MutexLock lock(m_);
+    common::RankedMutexLock lock(m_, common::lock_ranks::executor);
     return std::move(result_);
   }
 
@@ -57,33 +59,34 @@ class VerdictBox {
 /// semantics: one sweep per combined run at most).
 void publish_sweeper_stats(obs::Registry& r, bool used,
                            const sweep::SweeperStats& s, double seconds) {
-  r.set("sat_sweeper.used", used ? 1.0 : 0.0);
+  r.set(obs::metric::kSweeperUsed, used ? 1.0 : 0.0);
   if (!used) return;
-  r.set("sat_sweeper.sat_calls", static_cast<double>(s.sat_calls));
-  r.set("sat_sweeper.pairs_proved", static_cast<double>(s.pairs_proved));
-  r.set("sat_sweeper.pairs_disproved",
+  r.set(obs::metric::kSweeperSatCalls, static_cast<double>(s.sat_calls));
+  r.set(obs::metric::kSweeperPairsProved, static_cast<double>(s.pairs_proved));
+  r.set(obs::metric::kSweeperPairsDisproved,
         static_cast<double>(s.pairs_disproved));
-  r.set("sat_sweeper.pairs_undecided",
+  r.set(obs::metric::kSweeperPairsUndecided,
         static_cast<double>(s.pairs_undecided));
-  r.set("sat_sweeper.conflicts", static_cast<double>(s.conflicts));
-  r.set("sat_sweeper.solve_faults", static_cast<double>(s.solve_faults));
-  r.set("sat_sweeper.seconds", seconds);
+  r.set(obs::metric::kSweeperConflicts, static_cast<double>(s.conflicts));
+  r.set(obs::metric::kSweeperSolveFaults, static_cast<double>(s.solve_faults));
+  r.set(obs::metric::kSweeperSeconds, seconds);
   // Parallel-sweep shard telemetry (DESIGN.md §2.5). Published only when
   // the sweep ran sharded (or degraded from a sharded attempt), so purely
   // sequential v2 reports keep their exact historical shape.
   if (s.shards == 0 && s.parallel_fallbacks == 0) return;
-  r.set("sat_sweeper.shards", static_cast<double>(s.shards));
-  r.set("sat_sweeper.chunks", static_cast<double>(s.chunks));
-  r.set("sat_sweeper.steals", static_cast<double>(s.steals));
-  r.set("sat_sweeper.board_merges", static_cast<double>(s.board_merges));
-  r.set("sat_sweeper.cex_shared", static_cast<double>(s.cex_shared));
-  r.set("sat_sweeper.pairs_sim_resolved",
+  r.set(obs::metric::kSweeperShards, static_cast<double>(s.shards));
+  r.set(obs::metric::kSweeperChunks, static_cast<double>(s.chunks));
+  r.set(obs::metric::kSweeperSteals, static_cast<double>(s.steals));
+  r.set(obs::metric::kSweeperBoardMerges, static_cast<double>(s.board_merges));
+  r.set(obs::metric::kSweeperCexShared, static_cast<double>(s.cex_shared));
+  r.set(obs::metric::kSweeperPairsSimResolved,
         static_cast<double>(s.pairs_sim_resolved));
-  r.set("sat_sweeper.pairs_pruned", static_cast<double>(s.pairs_pruned));
-  r.set("sat_sweeper.parallel_fallbacks",
+  r.set(obs::metric::kSweeperPairsPruned, static_cast<double>(s.pairs_pruned));
+  r.set(obs::metric::kSweeperParallelFallbacks,
         static_cast<double>(s.parallel_fallbacks));
   for (std::size_t i = 0; i < s.shard.size(); ++i) {
-    const std::string p = "sat_sweeper.shard.s" + std::to_string(i);
+    const std::string p =
+        obs::metric::kSweeperShardPrefix + std::to_string(i);
     r.set(p + ".chunks", static_cast<double>(s.shard[i].chunks));
     r.set(p + ".steals", static_cast<double>(s.shard[i].steals));
     r.set(p + ".busy_seconds", s.shard[i].busy_seconds);
@@ -171,7 +174,7 @@ CombinedResult combined_check_miter(const aig::Aig& miter,
     Timer sat_timer;
     sweep::SweepResult sr = sweep::sweep_miter(er.reduced, sweeper_params);
     result.sat_seconds = sat_timer.seconds();
-    registry.add("faults.injected",
+    registry.add(obs::metric::kFaultsInjected,
                  fault::fires_total() - sweep_fires_before);
     result.sweeper_stats = sr.stats;
     result.verdict = sr.verdict;
@@ -193,6 +196,8 @@ PortfolioResult portfolio_check_miter(const aig::Aig& miter,
   VerdictBox box;
   const std::atomic<bool>* cancel = box.cancel_flag();
 
+  // audit:exempt(portfolio engine race: each engine owns a dedicated
+  // thread for its whole run; pool chunking cannot express that)
   std::vector<std::thread> threads;
   if (params.run_combined) {
     threads.emplace_back([&] {

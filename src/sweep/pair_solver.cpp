@@ -5,7 +5,7 @@
 namespace simsweep::sweep {
 
 bool PairSolver::solve_faulted() {
-  if (!SIMSWEEP_FAULT_POINT("sat.solve")) return false;
+  if (!SIMSWEEP_FAULT_POINT(fault::sites::kSatSolve)) return false;
   ++solve_faults_;
   return true;
 }

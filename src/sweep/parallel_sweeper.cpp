@@ -19,7 +19,7 @@
 namespace simsweep::sweep {
 
 sim::PatternBank SharedCexBank::pack() const {
-  common::MutexLock lock(mu_);
+  common::RankedMutexLock lock(mu_, common::lock_ranks::cex_bank);
   sim::CexCollector collector(num_pis_);
   std::vector<std::pair<unsigned, bool>> assignment;
   for (const std::vector<bool>& row : rows_) {
@@ -78,12 +78,12 @@ SweepResult ParallelSatSweeper::check_miter(const aig::Aig& miter) const {
   const unsigned num_threads = std::max(1u, params_.num_threads);
   const std::size_t chunk_size = std::max<std::size_t>(1, params_.pairs_per_chunk);
 
-  // Injection site "sweep.shard_alloc" (DESIGN.md §2.4): the shard-state
+  // Injection site `sweep.shard_alloc` (DESIGN.md §2.4): the shard-state
   // allocation (board, shared bank, private pool, per-chunk tables) is
   // the parallel path's first commitment of memory; under pressure it
   // fails here, before any thread is spawned, and the sweep_miter()
   // dispatcher degrades to the sequential sweeper.
-  if (SIMSWEEP_FAULT_POINT("sweep.shard_alloc")) throw std::bad_alloc{};
+  if (SIMSWEEP_FAULT_POINT(fault::sites::kSweepShardAlloc)) throw std::bad_alloc{};
 
   EquivBoard board(miter.num_nodes());
   SharedCexBank shared_cex(miter.num_pis());
@@ -282,12 +282,12 @@ SweepResult ParallelSatSweeper::check_miter(const aig::Aig& miter) const {
       if (outcomes[p].via_sim) ++stats.pairs_sim_resolved;
       switch (outcomes[p].kind) {
         case PairOutcome::Kind::kEqual: {
-          // Injection site "sweep.board_merge" (DESIGN.md §2.4):
+          // Injection site `sweep.board_merge` (DESIGN.md §2.4):
           // applying a shard-proved merge to the master state is the
           // barrier's structural step; a failure here abandons the
           // parallel attempt (dispatcher falls back to sequential).
-          if (SIMSWEEP_FAULT_POINT("sweep.board_merge"))
-            throw fault::FaultError("sweep.board_merge");
+          if (SIMSWEEP_FAULT_POINT(fault::sites::kSweepBoardMerge))
+            throw fault::FaultError(fault::sites::kSweepBoardMerge);
           subst.merge(pair.node, aig::make_lit(pair.repr, pair.phase));
           ec.mark_proved(pair.node);
           ++proved;

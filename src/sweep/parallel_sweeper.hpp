@@ -47,6 +47,7 @@
 
 #include "aig/aig.hpp"
 #include "aig/miter.hpp"
+#include "common/lock_ranks.hpp"
 #include "common/thread_annotations.hpp"
 #include "sim/partial_sim.hpp"
 #include "sweep/sat_sweeper.hpp"
@@ -69,7 +70,7 @@ class EquivBoard {
   /// nothing) if the node is already bound — duplicate proofs of the same
   /// node are counted once.
   bool publish(aig::Var node, aig::Lit lit) SIMSWEEP_EXCLUDES(mu_) {
-    common::MutexLock lock(mu_);
+    common::RankedMutexLock lock(mu_, common::lock_ranks::board);
     if (bound_[node]) return false;
     bound_[node] = true;
     journal_.emplace_back(node, lit);
@@ -79,7 +80,7 @@ class EquivBoard {
   /// Number of merges published so far (a journal cursor for
   /// merges_since; monotone within a sweep).
   std::size_t size() const SIMSWEEP_EXCLUDES(mu_) {
-    common::MutexLock lock(mu_);
+    common::RankedMutexLock lock(mu_, common::lock_ranks::board);
     return journal_.size();
   }
 
@@ -87,7 +88,7 @@ class EquivBoard {
   /// private map and advances its cursor.
   std::vector<std::pair<aig::Var, aig::Lit>> merges_since(
       std::size_t from) const SIMSWEEP_EXCLUDES(mu_) {
-    common::MutexLock lock(mu_);
+    common::RankedMutexLock lock(mu_, common::lock_ranks::board);
     if (from >= journal_.size()) return {};
     return {journal_.begin() + static_cast<std::ptrdiff_t>(from),
             journal_.end()};
@@ -107,19 +108,19 @@ class SharedCexBank {
   explicit SharedCexBank(unsigned num_pis) : num_pis_(num_pis) {}
 
   void publish(const std::vector<bool>& pis) SIMSWEEP_EXCLUDES(mu_) {
-    common::MutexLock lock(mu_);
+    common::RankedMutexLock lock(mu_, common::lock_ranks::cex_bank);
     rows_.push_back(pis);
   }
 
   std::size_t size() const SIMSWEEP_EXCLUDES(mu_) {
-    common::MutexLock lock(mu_);
+    common::RankedMutexLock lock(mu_, common::lock_ranks::cex_bank);
     return rows_.size();
   }
 
   /// Rows [from, size()) — a consumer's journal suffix.
   std::vector<std::vector<bool>> rows_since(std::size_t from) const
       SIMSWEEP_EXCLUDES(mu_) {
-    common::MutexLock lock(mu_);
+    common::RankedMutexLock lock(mu_, common::lock_ranks::cex_bank);
     if (from >= rows_.size()) return {};
     return {rows_.begin() + static_cast<std::ptrdiff_t>(from), rows_.end()};
   }
@@ -131,7 +132,7 @@ class SharedCexBank {
   unsigned num_pis() const { return num_pis_; }
 
  private:
-  unsigned num_pis_;
+  const unsigned num_pis_;
   mutable common::Mutex mu_;
   std::vector<std::vector<bool>> rows_ SIMSWEEP_GUARDED_BY(mu_);
 };

@@ -59,10 +59,10 @@ std::vector<Window> merge_windows(const aig::Aig& aig,
       for (std::size_t k = i; k < j; ++k)
         items.insert(items.end(), windows[k].items.begin(),
                      windows[k].items.end());
-      // Injection site "window_merge.build" (DESIGN.md §2.4): forces the
+      // Injection site `window_merge.build` (DESIGN.md §2.4): forces the
       // build-failure fallback below — the exact path a real failed
       // merged build takes, since only copies went into the build.
-      auto merged = SIMSWEEP_FAULT_POINT("window_merge.build")
+      auto merged = SIMSWEEP_FAULT_POINT(fault::sites::kWindowMergeBuild)
                         ? std::nullopt
                         : build_window(aig, std::move(merged_inputs),
                                        std::move(items));

@@ -1,0 +1,13 @@
+#include <mutex>
+
+#include "fault/fault.hpp"
+#include "obs/metric_names.hpp"
+
+std::mutex g_bad_mutex;
+// audit:exempt(condition_variable pairing; guards no data)
+std::mutex g_cv_mutex;
+
+void instrumented(Registry& r) {
+  if (SIMSWEEP_FAULT_POINT(fault::sites::kDemoAlloc)) recover();
+  r.add(obs::metric::kDemoCounter);
+}

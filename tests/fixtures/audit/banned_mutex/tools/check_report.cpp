@@ -1,0 +1,1 @@
+constexpr const char* kSchemaFamilies[] = {"demo"};

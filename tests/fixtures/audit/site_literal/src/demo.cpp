@@ -1,0 +1,8 @@
+#include "fault/fault.hpp"
+#include "obs/metric_names.hpp"
+
+void instrumented(Registry& r) {
+  if (SIMSWEEP_FAULT_POINT(fault::sites::kDemoAlloc)) recover();
+  if (SIMSWEEP_FAULT_POINT("demo.alloc")) recover();
+  r.add(obs::metric::kDemoCounter);
+}

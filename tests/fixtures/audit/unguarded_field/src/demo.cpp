@@ -1,0 +1,20 @@
+#include "common/thread_annotations.hpp"
+#include "fault/fault.hpp"
+#include "obs/metric_names.hpp"
+
+class Tally {
+ public:
+  void bump();
+
+ private:
+  common::Mutex mu_;
+  long guarded_total_ SIMSWEEP_GUARDED_BY(mu_);
+  // audit:exempt(written once before the threads start)
+  long config_value_;
+  long naked_total_;
+};
+
+void instrumented(Registry& r) {
+  if (SIMSWEEP_FAULT_POINT(fault::sites::kDemoAlloc)) recover();
+  r.add(obs::metric::kDemoCounter);
+}

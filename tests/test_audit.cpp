@@ -1,0 +1,159 @@
+/// \file test_audit.cpp
+/// \brief The cross-artifact consistency linter itself (DESIGN.md §2.6).
+///
+/// Each fixture tree under tests/fixtures/audit/ is a minimal repo root
+/// (site catalog, metric catalog, schema-family table, one source file)
+/// that is clean except for EXACTLY one planted violation. The suite
+/// asserts the audit's exact diagnostic — file, line, rule id, message
+/// prefix — and its nonzero exit for every rule category, that planted
+/// `audit:exempt(reason)` comments are honored, and that the real tree
+/// audits clean with exit 0 (the acceptance gate that
+/// `ctest -R simsweep_audit` enforces on every host).
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#ifndef SIMSWEEP_AUDIT_BIN
+#error "tests/CMakeLists.txt must define SIMSWEEP_AUDIT_BIN"
+#endif
+#ifndef SIMSWEEP_SOURCE_DIR
+#error "tests/CMakeLists.txt must define SIMSWEEP_SOURCE_DIR"
+#endif
+
+namespace {
+
+struct AuditRun {
+  int exit_code = -1;
+  std::string output;
+};
+
+/// Runs the audit binary over `root` (relative roots resolve against the
+/// repo's fixture directory) and captures stdout.
+AuditRun run_audit(const std::string& root) {
+  const std::string resolved =
+      root.empty() || root[0] == '/'
+          ? root
+          : std::string(SIMSWEEP_SOURCE_DIR) + "/tests/fixtures/audit/" +
+                root;
+  const std::string cmd =
+      std::string(SIMSWEEP_AUDIT_BIN) + " " + resolved + " 2>&1";
+  AuditRun r;
+  std::FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return r;
+  std::array<char, 1024> buf;
+  std::size_t n;
+  while ((n = std::fread(buf.data(), 1, buf.size(), pipe)) > 0)
+    r.output.append(buf.data(), n);
+  const int status = pclose(pipe);
+  r.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return r;
+}
+
+int count_lines_with(const std::string& text, const std::string& needle) {
+  int count = 0;
+  std::size_t pos = 0;
+  while ((pos = text.find(needle, pos)) != std::string::npos) {
+    ++count;
+    pos += needle.size();
+  }
+  return count;
+}
+
+/// Asserts the fixture reports exactly one violation, with the exact
+/// `path:line: audit[rule]: ` diagnostic head and a message fragment.
+void expect_single_violation(const std::string& fixture,
+                             const std::string& diagnostic_head,
+                             const std::string& message_fragment) {
+  const AuditRun r = run_audit(fixture);
+  EXPECT_EQ(r.exit_code, 1) << fixture << " output:\n" << r.output;
+  EXPECT_NE(r.output.find(diagnostic_head), std::string::npos)
+      << fixture << " output:\n" << r.output;
+  EXPECT_NE(r.output.find(message_fragment), std::string::npos)
+      << fixture << " output:\n" << r.output;
+  EXPECT_EQ(count_lines_with(r.output, ": audit["), 1)
+      << fixture << " must plant exactly one violation; output:\n"
+      << r.output;
+  EXPECT_NE(r.output.find("simsweep_audit: 1 violation"), std::string::npos)
+      << fixture << " output:\n" << r.output;
+}
+
+TEST(Audit, UnknownFaultSite) {
+  expect_single_violation(
+      "unknown_fault_site",
+      "src/demo.cpp:6: audit[fault-site-unknown]: ",
+      "site \"demo.bogus\" is not in src/fault/fault_sites.def");
+}
+
+TEST(Audit, DeadFaultSiteCatalogRow) {
+  expect_single_violation(
+      "dead_fault_site",
+      "src/fault/fault_sites.def:2: audit[fault-site-dead]: ",
+      "catalog row kNeverInjected (\"demo.never\") is referenced by no "
+      "fault point");
+}
+
+TEST(Audit, UnregisteredMetric) {
+  expect_single_violation(
+      "unregistered_metric",
+      "src/demo.cpp:7: audit[metric-unregistered]: ",
+      "\"demo.unregistered\" is neither a registered leaf nor derived "
+      "from a registered family prefix");
+}
+
+TEST(Audit, BannedStdMutex) {
+  const std::string fixture = "banned_mutex";
+  expect_single_violation(
+      fixture, "src/demo.cpp:6: audit[banned-construct]: ",
+      "std::mutex outside its wrapper: use common::Mutex");
+  // The second std::mutex in the fixture is audit:exempt'ed — it must
+  // not appear in the output (expect_single_violation already pinned the
+  // count to one; this pins it to the right one).
+  const AuditRun r = run_audit(fixture);
+  EXPECT_EQ(r.output.find("src/demo.cpp:8:"), std::string::npos)
+      << r.output;
+}
+
+TEST(Audit, UnguardedField) {
+  const std::string fixture = "unguarded_field";
+  expect_single_violation(
+      fixture, "src/demo.cpp:14: audit[unguarded-field]: ",
+      "field `long naked_total_` of a mutex-owning class has no "
+      "SIMSWEEP_GUARDED_BY");
+  // The guarded and the exempted siblings must both pass.
+  const AuditRun r = run_audit(fixture);
+  EXPECT_EQ(r.output.find("guarded_total_"), std::string::npos) << r.output;
+  EXPECT_EQ(r.output.find("config_value_"), std::string::npos) << r.output;
+}
+
+TEST(Audit, CataloguedSiteSpelledAsLiteral) {
+  expect_single_violation(
+      "site_literal", "src/demo.cpp:6: audit[fault-site-literal]: ",
+      "site \"demo.alloc\" spelled as a raw string; use fault::sites "
+      "constants");
+}
+
+TEST(Audit, RegisteredMetricSpelledAsLiteral) {
+  expect_single_violation(
+      "metric_literal", "src/demo.cpp:7: audit[metric-literal]: ",
+      "registered metric \"demo.counter\" respelled as a raw string; use "
+      "obs::metric constants");
+}
+
+TEST(Audit, MissingRootIsAConfigurationError) {
+  const AuditRun r = run_audit("no_such_fixture_tree");
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  EXPECT_NE(r.output.find("missing"), std::string::npos) << r.output;
+}
+
+TEST(Audit, RealTreeIsClean) {
+  const AuditRun r = run_audit(SIMSWEEP_SOURCE_DIR);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("simsweep_audit: clean"), std::string::npos)
+      << r.output;
+}
+
+}  // namespace

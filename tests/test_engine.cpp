@@ -13,6 +13,7 @@
 #include "opt/balance.hpp"
 #include "opt/resyn.hpp"
 #include "test_util.hpp"
+#include "obs/metric_names.hpp"
 
 namespace simsweep::engine {
 namespace {
@@ -227,33 +228,33 @@ TEST(Engine, ReportCountsPhaseWork) {
   const obs::Snapshot& s = r.report;
   EXPECT_FALSE(s.empty());
   // Exhaustive simulator: batches ran and simulated words.
-  EXPECT_GT(s.count("exhaustive.batches"), 0u);
-  EXPECT_GT(s.count("exhaustive.words_simulated"), 0u);
-  EXPECT_GT(s.count("exhaustive.windows"), 0u);
+  EXPECT_GT(s.count(obs::metric::kExhaustiveBatches), 0u);
+  EXPECT_GT(s.count(obs::metric::kExhaustiveWordsSimulated), 0u);
+  EXPECT_GT(s.count(obs::metric::kExhaustiveWindows), 0u);
   // EC manager: classes were built from signatures.
-  EXPECT_GT(s.count("ec.builds"), 0u);
-  EXPECT_GT(s.count("ec.classes_built"), 0u);
+  EXPECT_GT(s.count(obs::metric::kEcBuilds), 0u);
+  EXPECT_GT(s.count(obs::metric::kEcClassesBuilt), 0u);
   // Partial simulator: pattern banks were simulated.
-  EXPECT_GT(s.count("partial_sim.simulate_calls"), 0u);
-  EXPECT_GT(s.count("partial_sim.pattern_words"), 0u);
+  EXPECT_GT(s.count(obs::metric::kPartialSimSimulateCalls), 0u);
+  EXPECT_GT(s.count(obs::metric::kPartialSimPatternWords), 0u);
   // Miter manager: proved pairs were merged by rebuilds.
-  EXPECT_GT(s.count("miter.rebuilds"), 0u);
-  EXPECT_EQ(s.count("miter.ands_removed"),
-            s.count("miter.ands_before") - s.count("miter.ands_after"));
+  EXPECT_GT(s.count(obs::metric::kMiterRebuilds), 0u);
+  EXPECT_EQ(s.count(obs::metric::kMiterAndsRemoved),
+            s.count(obs::metric::kMiterAndsBefore) - s.count(obs::metric::kMiterAndsAfter));
   // Cut generator: at least one Table I pass ran with enumerated cuts.
   EXPECT_GT(s.count("cut.pass1.runs") + s.count("cut.pass2.runs") +
                 s.count("cut.pass3.runs"),
             0u);
   // Engine gauges mirror EngineStats.
-  EXPECT_DOUBLE_EQ(s.value("engine.total_seconds"), r.stats.total_seconds);
-  EXPECT_DOUBLE_EQ(s.value("engine.pairs_proved_global"),
+  EXPECT_DOUBLE_EQ(s.value(obs::metric::kEngineTotalSeconds), r.stats.total_seconds);
+  EXPECT_DOUBLE_EQ(s.value(obs::metric::kEnginePairsProvedGlobal),
                    static_cast<double>(r.stats.pairs_proved_global));
-  EXPECT_DOUBLE_EQ(s.value("engine.pairs_proved_local"),
+  EXPECT_DOUBLE_EQ(s.value(obs::metric::kEnginePairsProvedLocal),
                    static_cast<double>(r.stats.pairs_proved_local));
   // Thread pool gauges are always published (workers may be 0 on a
   // single-CPU host, so assert presence, not magnitude).
-  EXPECT_NE(s.find("pool.workers"), nullptr);
-  EXPECT_NE(s.find("pool.jobs"), nullptr);
+  EXPECT_NE(s.find(obs::metric::kPoolWorkers), nullptr);
+  EXPECT_NE(s.find(obs::metric::kPoolJobs), nullptr);
 }
 
 TEST(Engine, AccumulateAttemptStatsMergesEveryField) {

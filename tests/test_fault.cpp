@@ -33,6 +33,7 @@
 #include "sweep/parallel_sweeper.hpp"
 #include "sweep/sat_sweeper.hpp"
 #include "test_util.hpp"
+#include "obs/metric_names.hpp"
 
 namespace simsweep {
 namespace {
@@ -226,15 +227,15 @@ TEST(FaultRecovery, ExhaustiveAllocOomIsRecoveredByHalvingM) {
   const aig::Aig a = gen::array_multiplier(4);
   const aig::Aig b = gen::wallace_multiplier(4);
   fault::FaultPlan plan;
-  plan.on_hit("exhaustive.simt_alloc", 1, /*fires=*/3);
+  plan.on_hit(fault::sites::kExhaustiveSimtAlloc, 1, /*fires=*/3);
   fault::ScopedFaultPlan scoped(plan);
   const engine::EngineResult r =
       engine::SimCecEngine(small_engine()).check(a, b);
   EXPECT_EQ(r.verdict, Verdict::kEquivalent);
-  EXPECT_EQ(scoped.fires("exhaustive.simt_alloc"), 3u);
-  EXPECT_GT(r.report.count("faults.injected"), 0u);
-  EXPECT_GT(r.report.count("degrade.ladder_steps"), 0u);
-  EXPECT_GT(r.report.count("degrade.memory_halvings"), 0u);
+  EXPECT_EQ(scoped.fires(fault::sites::kExhaustiveSimtAlloc), 3u);
+  EXPECT_GT(r.report.count(obs::metric::kFaultsInjected), 0u);
+  EXPECT_GT(r.report.count(obs::metric::kDegradeLadderSteps), 0u);
+  EXPECT_GT(r.report.count(obs::metric::kDegradeMemoryHalvings), 0u);
   EXPECT_GT(r.report.count("faults.site.exhaustive.simt_alloc"), 0u);
 }
 
@@ -244,29 +245,29 @@ TEST(FaultRecovery, WindowMergeBuildFaultFallsBackToUnmergedWindows) {
   const aig::Aig a = gen::array_multiplier(4);
   const aig::Aig b = gen::wallace_multiplier(4);
   fault::FaultPlan plan;
-  plan.on_hit("window_merge.build", 1, /*fires=*/2);
+  plan.on_hit(fault::sites::kWindowMergeBuild, 1, /*fires=*/2);
   fault::ScopedFaultPlan scoped(plan);
   const engine::EngineResult r =
       engine::SimCecEngine(small_engine()).check(a, b);
   EXPECT_EQ(r.verdict, Verdict::kEquivalent);
-  EXPECT_GT(scoped.fires("window_merge.build"), 0u);
-  EXPECT_GT(r.report.count("faults.injected"), 0u);
-  EXPECT_GT(r.report.count("degrade.ladder_steps"), 0u);
-  EXPECT_GT(r.report.count("degrade.merge_fallbacks"), 0u);
+  EXPECT_GT(scoped.fires(fault::sites::kWindowMergeBuild), 0u);
+  EXPECT_GT(r.report.count(obs::metric::kFaultsInjected), 0u);
+  EXPECT_GT(r.report.count(obs::metric::kDegradeLadderSteps), 0u);
+  EXPECT_GT(r.report.count(obs::metric::kDegradeMergeFallbacks), 0u);
 }
 
 TEST(FaultRecovery, CutPassFaultIsRetriedWithBackoff) {
   const aig::Aig a = gen::array_multiplier(4);
   const aig::Aig b = gen::wallace_multiplier(4);
   fault::FaultPlan plan;
-  plan.on_hit("cut.enum_overflow", 1, /*fires=*/2);
+  plan.on_hit(fault::sites::kCutEnumOverflow, 1, /*fires=*/2);
   fault::ScopedFaultPlan scoped(plan);
   const engine::EngineResult r =
       engine::SimCecEngine(small_engine()).check(a, b);
   EXPECT_EQ(r.verdict, Verdict::kEquivalent);
-  EXPECT_GT(scoped.fires("cut.enum_overflow"), 0u);
-  EXPECT_GT(r.report.count("degrade.pass_retries"), 0u);
-  EXPECT_GT(r.report.count("faults.injected"), 0u);
+  EXPECT_GT(scoped.fires(fault::sites::kCutEnumOverflow), 0u);
+  EXPECT_GT(r.report.count(obs::metric::kDegradePassRetries), 0u);
+  EXPECT_GT(r.report.count(obs::metric::kFaultsInjected), 0u);
 }
 
 TEST(FaultRecovery, ExhaustedRetriesAbandonToUndecidedNeverUnsound) {
@@ -277,13 +278,13 @@ TEST(FaultRecovery, ExhaustedRetriesAbandonToUndecidedNeverUnsound) {
   const aig::Aig a = gen::array_multiplier(4);
   const aig::Aig b = gen::wallace_multiplier(4);
   fault::FaultPlan plan;
-  plan.on_hit("exhaustive.simt_alloc", 1, /*fires=*/0);  // unlimited
+  plan.on_hit(fault::sites::kExhaustiveSimtAlloc, 1, /*fires=*/0);  // unlimited
   fault::ScopedFaultPlan scoped(plan);
   const engine::EngineResult r =
       engine::SimCecEngine(small_engine()).check(a, b);
   EXPECT_NE(r.verdict, Verdict::kNotEquivalent);  // soundness
-  EXPECT_GT(scoped.fires("exhaustive.simt_alloc"), 0u);
-  EXPECT_GT(r.report.count("degrade.units_abandoned"), 0u);
+  EXPECT_GT(scoped.fires(fault::sites::kExhaustiveSimtAlloc), 0u);
+  EXPECT_GT(r.report.count(obs::metric::kDegradeUnitsAbandoned), 0u);
   // The abandoned residue remains in the miter for a downstream checker.
   if (r.verdict == Verdict::kUndecided) EXPECT_GT(r.reduced.num_ands(), 0u);
 }
@@ -299,10 +300,10 @@ TEST(Governor, MemoryBudgetDenialsDegradeInsteadOfAborting) {
   p.min_memory_words = 1 << 9;
   const engine::EngineResult r = engine::SimCecEngine(p).check(a, b);
   EXPECT_NE(r.verdict, Verdict::kNotEquivalent);
-  EXPECT_GT(r.report.count("degrade.ladder_steps"), 0u);
-  EXPECT_GT(r.report.value("degrade.memory_denials"), 0.0);
-  EXPECT_GT(r.report.value("degrade.memory_peak_bytes"), 0.0);
-  EXPECT_LE(r.report.value("degrade.memory_peak_bytes"),
+  EXPECT_GT(r.report.count(obs::metric::kDegradeLadderSteps), 0u);
+  EXPECT_GT(r.report.value(obs::metric::kDegradeMemoryDenials), 0.0);
+  EXPECT_GT(r.report.value(obs::metric::kDegradeMemoryPeakBytes), 0.0);
+  EXPECT_LE(r.report.value(obs::metric::kDegradeMemoryPeakBytes),
             static_cast<double>(p.memory_budget_bytes));
 }
 
@@ -328,7 +329,7 @@ TEST(Governor, PhaseDeadlineExpiryRoutesToUndecided) {
   p.phase_time_limit = 1e-9;
   const engine::EngineResult r = engine::SimCecEngine(p).check(a, b);
   EXPECT_NE(r.verdict, Verdict::kNotEquivalent);
-  EXPECT_GT(r.report.count("degrade.deadline_expiries"), 0u);
+  EXPECT_GT(r.report.count(obs::metric::kDegradeDeadlineExpiries), 0u);
 }
 
 // ---------------------------------------------------------------------------
@@ -343,12 +344,12 @@ TEST(FaultRecovery, SatSolveFaultsActLikeConflictLimitExhaustion) {
   // the sweep continues; the verdict is still reached by later solves.
   {
     fault::FaultPlan plan;
-    plan.on_hit("sat.solve", 1, /*fires=*/3);
+    plan.on_hit(fault::sites::kSatSolve, 1, /*fires=*/3);
     fault::ScopedFaultPlan scoped(plan);
     const sweep::SweepResult r = sweep::SatSweeper().check_miter(miter);
     EXPECT_NE(r.verdict, Verdict::kNotEquivalent);
-    if (scoped.hits("sat.solve") > 0) {
-      EXPECT_EQ(r.stats.solve_faults, scoped.fires("sat.solve"));
+    if (scoped.hits(fault::sites::kSatSolve) > 0) {
+      EXPECT_EQ(r.stats.solve_faults, scoped.fires(fault::sites::kSatSolve));
       EXPECT_GT(r.stats.solve_faults, 0u);
     }
   }
@@ -356,10 +357,10 @@ TEST(FaultRecovery, SatSolveFaultsActLikeConflictLimitExhaustion) {
   // native sound failure mode — not crash or claim a verdict.
   {
     fault::FaultPlan plan;
-    plan.on_hit("sat.solve", 1, /*fires=*/0);  // unlimited
+    plan.on_hit(fault::sites::kSatSolve, 1, /*fires=*/0);  // unlimited
     fault::ScopedFaultPlan scoped(plan);
     const sweep::SweepResult r = sweep::SatSweeper().check_miter(miter);
-    if (scoped.fires("sat.solve") > 0)
+    if (scoped.fires(fault::sites::kSatSolve) > 0)
       EXPECT_EQ(r.verdict, Verdict::kUndecided);
   }
 }
@@ -368,10 +369,10 @@ TEST(FaultRecovery, PoolSpawnFailuresDegradeToFewerWorkers) {
   // All spawns fail: the pool runs every launch inline on the caller.
   {
     fault::FaultPlan plan;
-    plan.on_hit("pool.spawn", 1, /*fires=*/0);
+    plan.on_hit(fault::sites::kPoolSpawn, 1, /*fires=*/0);
     fault::ScopedFaultPlan scoped(plan);
     parallel::ThreadPool pool(4);
-    EXPECT_EQ(scoped.fires("pool.spawn"), 4u);
+    EXPECT_EQ(scoped.fires(fault::sites::kPoolSpawn), 4u);
     EXPECT_EQ(pool.stats().spawn_failures, 4u);
     EXPECT_EQ(pool.concurrency(), 1u);
     std::atomic<std::uint64_t> sum{0};
@@ -384,7 +385,7 @@ TEST(FaultRecovery, PoolSpawnFailuresDegradeToFewerWorkers) {
   // still distributes work correctly.
   {
     fault::FaultPlan plan;
-    plan.on_hit("pool.spawn", 1, /*fires=*/2);
+    plan.on_hit(fault::sites::kPoolSpawn, 1, /*fires=*/2);
     fault::ScopedFaultPlan scoped(plan);
     parallel::ThreadPool pool(4);
     EXPECT_EQ(pool.stats().spawn_failures, 2u);
@@ -398,37 +399,37 @@ TEST(FaultRecovery, PoolSpawnFailuresDegradeToFewerWorkers) {
 }
 
 TEST(FaultRecovery, ShardAllocFaultDegradesToSequentialSweep) {
-  // "sweep.shard_alloc" throws bad_alloc before the parallel sweep
+  // `sweep.shard_alloc` throws bad_alloc before the parallel sweep
   // commits any thread; the dispatcher must degrade to the sequential
   // sweeper, record the fallback, and still prove the miter.
   const aig::Aig a = testutil::random_aig(8, 120, 5, 501);
   const aig::Aig miter = aig::make_miter(a, opt::resyn_light(a));
   fault::FaultPlan plan;
-  plan.on_hit("sweep.shard_alloc", 1, /*fires=*/1);
+  plan.on_hit(fault::sites::kSweepShardAlloc, 1, /*fires=*/1);
   fault::ScopedFaultPlan scoped(plan);
   sweep::SweeperParams sp;
   sp.num_threads = 4;
   const sweep::SweepResult r = sweep::sweep_miter(miter, sp);
   EXPECT_EQ(r.verdict, Verdict::kEquivalent);
-  EXPECT_EQ(scoped.fires("sweep.shard_alloc"), 1u);
+  EXPECT_EQ(scoped.fires(fault::sites::kSweepShardAlloc), 1u);
   EXPECT_EQ(r.stats.parallel_fallbacks, 1u);
   EXPECT_EQ(r.stats.shards, 0u);  // the fallback ran sequentially
 }
 
 TEST(FaultRecovery, BoardMergeFaultDegradesToSequentialSweep) {
-  // "sweep.board_merge" fires at the round barrier, i.e. after shards
+  // `sweep.board_merge` fires at the round barrier, i.e. after shards
   // already ran: the dispatcher abandons the partial parallel attempt
   // and re-checks sequentially — sound, never partial.
   const aig::Aig a = testutil::random_aig(8, 120, 5, 501);
   const aig::Aig miter = aig::make_miter(a, opt::resyn_light(a));
   fault::FaultPlan plan;
-  plan.on_hit("sweep.board_merge", 1, /*fires=*/1);
+  plan.on_hit(fault::sites::kSweepBoardMerge, 1, /*fires=*/1);
   fault::ScopedFaultPlan scoped(plan);
   sweep::SweeperParams sp;
   sp.num_threads = 2;
   const sweep::SweepResult r = sweep::sweep_miter(miter, sp);
   EXPECT_EQ(r.verdict, Verdict::kEquivalent);
-  EXPECT_GT(scoped.fires("sweep.board_merge"), 0u);
+  EXPECT_GT(scoped.fires(fault::sites::kSweepBoardMerge), 0u);
   EXPECT_EQ(r.stats.parallel_fallbacks, 1u);
 }
 
@@ -439,7 +440,7 @@ TEST(FaultRecovery, CombinedFlowCountsSweepFaultsInjected) {
   const aig::Aig a = gen::array_multiplier(4);
   const aig::Aig b = gen::wallace_multiplier(4);
   fault::FaultPlan plan;
-  plan.on_hit("sweep.shard_alloc", 1, /*fires=*/1);
+  plan.on_hit(fault::sites::kSweepShardAlloc, 1, /*fires=*/1);
   fault::ScopedFaultPlan scoped(plan);
   portfolio::CombinedParams p;
   p.engine = small_engine();
@@ -448,9 +449,9 @@ TEST(FaultRecovery, CombinedFlowCountsSweepFaultsInjected) {
   p.sweeper.num_threads = 2;
   const portfolio::CombinedResult r = portfolio::combined_check(a, b, p);
   EXPECT_NE(r.verdict, Verdict::kNotEquivalent);
-  EXPECT_GT(scoped.fires("sweep.shard_alloc"), 0u);
-  EXPECT_GE(r.report.count("faults.injected"), 1u);
-  EXPECT_DOUBLE_EQ(r.report.value("sat_sweeper.parallel_fallbacks"), 1.0);
+  EXPECT_GT(scoped.fires(fault::sites::kSweepShardAlloc), 0u);
+  EXPECT_GE(r.report.count(obs::metric::kFaultsInjected), 1u);
+  EXPECT_DOUBLE_EQ(r.report.value(obs::metric::kSweeperParallelFallbacks), 1.0);
 }
 
 // ---------------------------------------------------------------------------
@@ -469,7 +470,7 @@ TEST(FaultSites, EveryCataloguedSiteSurvivesInjection) {
     plan.seed(0xD15EA5EULL).on_hit(site, 1, /*fires=*/2);
     fault::ScopedFaultPlan scoped(plan);
     const std::string_view name(site);
-    if (name == "pool.spawn") {
+    if (name == fault::sites::kPoolSpawn) {
       // The process-wide pool exists before any test runs; spawn faults
       // are exercised against a fresh pool instance.
       parallel::ThreadPool pool(4);
@@ -479,11 +480,11 @@ TEST(FaultSites, EveryCataloguedSiteSurvivesInjection) {
         count.fetch_add(1, std::memory_order_relaxed);
       });
       EXPECT_EQ(count.load(), 100);
-    } else if (name == "sat.solve") {
+    } else if (name == fault::sites::kSatSolve) {
       const sweep::SweepResult r =
           sweep::SatSweeper().check_miter(sat_miter);
       EXPECT_NE(r.verdict, Verdict::kNotEquivalent);
-    } else if (name == "sweep.shard_alloc" || name == "sweep.board_merge") {
+    } else if (name == fault::sites::kSweepShardAlloc || name == fault::sites::kSweepBoardMerge) {
       // Parallel-sweep host faults: the dispatcher must degrade to the
       // sequential sweeper and still produce a sound verdict.
       sweep::SweeperParams sp;
@@ -495,8 +496,8 @@ TEST(FaultSites, EveryCataloguedSiteSurvivesInjection) {
       const engine::EngineResult r =
           engine::SimCecEngine(small_engine()).check(a, b);
       EXPECT_EQ(r.verdict, Verdict::kEquivalent);
-      EXPECT_GT(r.report.count("faults.injected"), 0u);
-      EXPECT_GT(r.report.count("degrade.ladder_steps"), 0u);
+      EXPECT_GT(r.report.count(obs::metric::kFaultsInjected), 0u);
+      EXPECT_GT(r.report.count(obs::metric::kDegradeLadderSteps), 0u);
     }
     EXPECT_GT(scoped.hits(site), 0u);   // the site was really exercised
     EXPECT_GT(scoped.fires(site), 0u);  // and really failed
@@ -521,7 +522,7 @@ TEST(FaultSites, ProbabilisticMultiSiteSoakStaysSound) {
   p.sweeper.num_threads = 2;
   const portfolio::CombinedResult r = portfolio::combined_check(a, b, p);
   EXPECT_NE(r.verdict, Verdict::kNotEquivalent);
-  EXPECT_GT(scoped.hits("exhaustive.simt_alloc"), 0u);
+  EXPECT_GT(scoped.hits(fault::sites::kExhaustiveSimtAlloc), 0u);
 }
 
 }  // namespace

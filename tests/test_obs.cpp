@@ -3,6 +3,7 @@
 /// counter/gauge registry, the JSON run-report emitter/validator, and the
 /// end-to-end report shape of an engine run.
 
+#include "obs/metric_names.hpp"
 #include "obs/registry.hpp"
 #include "obs/report.hpp"
 
@@ -101,15 +102,15 @@ TEST(ObsRegistry, ConcurrentPublishersAgree) {
 /// A registry covering the report schema's required sections (v2: the
 /// faults/degrade sections must exist; zero values are the healthy state).
 Registry& fill_valid(Registry& r) {
-  r.add("exhaustive.batches", 3);
+  r.add(obs::metric::kExhaustiveBatches, 3);
   r.add("cut.pass1.checks", 12);
-  r.add("ec.builds", 2);
-  r.add("partial_sim.simulate_calls", 5);
-  r.add("miter.rebuilds", 1);
-  r.set("pool.workers", 4.0);
-  r.set("engine.total_seconds", 0.25);
-  r.add("faults.injected", 0);
-  r.add("degrade.ladder_steps", 0);
+  r.add(obs::metric::kEcBuilds, 2);
+  r.add(obs::metric::kPartialSimSimulateCalls, 5);
+  r.add(obs::metric::kMiterRebuilds, 1);
+  r.set(obs::metric::kPoolWorkers, 4.0);
+  r.set(obs::metric::kEngineTotalSeconds, 0.25);
+  r.add(obs::metric::kFaultsInjected, 0);
+  r.add(obs::metric::kDegradeLadderSteps, 0);
   return r;
 }
 
@@ -134,23 +135,23 @@ TEST(ObsReport, ValidatorRejectsBadReports) {
   // Missing module section.
   {
     Registry r2;
-    r2.add("exhaustive.batches", 3);
+    r2.add(obs::metric::kExhaustiveBatches, 3);
     r2.add("cut.pass1.checks", 12);
-    r2.add("ec.builds", 2);
-    r2.add("partial_sim.simulate_calls", 5);
-    r2.set("pool.workers", 4.0);
+    r2.add(obs::metric::kEcBuilds, 2);
+    r2.add(obs::metric::kPartialSimSimulateCalls, 5);
+    r2.set(obs::metric::kPoolWorkers, 4.0);
     EXPECT_FALSE(validate_report_json(to_json(r2.snapshot()), &error));
     EXPECT_NE(error.find("miter"), std::string::npos);
   }
   // Section present but all-zero: the nonzero contract fails.
   {
     Registry r3;
-    r3.add("exhaustive.batches", 3);
+    r3.add(obs::metric::kExhaustiveBatches, 3);
     r3.add("cut.pass1.checks", 12);
-    r3.add("ec.builds", 0);  // creates the cell, leaves it at zero
-    r3.add("partial_sim.simulate_calls", 5);
-    r3.add("miter.rebuilds", 1);
-    r3.set("pool.workers", 4.0);
+    r3.add(obs::metric::kEcBuilds, 0);  // creates the cell, leaves it at zero
+    r3.add(obs::metric::kPartialSimSimulateCalls, 5);
+    r3.add(obs::metric::kMiterRebuilds, 1);
+    r3.set(obs::metric::kPoolWorkers, 4.0);
     EXPECT_FALSE(validate_report_json(to_json(r3.snapshot()), &error));
     EXPECT_NE(error.find("ec"), std::string::npos);
   }
@@ -160,21 +161,21 @@ TEST(ObsReport, V2RequiresFaultAndDegradeSections) {
   // A v2-tagged report without the robustness sections is invalid; their
   // *presence* (not nonzero-ness) is the v2 contract.
   Registry r;
-  r.add("exhaustive.batches", 3);
+  r.add(obs::metric::kExhaustiveBatches, 3);
   r.add("cut.pass1.checks", 12);
-  r.add("ec.builds", 2);
-  r.add("partial_sim.simulate_calls", 5);
-  r.add("miter.rebuilds", 1);
-  r.set("pool.workers", 4.0);
+  r.add(obs::metric::kEcBuilds, 2);
+  r.add(obs::metric::kPartialSimSimulateCalls, 5);
+  r.add(obs::metric::kMiterRebuilds, 1);
+  r.set(obs::metric::kPoolWorkers, 4.0);
   std::string error;
   EXPECT_FALSE(validate_report_json(to_json(r.snapshot()), &error));
   EXPECT_NE(error.find("faults"), std::string::npos);
 
-  r.add("faults.injected", 0);
+  r.add(obs::metric::kFaultsInjected, 0);
   EXPECT_FALSE(validate_report_json(to_json(r.snapshot()), &error));
   EXPECT_NE(error.find("degrade"), std::string::npos);
 
-  r.add("degrade.ladder_steps", 0);
+  r.add(obs::metric::kDegradeLadderSteps, 0);
   EXPECT_TRUE(validate_report_json(to_json(r.snapshot()), &error)) << error;
 }
 
@@ -182,12 +183,12 @@ TEST(ObsReport, V1ReportsStillAccepted) {
   // Archived v1 documents (no fault telemetry) keep validating: emit a v2
   // report without the robustness sections and retag it as v1.
   Registry r;
-  r.add("exhaustive.batches", 3);
+  r.add(obs::metric::kExhaustiveBatches, 3);
   r.add("cut.pass1.checks", 12);
-  r.add("ec.builds", 2);
-  r.add("partial_sim.simulate_calls", 5);
-  r.add("miter.rebuilds", 1);
-  r.set("pool.workers", 4.0);
+  r.add(obs::metric::kEcBuilds, 2);
+  r.add(obs::metric::kPartialSimSimulateCalls, 5);
+  r.add(obs::metric::kMiterRebuilds, 1);
+  r.set(obs::metric::kPoolWorkers, 4.0);
   std::string json = to_json(r.snapshot());
   const std::size_t at = json.find(kSchemaId);
   ASSERT_NE(at, std::string::npos);
@@ -232,7 +233,7 @@ TEST(ObsReport, SharedRegistryAccumulatesAcrossAttempts) {
   Registry once;
   p.registry = &once;
   (void)engine::SimCecEngine(p).check(a, b);
-  const std::uint64_t one_run = once.snapshot().count("exhaustive.batches");
+  const std::uint64_t one_run = once.snapshot().count(obs::metric::kExhaustiveBatches);
   ASSERT_GT(one_run, 0u);
 
   Registry twice;
@@ -240,7 +241,7 @@ TEST(ObsReport, SharedRegistryAccumulatesAcrossAttempts) {
   const engine::SimCecEngine eng(p);
   (void)eng.check(a, b);
   (void)eng.check(a, b);
-  EXPECT_EQ(twice.snapshot().count("exhaustive.batches"), 2 * one_run);
+  EXPECT_EQ(twice.snapshot().count(obs::metric::kExhaustiveBatches), 2 * one_run);
 }
 
 }  // namespace

@@ -22,6 +22,7 @@
 #include "portfolio/portfolio.hpp"
 #include "sweep/parallel_sweeper.hpp"
 #include "test_util.hpp"
+#include "obs/metric_names.hpp"
 
 namespace simsweep {
 namespace {
@@ -340,15 +341,15 @@ TEST(ParallelSweep, CombinedFlowPublishesShardCounters) {
   p.sweeper.pairs_per_chunk = 4;
   const portfolio::CombinedResult r = portfolio::combined_check(a, b, p);
   EXPECT_EQ(r.verdict, Verdict::kEquivalent);
-  EXPECT_GE(r.report.value("sat_sweeper.shards"), 1.0);
-  EXPECT_GE(r.report.value("sat_sweeper.chunks"), 1.0);
-  EXPECT_GT(r.report.value("sat_sweeper.board_merges"), 0.0);
-  EXPECT_DOUBLE_EQ(r.report.value("sat_sweeper.parallel_fallbacks"), 0.0);
+  EXPECT_GE(r.report.value(obs::metric::kSweeperShards), 1.0);
+  EXPECT_GE(r.report.value(obs::metric::kSweeperChunks), 1.0);
+  EXPECT_GT(r.report.value(obs::metric::kSweeperBoardMerges), 0.0);
+  EXPECT_DOUBLE_EQ(r.report.value(obs::metric::kSweeperParallelFallbacks), 0.0);
   // Every shard gauge (including the per-shard breakdown) is present.
-  EXPECT_NE(r.report.find("sat_sweeper.cex_shared"), nullptr);
-  EXPECT_NE(r.report.find("sat_sweeper.pairs_sim_resolved"), nullptr);
-  EXPECT_NE(r.report.find("sat_sweeper.steals"), nullptr);
-  EXPECT_NE(r.report.find("sat_sweeper.pairs_pruned"), nullptr);
+  EXPECT_NE(r.report.find(obs::metric::kSweeperCexShared), nullptr);
+  EXPECT_NE(r.report.find(obs::metric::kSweeperPairsSimResolved), nullptr);
+  EXPECT_NE(r.report.find(obs::metric::kSweeperSteals), nullptr);
+  EXPECT_NE(r.report.find(obs::metric::kSweeperPairsPruned), nullptr);
   EXPECT_NE(r.report.find("sat_sweeper.shard.s0.busy_seconds"), nullptr);
   EXPECT_NE(r.report.find("sat_sweeper.shard.s1.chunks"), nullptr);
 }

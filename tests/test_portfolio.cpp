@@ -9,6 +9,7 @@
 #include "gen/arith.hpp"
 #include "opt/resyn.hpp"
 #include "test_util.hpp"
+#include "obs/metric_names.hpp"
 
 namespace simsweep::portfolio {
 namespace {
@@ -130,9 +131,9 @@ TEST(Combined, InterleavedRewritingMergesAttemptStats) {
                   r.engine_stats.other_seconds,
               r.engine_stats.total_seconds, 1e-6);
   // The report snapshot exists and carries the merged engine gauges.
-  EXPECT_DOUBLE_EQ(r.report.value("engine.total_seconds"),
+  EXPECT_DOUBLE_EQ(r.report.value(obs::metric::kEngineTotalSeconds),
                    r.engine_stats.total_seconds);
-  EXPECT_DOUBLE_EQ(r.report.value("engine.pairs_proved_local"),
+  EXPECT_DOUBLE_EQ(r.report.value(obs::metric::kEnginePairsProvedLocal),
                    static_cast<double>(r.engine_stats.pairs_proved_local));
 }
 

@@ -1,0 +1,942 @@
+/// \file simsweep_audit.cpp
+/// \brief Cross-artifact consistency linter (`simsweep_audit` ctest;
+/// DESIGN.md §2.6).
+///
+/// Clang's -Wthread-safety rejects lock misuse at compile time, but only
+/// on hosts that have clang; and no compiler checks the repo's
+/// *cross-artifact* contracts — that fault-site and metric-name strings
+/// in code, the X-macro catalogs (src/fault/fault_sites.def,
+/// src/obs/metric_names.def) and the report-schema family table
+/// (tools/check_report.cpp) agree with each other. This tool closes both
+/// gaps with a dependency-free single-pass lint that builds and runs
+/// everywhere the project builds (it is a first-class ctest, not a
+/// script-gated extra).
+///
+/// Rules (diagnostic format `path:line: audit[rule-id]: message`):
+///   fault-site-literal   catalogued site spelled as a raw string (use
+///                        fault::sites::k*)
+///   fault-site-unknown   site literal that is not in fault_sites.def
+///                        (tests may use synthetic `test.*` sites)
+///   fault-site-dead      catalog row never referenced by any code
+///   metric-literal       registered metric name respelled as a raw
+///                        string (use obs::metric::k*)
+///   metric-unregistered  metric-shaped literal (or registry-mutation
+///                        argument in src/) not derivable from the
+///                        catalog: neither a registered leaf nor an
+///                        extension of a registered family prefix
+///   metric-no-family     catalog row whose top-level segment is missing
+///                        from kSchemaFamilies in tools/check_report.cpp
+///   metric-dead          catalog row never referenced by any code
+///   banned-construct     std::mutex / std::thread / rand() / naked
+///                        new[] outside the designated wrapper files
+///   unguarded-field      mutable field of a mutex-owning class with no
+///                        SIMSWEEP_GUARDED_BY annotation
+///
+/// Exemption grammar: `// audit:exempt(<reason>)` on the flagged line, or
+/// anywhere in the contiguous comment block directly above it, silences
+/// banned-construct / unguarded-field / metric rules for that line. The
+/// reason is mandatory prose — `audit:exempt` without `(` is ignored, so
+/// an exemption can never be empty.
+///
+/// Usage: simsweep_audit [<repo-root>]   (default: current directory)
+/// Exit 0 when clean, 1 on violations, 2 on usage/configuration errors.
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Lexed view of one source file.
+// ---------------------------------------------------------------------------
+
+/// A string literal found in code (not in a comment), by line.
+struct Literal {
+  std::size_t line;  // 1-based
+  std::string text;  // contents without quotes, escapes undone for \" only
+};
+
+/// One file after the mini-lexer pass. `code` mirrors the input line by
+/// line with comments stripped and every string literal collapsed to a
+/// single '\x01' marker (markers map to `literals` in order of
+/// appearance, per line).
+struct LexedFile {
+  fs::path path;              // as scanned
+  std::string rel;            // repo-relative, '/'-separated (diagnostics)
+  std::vector<std::string> code;       // [i] = line i+1, comment-free
+  std::vector<Literal> literals;       // in document order
+  std::vector<bool> comment_only;      // line had only comment/whitespace
+  std::vector<bool> exempt_comment;    // line's comment says audit:exempt(
+};
+
+/// Strips //- and /*-comments, collapses string/char literals. Tolerates
+/// raw strings (R"delim(...)delim") well enough for this codebase.
+LexedFile lex_file(const fs::path& path, const std::string& rel) {
+  LexedFile out;
+  out.path = path;
+  out.rel = rel;
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+
+  enum class St { kCode, kLine, kBlock, kStr, kChar, kRaw };
+  St st = St::kCode;
+  std::string code_line, comment_line, lit, raw_delim;
+  std::size_t line = 1;
+  bool line_had_code = false;
+
+  const auto flush_line = [&] {
+    out.code.push_back(code_line);
+    out.comment_only.push_back(!line_had_code);
+    out.exempt_comment.push_back(comment_line.find("audit:exempt(") !=
+                                 std::string::npos);
+    code_line.clear();
+    comment_line.clear();
+    line_had_code = false;
+    ++line;
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+    if (c == '\n') {
+      if (st == St::kLine) st = St::kCode;
+      if (st == St::kStr || st == St::kChar) st = St::kCode;  // unterminated
+      flush_line();
+      continue;
+    }
+    switch (st) {
+      case St::kCode:
+        if (c == '/' && next == '/') {
+          st = St::kLine;
+          ++i;
+        } else if (c == '/' && next == '*') {
+          st = St::kBlock;
+          ++i;
+        } else if (c == '"') {
+          // Raw string?  R"delim(
+          if (i > 0 && text[i - 1] == 'R' &&
+              (i < 2 || !(std::isalnum(static_cast<unsigned char>(
+                              text[i - 2])) ||
+                          text[i - 2] == '_'))) {
+            raw_delim.clear();
+            std::size_t j = i + 1;
+            while (j < text.size() && text[j] != '(') raw_delim += text[j++];
+            i = j;  // at '('
+            st = St::kRaw;
+            lit.clear();
+          } else {
+            st = St::kStr;
+            lit.clear();
+          }
+        } else if (c == '\'') {
+          st = St::kChar;
+          code_line += c;
+          line_had_code = true;
+        } else {
+          code_line += c;
+          if (!std::isspace(static_cast<unsigned char>(c)))
+            line_had_code = true;
+        }
+        break;
+      case St::kLine:
+        comment_line += c;
+        break;
+      case St::kBlock:
+        if (c == '*' && next == '/') {
+          st = St::kCode;
+          ++i;
+        } else {
+          comment_line += c;
+        }
+        break;
+      case St::kStr:
+        if (c == '\\' && next != '\0') {
+          if (next == '"' || next == '\\') lit += next;
+          ++i;
+        } else if (c == '"') {
+          // Adjacent-literal concatenation ("a" "b") is not merged; each
+          // piece is recorded separately, which is fine for exact-name
+          // checks (catalogued names are never split).
+          out.literals.push_back({line, lit});
+          code_line += '\x01';
+          line_had_code = true;
+          st = St::kCode;
+        } else {
+          lit += c;
+        }
+        break;
+      case St::kChar:
+        if (c == '\\' && next != '\0') {
+          ++i;
+        } else if (c == '\'') {
+          code_line += c;
+          st = St::kCode;
+        }
+        break;
+      case St::kRaw: {
+        const std::string close = ")" + raw_delim + "\"";
+        if (text.compare(i, close.size(), close) == 0) {
+          out.literals.push_back({line, lit});
+          code_line += '\x01';
+          line_had_code = true;
+          i += close.size() - 1;
+          st = St::kCode;
+        } else {
+          lit += c;
+        }
+        break;
+      }
+    }
+  }
+  if (!code_line.empty() || !comment_line.empty()) flush_line();
+  return out;
+}
+
+/// True iff line `n` (1-based) is exempted: audit:exempt(...) on the line
+/// itself or in the contiguous comment block directly above it.
+bool is_exempt(const LexedFile& f, std::size_t n) {
+  if (n == 0 || n > f.exempt_comment.size()) return false;
+  if (f.exempt_comment[n - 1]) return true;
+  for (std::size_t i = n - 1; i >= 1; --i) {
+    if (!f.comment_only[i - 1]) return false;
+    if (f.exempt_comment[i - 1]) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Small helpers.
+// ---------------------------------------------------------------------------
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Finds `token` in `s` with identifier boundaries on both sides.
+bool has_ident_token(std::string_view s, std::string_view token) {
+  std::size_t pos = 0;
+  while ((pos = s.find(token, pos)) != std::string_view::npos) {
+    const bool left_ok = pos == 0 || !ident_char(s[pos - 1]);
+    const std::size_t end = pos + token.size();
+    const bool right_ok = end >= s.size() || !ident_char(s[end]);
+    if (left_ok && right_ok) return true;
+    pos += 1;
+  }
+  return false;
+}
+
+bool starts_with(std::string_view s, std::string_view p) {
+  return s.size() >= p.size() && s.compare(0, p.size(), p) == 0;
+}
+
+std::string first_segment(std::string_view name) {
+  const std::size_t dot = name.find('.');
+  return std::string(dot == std::string_view::npos ? name
+                                                   : name.substr(0, dot));
+}
+
+// ---------------------------------------------------------------------------
+// Catalog parsing.
+// ---------------------------------------------------------------------------
+
+struct CatalogEntry {
+  std::string ident;  // generated constant, e.g. kSatSolve
+  std::string name;   // dotted string, e.g. "sat.solve"
+  std::size_t line;   // in the .def file
+};
+
+/// Parses `MACRO(ident, "name")` rows (rows may wrap across lines).
+/// //-comments are blanked first so doc examples in the catalog header
+/// are not mistaken for rows.
+std::vector<CatalogEntry> parse_def(const fs::path& path,
+                                    std::string_view macro) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  std::string text = ss.str();
+  std::size_t c = 0;
+  while ((c = text.find("//", c)) != std::string::npos) {
+    std::size_t eol = text.find('\n', c);
+    if (eol == std::string::npos) eol = text.size();
+    for (std::size_t i = c; i < eol; ++i) text[i] = ' ';
+    c = eol;
+  }
+  std::vector<CatalogEntry> rows;
+  std::size_t pos = 0, line = 1;
+  std::size_t scanned = 0;
+  while ((pos = text.find(macro, pos)) != std::string::npos) {
+    if (pos > 0 && ident_char(text[pos - 1])) {
+      pos += macro.size();
+      continue;
+    }
+    line += static_cast<std::size_t>(
+        std::count(text.begin() + static_cast<std::ptrdiff_t>(scanned),
+                   text.begin() + static_cast<std::ptrdiff_t>(pos), '\n'));
+    scanned = pos;
+    std::size_t p = pos + macro.size();
+    while (p < text.size() && std::isspace(static_cast<unsigned char>(text[p])))
+      ++p;
+    if (p >= text.size() || text[p] != '(') {
+      pos = p;
+      continue;
+    }
+    ++p;
+    CatalogEntry e;
+    e.line = line;
+    while (p < text.size() && text[p] != ',') e.ident += text[p++];
+    while (!e.ident.empty() &&
+           std::isspace(static_cast<unsigned char>(e.ident.back())))
+      e.ident.pop_back();
+    e.ident.erase(0, e.ident.find_first_not_of(" \t\n"));
+    const std::size_t q1 = text.find('"', p);
+    const std::size_t q2 =
+        q1 == std::string::npos ? std::string::npos : text.find('"', q1 + 1);
+    if (q2 != std::string::npos) {
+      e.name = text.substr(q1 + 1, q2 - q1 - 1);
+      rows.push_back(e);
+      pos = q2;
+    } else {
+      pos = p;
+    }
+  }
+  return rows;
+}
+
+/// Parses the kSchemaFamilies initializer from tools/check_report.cpp.
+std::set<std::string> parse_schema_families(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+  std::set<std::string> out;
+  const std::size_t anchor = text.find("kSchemaFamilies[]");
+  if (anchor == std::string::npos) return out;
+  const std::size_t open = text.find('{', anchor);
+  const std::size_t close = text.find('}', open);
+  if (open == std::string::npos || close == std::string::npos) return out;
+  std::size_t p = open;
+  while (true) {
+    const std::size_t q1 = text.find('"', p);
+    if (q1 == std::string::npos || q1 > close) break;
+    const std::size_t q2 = text.find('"', q1 + 1);
+    if (q2 == std::string::npos || q2 > close) break;
+    out.insert(text.substr(q1 + 1, q2 - q1 - 1));
+    p = q2 + 1;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Diagnostics.
+// ---------------------------------------------------------------------------
+
+struct Auditor {
+  int violations = 0;
+  void report(const std::string& rel, std::size_t line, const char* rule,
+              const std::string& msg) {
+    std::printf("%s:%zu: audit[%s]: %s\n", rel.c_str(), line, rule,
+                msg.c_str());
+    ++violations;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Rule: banned constructs.
+// ---------------------------------------------------------------------------
+
+/// Wrapper files where a given construct is the implementation, not a
+/// violation.
+bool banned_allowed(std::string_view construct, std::string_view rel) {
+  if (construct == "std::mutex")
+    return rel == "src/common/thread_annotations.hpp";
+  if (construct == "std::thread")
+    return rel == "src/parallel/thread_pool.hpp" ||
+           rel == "src/parallel/thread_pool.cpp";
+  if (construct == "rand()") return rel == "src/common/random.cpp";
+  return false;  // naked new[] has no wrapper file
+}
+
+void check_banned(Auditor& a, const LexedFile& f) {
+  if (!starts_with(f.rel, "src/")) return;
+  for (std::size_t i = 0; i < f.code.size(); ++i) {
+    const std::string& ln = f.code[i];
+    const std::size_t n = i + 1;
+    const auto flag = [&](const char* what, const char* fix) {
+      if (banned_allowed(what, f.rel) || is_exempt(f, n)) return;
+      a.report(f.rel, n, "banned-construct",
+               std::string(what) + " outside its wrapper: " + fix);
+    };
+    if (ln.find("std::mutex") != std::string::npos)
+      flag("std::mutex",
+           "use common::Mutex (src/common/thread_annotations.hpp) so the "
+           "thread-safety analysis can see the lock");
+    if (has_ident_token(ln, "thread") &&
+        ln.find("std::thread") != std::string::npos)
+      flag("std::thread",
+           "use parallel::ThreadPool, or justify a dedicated thread with "
+           "// audit:exempt(reason)");
+    {
+      std::size_t pos = 0;
+      while ((pos = ln.find("rand", pos)) != std::string::npos) {
+        const bool left_ok = pos == 0 || !ident_char(ln[pos - 1]);
+        std::size_t p = pos + 4;
+        while (p < ln.size() &&
+               std::isspace(static_cast<unsigned char>(ln[p])))
+          ++p;
+        if (left_ok && p < ln.size() && ln[p] == '(')
+          flag("rand()",
+               "use common::Rng (seeded, forkable, replayable)");
+        pos += 4;
+      }
+    }
+    {
+      std::size_t pos = 0;
+      while ((pos = ln.find("new", pos)) != std::string::npos) {
+        const bool left_ok = pos == 0 || !ident_char(ln[pos - 1]);
+        const std::size_t end = pos + 3;
+        const bool right_ok = end < ln.size() && !ident_char(ln[end]);
+        if (left_ok && right_ok) {
+          const std::size_t stop = ln.find_first_of(";,)(", end);
+          const std::string_view rest =
+              std::string_view(ln).substr(end, stop == std::string::npos
+                                                   ? std::string::npos
+                                                   : stop - end);
+          if (rest.find('[') != std::string_view::npos)
+            flag("naked new[]",
+                 "use std::vector or std::make_unique<T[]>");
+        }
+        pos = end;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: fault-site literals at injector call sites.
+// ---------------------------------------------------------------------------
+
+/// Returns the index into f.literals for the k-th '\x01' marker on line
+/// `n`, or npos. Markers and literals appear in the same order.
+std::size_t literal_at(const LexedFile& f, std::size_t n,
+                       std::size_t k_on_line) {
+  std::size_t seen = 0;
+  for (std::size_t i = 0; i < f.literals.size(); ++i) {
+    if (f.literals[i].line != n) continue;
+    if (seen == k_on_line) return i;
+    ++seen;
+  }
+  return std::string::npos;
+}
+
+/// Returns the literal indices consumed by injector call sites, so the
+/// metric rules never double-report a site name whose family collides
+/// with a schema family.
+std::set<std::size_t> check_fault_sites(Auditor& a, const LexedFile& f,
+                                        const std::set<std::string>& sites) {
+  std::set<std::size_t> consumed;
+  static constexpr const char* kCalls[] = {"SIMSWEEP_FAULT_POINT", "on_hit",
+                                           "with_probability", "FaultError"};
+  const bool in_tests = starts_with(f.rel, "tests/");
+  for (std::size_t i = 0; i < f.code.size(); ++i) {
+    const std::string& ln = f.code[i];
+    const std::size_t n = i + 1;
+    for (const char* call : kCalls) {
+      std::size_t pos = 0;
+      while ((pos = ln.find(call, pos)) != std::string::npos) {
+        const bool left_ok = pos == 0 || !ident_char(ln[pos - 1]);
+        std::size_t p = pos + std::string_view(call).size();
+        pos = p;
+        if (!left_ok) continue;
+        while (p < ln.size() &&
+               std::isspace(static_cast<unsigned char>(ln[p])))
+          ++p;
+        if (p >= ln.size() || ln[p] != '(') continue;
+        ++p;
+        while (p < ln.size() &&
+               std::isspace(static_cast<unsigned char>(ln[p])))
+          ++p;
+        if (p >= ln.size() || ln[p] != '\x01') continue;  // not a literal
+        // Which marker on this line is it?
+        std::size_t k = 0;
+        for (std::size_t q = 0; q < p; ++q)
+          if (ln[q] == '\x01') ++k;
+        const std::size_t li = literal_at(f, n, k);
+        if (li == std::string::npos) continue;
+        consumed.insert(li);
+        const std::string& site = f.literals[li].text;
+        if (is_exempt(f, n)) continue;
+        if (sites.count(site) != 0) {
+          a.report(f.rel, n, "fault-site-literal",
+                   "site \"" + site +
+                       "\" spelled as a raw string; use "
+                       "fault::sites constants (fault_sites.def)");
+        } else if (!(in_tests && starts_with(site, "test."))) {
+          a.report(f.rel, n, "fault-site-unknown",
+                   "site \"" + site +
+                       "\" is not in src/fault/fault_sites.def (synthetic "
+                       "test.* sites are allowed in tests/ only)");
+        }
+      }
+    }
+  }
+  return consumed;
+}
+
+// ---------------------------------------------------------------------------
+// Rule: metric-name literals.
+// ---------------------------------------------------------------------------
+
+struct MetricCatalog {
+  std::set<std::string> leaves;
+  std::vector<std::string> families;  // prefixes
+  std::set<std::string> schema_families;
+};
+
+bool family_prefixed(const MetricCatalog& c, std::string_view name) {
+  for (const std::string& p : c.families)
+    if (starts_with(name, p) && name.size() > p.size()) return true;
+  return false;
+}
+
+void check_metric_literals(Auditor& a, const LexedFile& f,
+                           const MetricCatalog& cat,
+                           const std::set<std::size_t>& site_literals) {
+  // The catalog and its generated header legitimately spell every name.
+  if (f.rel == "src/obs/metric_names.hpp") return;
+  const bool in_src = starts_with(f.rel, "src/");
+
+  // Mutation-call positions (src/ only): registry.add("..."), r.set("..."),
+  // counter("...")... — the argument must be catalog-derivable even when
+  // its family is not a schema family (catches typo'd families).
+  std::set<std::size_t> mutation_literals;
+  if (in_src) {
+    static constexpr const char* kCalls[] = {"add", "set", "add_value",
+                                             "counter", "gauge"};
+    for (std::size_t i = 0; i < f.code.size(); ++i) {
+      const std::string& ln = f.code[i];
+      for (const char* call : kCalls) {
+        std::size_t pos = 0;
+        while ((pos = ln.find(call, pos)) != std::string::npos) {
+          const bool method = pos > 0 && ln[pos - 1] == '.';
+          std::size_t p = pos + std::string_view(call).size();
+          pos = p;
+          if (!method || (p < ln.size() && ident_char(ln[p]))) continue;
+          while (p < ln.size() &&
+                 std::isspace(static_cast<unsigned char>(ln[p])))
+            ++p;
+          if (p >= ln.size() || ln[p] != '(') continue;
+          ++p;
+          while (p < ln.size() &&
+                 std::isspace(static_cast<unsigned char>(ln[p])))
+            ++p;
+          if (p >= ln.size() || ln[p] != '\x01') continue;
+          std::size_t k = 0;
+          for (std::size_t q = 0; q < p; ++q)
+            if (ln[q] == '\x01') ++k;
+          const std::size_t li = literal_at(f, i + 1, k);
+          if (li != std::string::npos) mutation_literals.insert(li);
+        }
+      }
+    }
+  }
+
+  for (std::size_t li = 0; li < f.literals.size(); ++li) {
+    if (site_literals.count(li) != 0) continue;
+    const Literal& lit = f.literals[li];
+    const std::string& name = lit.text;
+    if (name.find('.') == std::string::npos) continue;
+    if (is_exempt(f, lit.line)) continue;
+    const bool registered = cat.leaves.count(name) != 0;
+    const bool derived = family_prefixed(cat, name);
+    const bool metric_shaped =
+        cat.schema_families.count(first_segment(name)) != 0;
+    if (registered) {
+      a.report(f.rel, lit.line, "metric-literal",
+               "registered metric \"" + name +
+                   "\" respelled as a raw string; use obs::metric "
+                   "constants (metric_names.def)");
+    } else if (metric_shaped && !derived) {
+      a.report(f.rel, lit.line, "metric-unregistered",
+               "metric-shaped name \"" + name +
+                   "\" is neither a registered leaf nor derived from a "
+                   "registered family prefix (metric_names.def)");
+    } else if (!metric_shaped && !derived &&
+               mutation_literals.count(li) != 0) {
+      a.report(f.rel, lit.line, "metric-unregistered",
+               "registry mutation with name \"" + name +
+                   "\" outside every schema family; register it in "
+                   "metric_names.def and tools/check_report.cpp");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: unguarded fields of mutex-owning classes.
+// ---------------------------------------------------------------------------
+
+/// Annotation/specifier macros stripped from member declarations before
+/// classification (their parens would otherwise read as function decls).
+constexpr const char* kStrippableMacros[] = {
+    "SIMSWEEP_GUARDED_BY",     "SIMSWEEP_PT_GUARDED_BY",
+    "SIMSWEEP_ACQUIRED_AFTER", "SIMSWEEP_ACQUIRED_BEFORE",
+    "alignas"};
+
+/// One top-level member statement of a class body.
+struct MemberStmt {
+  std::string text;     // depth-1 text, annotation macros stripped
+  std::size_t line;     // first line of the statement
+  bool guarded = false; // had SIMSWEEP_GUARDED_BY / _PT_GUARDED_BY
+};
+
+std::string strip_macros(const std::string& s, bool* guarded) {
+  std::string out = s;
+  for (const char* m : kStrippableMacros) {
+    std::size_t pos;
+    while ((pos = out.find(m)) != std::string::npos) {
+      std::size_t p = pos + std::string_view(m).size();
+      while (p < out.size() &&
+             std::isspace(static_cast<unsigned char>(out[p])))
+        ++p;
+      if (p >= out.size() || out[p] != '(') break;
+      int depth = 0;
+      std::size_t q = p;
+      for (; q < out.size(); ++q) {
+        if (out[q] == '(') ++depth;
+        if (out[q] == ')' && --depth == 0) break;
+      }
+      if (std::string_view(m).find("GUARDED_BY") != std::string_view::npos)
+        *guarded = true;
+      out.erase(pos, q + 1 - pos);
+    }
+  }
+  return out;
+}
+
+bool is_data_member(const std::string& stmt) {
+  std::string t = stmt;
+  t.erase(0, t.find_first_not_of(" \t"));
+  if (t.empty()) return false;
+  for (const char* kw :
+       {"using ", "typedef ", "friend ", "static ", "static_assert",
+        "template", "enum ", "enum\t", "class ", "struct ", "union ",
+        "explicit ", "virtual ", "operator", "~", "public:", "private:",
+        "protected:", "#"})
+    if (starts_with(t, kw)) return false;
+  if (t.find("constexpr") != std::string::npos) return false;
+  if (t.find('(') != std::string::npos) return false;  // function/ctor
+  if (t.find("SIMSWEEP_") != std::string::npos) return false;  // macro decl
+  // A declaration needs at least a type and a name.
+  return t.find(' ') != std::string::npos || t.find('\t') != std::string::npos;
+}
+
+bool declares_mutex(const std::string& stmt) {
+  return has_ident_token(stmt, "Mutex") ||
+         stmt.find("std::mutex") != std::string::npos;
+}
+
+/// Mutex *ownership* — a by-value mutex member. A `Mutex&` / `Mutex*`
+/// member is a borrowing RAII holder (MutexLock, RankedMutexLock), which
+/// does not put the class in charge of a guarded data set.
+bool owns_mutex_member(const std::string& stmt) {
+  if (!declares_mutex(stmt)) return false;
+  return stmt.find('&') == std::string::npos &&
+         stmt.find('*') == std::string::npos;
+}
+
+bool self_synchronizing(const std::string& stmt) {
+  // Types that carry their own synchronization discipline (GUARDED_BY on
+  // them would be contradictory) or are immutable after construction.
+  if (declares_mutex(stmt)) return true;
+  if (stmt.find("atomic<") != std::string::npos) return true;
+  if (stmt.find("condition_variable") != std::string::npos) return true;
+  std::string t = stmt;
+  t.erase(0, t.find_first_not_of(" \t"));
+  return starts_with(t, "const ") || starts_with(t, "const\t");
+}
+
+void check_guarded_fields(Auditor& a, const LexedFile& f) {
+  if (!starts_with(f.rel, "src/")) return;
+  // Flatten the code view, remembering line starts.
+  std::string all;
+  std::vector<std::size_t> line_of;  // per char
+  for (std::size_t i = 0; i < f.code.size(); ++i) {
+    for (const char c : f.code[i]) {
+      all += c;
+      line_of.push_back(i + 1);
+    }
+    all += '\n';
+    line_of.push_back(i + 1);
+  }
+
+  // Find every class/struct body.
+  std::size_t pos = 0;
+  while (pos < all.size()) {
+    std::size_t cls = std::string::npos;
+    for (const char* kw : {"class", "struct"}) {
+      std::size_t p = pos;
+      while ((p = all.find(kw, p)) != std::string::npos) {
+        const bool left_ok = p == 0 || !ident_char(all[p - 1]);
+        const std::size_t end = p + std::string_view(kw).size();
+        const bool right_ok = end < all.size() && !ident_char(all[end]);
+        if (left_ok && right_ok) break;
+        p = end;
+      }
+      if (p != std::string::npos && (cls == std::string::npos || p < cls))
+        cls = p;
+    }
+    if (cls == std::string::npos) break;
+    // Head ends at '{' (definition) or ';' (forward decl / member decl).
+    std::size_t head_end = cls;
+    while (head_end < all.size() && all[head_end] != '{' &&
+           all[head_end] != ';')
+      ++head_end;
+    if (head_end >= all.size() || all[head_end] == ';') {
+      pos = head_end + 1;
+      continue;
+    }
+    // Body span via brace matching.
+    int depth = 0;
+    std::size_t body_end = head_end;
+    for (; body_end < all.size(); ++body_end) {
+      if (all[body_end] == '{') ++depth;
+      if (all[body_end] == '}' && --depth == 0) break;
+    }
+    // Collect depth-1 member statements.
+    std::vector<MemberStmt> members;
+    {
+      MemberStmt cur;
+      cur.line = 0;
+      int d = 0;
+      for (std::size_t p = head_end; p <= body_end && p < all.size(); ++p) {
+        const char c = all[p];
+        if (c == '{') {
+          ++d;
+          if (d == 2) {
+            // Entering a nested block: function body or brace init.
+            // Skip it entirely; on exit decide by the next depth-1 char.
+            int dd = 1;
+            std::size_t q = p + 1;
+            for (; q < all.size() && dd > 0; ++q) {
+              if (all[q] == '{') ++dd;
+              if (all[q] == '}') --dd;
+            }
+            std::size_t r = q;
+            while (r < all.size() &&
+                   std::isspace(static_cast<unsigned char>(all[r])))
+              ++r;
+            p = q - 1;
+            d = 1;
+            if (r >= all.size() || all[r] != ';') {
+              cur = MemberStmt{};  // function body: discard statement
+            }
+            continue;
+          }
+          continue;
+        }
+        if (c == '}') {
+          --d;
+          continue;
+        }
+        if (d != 1) continue;
+        if (c == ';') {
+          if (!cur.text.empty()) {
+            bool guarded = false;
+            cur.text = strip_macros(cur.text, &guarded);
+            cur.guarded = guarded;
+            members.push_back(cur);
+          }
+          cur = MemberStmt{};
+          continue;
+        }
+        // Access specifiers end with ':' — cut them out of the stream
+        // (but leave '::' alone).
+        if (c == ':' && p + 1 < all.size() && all[p + 1] == ':') {
+          cur.text += "::";
+          ++p;
+          continue;
+        }
+        if (c == ':') {
+          std::string t = cur.text;
+          t.erase(0, t.find_first_not_of(" \t\n"));
+          while (!t.empty() &&
+                 std::isspace(static_cast<unsigned char>(t.back())))
+            t.pop_back();
+          if (t == "public" || t == "private" || t == "protected") {
+            cur = MemberStmt{};
+            continue;
+          }
+        }
+        if (cur.text.empty() &&
+            std::isspace(static_cast<unsigned char>(c)))
+          continue;
+        if (cur.text.empty()) cur.line = line_of[p];
+        cur.text += c;
+      }
+    }
+    const bool owns_mutex = std::any_of(
+        members.begin(), members.end(), [](const MemberStmt& m) {
+          return is_data_member(m.text) && owns_mutex_member(m.text);
+        });
+    if (owns_mutex) {
+      for (const MemberStmt& m : members) {
+        if (!is_data_member(m.text)) continue;
+        if (m.guarded || self_synchronizing(m.text)) continue;
+        if (is_exempt(f, m.line)) continue;
+        std::string decl = m.text;
+        decl.erase(0, decl.find_first_not_of(" \t\n"));
+        if (decl.size() > 48) decl = decl.substr(0, 48) + "...";
+        a.report(f.rel, m.line, "unguarded-field",
+                 "field `" + decl +
+                     "` of a mutex-owning class has no "
+                     "SIMSWEEP_GUARDED_BY and no audit:exempt(reason)");
+      }
+    }
+    pos = head_end + 1;  // nested classes are found by re-scanning
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Driver.
+// ---------------------------------------------------------------------------
+
+int main(int argc, char** argv) {
+  if (argc > 2) {
+    std::fprintf(stderr, "usage: %s [<repo-root>]\n", argv[0]);
+    return 2;
+  }
+  const fs::path root = argc == 2 ? fs::path(argv[1]) : fs::path(".");
+
+  const fs::path fault_def = root / "src/fault/fault_sites.def";
+  const fs::path metric_def = root / "src/obs/metric_names.def";
+  const fs::path report_tool = root / "tools/check_report.cpp";
+  for (const fs::path& p : {fault_def, metric_def, report_tool}) {
+    if (!fs::exists(p)) {
+      std::fprintf(stderr, "simsweep_audit: missing %s (wrong root?)\n",
+                   p.string().c_str());
+      return 2;
+    }
+  }
+
+  const std::vector<CatalogEntry> site_rows =
+      parse_def(fault_def, "SIMSWEEP_FAULT_SITE");
+  const std::vector<CatalogEntry> metric_rows =
+      parse_def(metric_def, "SIMSWEEP_METRIC");
+  const std::vector<CatalogEntry> family_rows =
+      parse_def(metric_def, "SIMSWEEP_METRIC_FAMILY");
+
+  MetricCatalog cat;
+  for (const CatalogEntry& e : metric_rows) cat.leaves.insert(e.name);
+  for (const CatalogEntry& e : family_rows) cat.families.push_back(e.name);
+  cat.schema_families = parse_schema_families(report_tool);
+
+  std::set<std::string> site_names;
+  for (const CatalogEntry& e : site_rows) site_names.insert(e.name);
+
+  if (site_rows.empty() || metric_rows.empty() ||
+      cat.schema_families.empty()) {
+    std::fprintf(stderr,
+                 "simsweep_audit: empty catalog or family table — refusing "
+                 "to run a vacuous audit\n");
+    return 2;
+  }
+
+  // Scan tree.
+  std::vector<LexedFile> files;
+  for (const char* top : {"src", "tools", "tests", "examples", "bench"}) {
+    const fs::path dir = root / top;
+    if (!fs::exists(dir)) continue;
+    for (auto it = fs::recursive_directory_iterator(dir);
+         it != fs::recursive_directory_iterator(); ++it) {
+      if (it->is_directory()) {
+        const std::string name = it->path().filename().string();
+        // The audit's own sources mention every rule trigger by design,
+        // and fixture trees are deliberate violations.
+        if (name == "audit" || name == "fixtures") it.disable_recursion_pending();
+        continue;
+      }
+      const std::string ext = it->path().extension().string();
+      if (ext != ".cpp" && ext != ".hpp" && ext != ".h") continue;
+      std::string rel =
+          fs::relative(it->path(), root).generic_string();
+      files.push_back(lex_file(it->path(), rel));
+    }
+  }
+  std::sort(files.begin(), files.end(),
+            [](const LexedFile& x, const LexedFile& y) {
+              return x.rel < y.rel;
+            });
+
+  Auditor a;
+  for (const LexedFile& f : files) {
+    check_banned(a, f);
+    const std::set<std::size_t> site_literals =
+        check_fault_sites(a, f, site_names);
+    check_metric_literals(a, f, cat, site_literals);
+    check_guarded_fields(a, f);
+  }
+
+  // Cross-artifact catalog checks.
+  const std::string fault_def_rel = "src/fault/fault_sites.def";
+  const std::string metric_def_rel = "src/obs/metric_names.def";
+  for (const CatalogEntry& e : site_rows) {
+    bool used = false;
+    for (const LexedFile& f : files) {
+      if (starts_with(f.rel, "src/fault/")) continue;
+      for (const std::string& ln : f.code)
+        if (has_ident_token(ln, e.ident)) {
+          used = true;
+          break;
+        }
+      if (used) break;
+    }
+    if (!used)
+      a.report(fault_def_rel, e.line, "fault-site-dead",
+               "catalog row " + e.ident + " (\"" + e.name +
+                   "\") is referenced by no fault point or test plan");
+  }
+  const auto metric_used = [&](const CatalogEntry& e) {
+    for (const LexedFile& f : files) {
+      if (f.rel == "src/obs/metric_names.hpp") continue;
+      for (const std::string& ln : f.code)
+        if (has_ident_token(ln, e.ident)) return true;
+    }
+    return false;
+  };
+  for (const std::vector<CatalogEntry>* rows : {&metric_rows, &family_rows})
+    for (const CatalogEntry& e : *rows) {
+      if (!metric_used(e))
+        a.report(metric_def_rel, e.line, "metric-dead",
+                 "catalog row " + e.ident + " (\"" + e.name +
+                     "\") is referenced by no code");
+      if (cat.schema_families.count(first_segment(e.name)) == 0)
+        a.report(metric_def_rel, e.line, "metric-no-family",
+                 "\"" + e.name + "\" is outside every schema family of "
+                 "tools/check_report.cpp kSchemaFamilies");
+    }
+
+  if (a.violations == 0) {
+    std::printf("simsweep_audit: clean (%zu files, %zu fault sites, %zu "
+                "metrics, %zu families)\n",
+                files.size(), site_rows.size(),
+                metric_rows.size(), family_rows.size());
+    return 0;
+  }
+  std::printf("simsweep_audit: %d violation%s\n", a.violations,
+              a.violations == 1 ? "" : "s");
+  return 1;
+}

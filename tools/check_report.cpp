@@ -13,11 +13,50 @@
 
 #include <cstdio>
 #include <string>
+#include <string_view>
 
 #include "gen/arith.hpp"
 #include "gen/suite.hpp"
 #include "obs/report.hpp"
 #include "portfolio/portfolio.hpp"
+
+namespace {
+
+/// The schema families: every metric name's top-level segment must be one
+/// of these (they become the top-level sections of the JSON report). The
+/// `simsweep_audit` static-analysis ctest cross-checks this table against
+/// the metric catalog src/obs/metric_names.def, so a new family has to be
+/// added in both places deliberately.
+constexpr const char* kSchemaFamilies[] = {
+    "exhaustive", "cut",  "ec",     "partial_sim", "miter",
+    "engine",     "pool", "faults", "degrade",     "sat_sweeper"};
+
+/// True iff `name` starts with `<family>.` for a known schema family.
+bool in_known_family(std::string_view name) {
+  const std::size_t dot = name.find('.');
+  if (dot == std::string_view::npos) return false;
+  const std::string_view family = name.substr(0, dot);
+  for (const char* f : kSchemaFamilies)
+    if (family == f) return true;
+  return false;
+}
+
+/// Checks every metric of a snapshot against the family table.
+bool check_families(const simsweep::obs::Snapshot& snapshot,
+                    const char* which) {
+  bool ok = true;
+  for (const simsweep::obs::Metric& m : snapshot.metrics) {
+    if (in_known_family(m.name)) continue;
+    std::fprintf(stderr,
+                 "check_report: %s report metric \"%s\" is outside every "
+                 "schema family\n",
+                 which, m.name.c_str());
+    ok = false;
+  }
+  return ok;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace simsweep;
@@ -69,6 +108,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "check_report: invalid report: %s\n", error.c_str());
     return 1;
   }
+  if (!check_families(r.report, "demo")) return 1;
 
   // The generic validator only requires the v2 robustness sections to be
   // present; the demo flow additionally guarantees the specific leaves
@@ -123,6 +163,7 @@ int main(int argc, char** argv) {
                  error.c_str());
     return 1;
   }
+  if (!check_families(rs.report, "sharded")) return 1;
   for (const char* leaf :
        {"\"shards\"", "\"chunks\"", "\"steals\"", "\"board_merges\"",
         "\"cex_shared\"", "\"pairs_sim_resolved\"", "\"parallel_fallbacks\"",
