@@ -14,6 +14,25 @@ std::vector<std::uint32_t> compute_levels(const Aig& aig) {
   return level;
 }
 
+LevelSchedule build_level_schedule(const Aig& aig) {
+  LevelSchedule s;
+  s.levels = compute_levels(aig);
+  s.num_nodes = aig.num_nodes();
+  s.num_pis = aig.num_pis();
+  for (Var v = aig.num_pis() + 1; v < aig.num_nodes(); ++v)
+    s.max_level = std::max(s.max_level, s.levels[v]);
+  s.offset.assign(s.max_level + 2, 0);
+  for (Var v = aig.num_pis() + 1; v < aig.num_nodes(); ++v)
+    ++s.offset[s.levels[v] + 1];
+  for (std::size_t l = 1; l < s.offset.size(); ++l)
+    s.offset[l] += s.offset[l - 1];
+  s.order.resize(aig.num_ands());
+  std::vector<std::size_t> cursor(s.offset.begin(), s.offset.end() - 1);
+  for (Var v = aig.num_pis() + 1; v < aig.num_nodes(); ++v)
+    s.order[cursor[s.levels[v]]++] = v;
+  return s;
+}
+
 std::vector<std::uint32_t> compute_fanouts(const Aig& aig) {
   std::vector<std::uint32_t> fanout(aig.num_nodes(), 0);
   for (Var v = aig.num_pis() + 1; v < aig.num_nodes(); ++v) {

@@ -19,6 +19,35 @@ namespace simsweep::aig {
 /// is 1 + max(level of fanins). Index by Var.
 std::vector<std::uint32_t> compute_levels(const Aig& aig);
 
+/// Cached level schedule of one AIG: the per-variable levels plus the AND
+/// nodes counting-sorted by level. Built once per miter and shared by the
+/// partial simulator's level sweep, the window builder's stage grouping
+/// and the cut pass's scorer (DESIGN.md §2.7), which previously each
+/// recomputed it. Keyed to the AIG it was built for: a rebuild changes the
+/// node population, so holders must drop the schedule on rebuild;
+/// matches() is the staleness guard every consumer checks before use.
+struct LevelSchedule {
+  std::vector<std::uint32_t> levels;  ///< per Var (PIs/constant at 0)
+  /// AND node ids sorted by level: level l occupies
+  /// order[offset[l] .. offset[l+1]). Within a level, ascending id.
+  std::vector<Var> order;
+  /// max_level + 2 entries (level 0 is always empty for AND nodes).
+  std::vector<std::size_t> offset;
+  std::uint32_t max_level = 0;
+  std::size_t num_nodes = 0;  ///< the AIG's node count at build time
+  unsigned num_pis = 0;
+
+  /// True iff this schedule was built for an AIG of this shape. A stale
+  /// schedule of a different AIG with identical counts is the holder's
+  /// bug; the engine resets its cache at every rebuild.
+  bool matches(const Aig& aig) const {
+    return num_nodes == aig.num_nodes() && num_pis == aig.num_pis() &&
+           levels.size() == aig.num_nodes();
+  }
+};
+
+LevelSchedule build_level_schedule(const Aig& aig);
+
 /// Number of fanouts of every variable, counting PO references.
 std::vector<std::uint32_t> compute_fanouts(const Aig& aig);
 

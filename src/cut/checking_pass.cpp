@@ -4,6 +4,7 @@
 #include <atomic>
 #include <bit>
 #include <cassert>
+#include <optional>
 
 #include "common/log.hpp"
 #include "cut/common_cuts.hpp"
@@ -13,13 +14,7 @@
 
 namespace simsweep::cut {
 
-namespace {
-
-/// One buffered local check: prove tasks[task] over `cut`.
-struct BufEntry {
-  std::uint32_t task = 0;
-  Cut cut;
-};
+namespace detail {
 
 /// Flushes the buffer through the exhaustive simulator (Alg. 2 lines
 /// 13-15 / 17-18). Entries of already-proved tasks are dropped.
@@ -45,7 +40,8 @@ void flush_buffer(const aig::Aig& aig, const std::vector<PairTask>& tasks,
                                        e.cut.leaves.begin() + e.cut.size);
           window::CheckItem item{aig::make_lit(t.repr, t.phase),
                                  aig::make_lit(t.node), e.task};
-          built[i] = window::build_window(aig, std::move(inputs), {item});
+          built[i] = window::build_window(aig, std::move(inputs), {item},
+                                          params.schedule);
         }
       });
 
@@ -58,13 +54,18 @@ void flush_buffer(const aig::Aig& aig, const std::vector<PairTask>& tasks,
 
   exhaustive::Params sim = params.sim_params;
   sim.collect_cex = false;  // local mismatches are inconclusive, not CEXs
+  std::size_t halvings = 0;  // this flush's share of stats.ladder_steps
   for (unsigned attempt = 0;; ++attempt) {
     sim.memory_words = sim_memory;
     const exhaustive::BatchResult result =
         exhaustive::check_batch(aig, windows, sim);
     if (result.cancelled) return;  // outcomes invalid
     if (result.failure == exhaustive::BatchFailure::kDeadline) {
+      // The in-flight windows are dropped unproved — that is abandoned
+      // work and must be accounted as such (the v2 report's
+      // checks_abandoned understated deadline losses before).
       stats.deadline_expired = true;
+      stats.checks_abandoned += windows.size();
       return;
     }
     if (result.failure != exhaustive::BatchFailure::kNone) {
@@ -73,15 +74,20 @@ void flush_buffer(const aig::Aig& aig, const std::vector<PairTask>& tasks,
           sim_memory / 2 >= params.min_memory_words) {
         sim_memory /= 2;
         ++stats.ladder_steps;
+        ++halvings;
         continue;
       }
       // Dropping the checks is sound: a cut check proves or is
       // inconclusive, so an unattempted check just leaves its pair
       // unproved for later passes / the SAT sweeper.
       stats.checks_abandoned += windows.size();
+      ++stats.flushes_abandoned;
       return;
     }
     stats.checks += result.outcomes.size();
+    // Only now do this flush's halvings count as recovered — a flush
+    // that halved its way down and still abandoned recovered nothing.
+    stats.halvings_recovered += halvings;
     for (const auto& [tag, status] : result.outcomes) {
       if (status == exhaustive::ItemStatus::kProved && !proved[tag]) {
         proved[tag] = 1;
@@ -92,7 +98,10 @@ void flush_buffer(const aig::Aig& aig, const std::vector<PairTask>& tasks,
   }
 }
 
-}  // namespace
+}  // namespace detail
+
+using detail::BufEntry;
+using detail::flush_buffer;
 
 PassResult run_checking_pass(const aig::Aig& aig,
                              const std::vector<PairTask>& tasks,
@@ -173,7 +182,12 @@ PassResult run_checking_pass(const aig::Aig& aig,
   }
 
   PriorityCuts pc(aig, params.enum_params);
-  const CutScorer scorer(aig, pass);
+  std::optional<CutScorer> scorer_store;
+  if (params.schedule != nullptr && params.schedule->matches(aig))
+    scorer_store.emplace(aig, pass, *params.schedule);
+  else
+    scorer_store.emplace(aig, pass);
+  const CutScorer& scorer = *scorer_store;
   std::vector<BufEntry> buffer;
   buffer.reserve(params.buffer_capacity);
   std::size_t sim_memory = params.sim_params.memory_words;
@@ -247,8 +261,18 @@ PassResult run_checking_pass(const aig::Aig& aig,
       if (SIMSWEEP_FAULT_POINT(fault::sites::kCutEnumOverflow))
         throw fault::FaultError(fault::sites::kCutEnumOverflow);
       for (const Cut& c : cuts) {
+        if (buffer.size() >= params.buffer_capacity) {
+          // One pair's group exceeds the whole capacity: the pre-insert
+          // flush above could not make room, so split the group across
+          // flushes rather than overrun the bounded-buffer contract.
+          ++result.stats.group_splits;
+          flush_buffer(aig, tasks, buffer, result.proved, params,
+                       sim_memory, result.stats);
+        }
         buffer.push_back(BufEntry{t, c});
         ++result.stats.common_cuts;
+        result.stats.peak_buffered =
+            std::max(result.stats.peak_buffered, buffer.size());
       }
     }
   }

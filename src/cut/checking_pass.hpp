@@ -48,6 +48,11 @@ struct PassParams {
   /// dropping is sound).
   unsigned max_fault_retries = 3;
   std::size_t min_memory_words = std::size_t{1} << 10;
+  /// Optional cached level schedule of the miter (DESIGN.md §2.7). When
+  /// non-null and matching the pass AIG, the scorer and the per-cut
+  /// window builds borrow its levels instead of recomputing them. The
+  /// enumeration levels (Eq. 2) are repr-dependent and stay per-pass.
+  const aig::LevelSchedule* schedule = nullptr;
 };
 
 struct PassStats {
@@ -69,6 +74,18 @@ struct PassStats {
   std::size_t batch_faults = 0;      ///< recoverable flush-batch failures
   std::size_t ladder_steps = 0;      ///< budget halvings taken by flushes
   std::size_t checks_abandoned = 0;  ///< buffered checks dropped unproved
+  /// Budget halvings belonging to flushes that ultimately SUCCEEDED (the
+  /// recovered subset of ladder_steps; the engine counts only these as
+  /// faults_recovered — see run_local_phase).
+  std::size_t halvings_recovered = 0;
+  /// Flushes that exhausted the ladder and dropped their checks.
+  std::size_t flushes_abandoned = 0;
+  /// High-water mark of the cut buffer — bounded-buffer contract witness
+  /// (peak_buffered <= buffer_capacity always; see group_splits).
+  std::size_t peak_buffered = 0;
+  /// Times one pair's common-cut group exceeded the whole buffer capacity
+  /// and was split across flushes instead of overrunning the bound.
+  std::size_t group_splits = 0;
   bool deadline_expired = false;     ///< pass ended by the phase deadline
 };
 
@@ -87,5 +104,28 @@ PassResult run_checking_pass(const aig::Aig& aig,
                              Pass pass, const PassParams& params,
                              const std::vector<std::uint8_t>* already_proved =
                                  nullptr);
+
+namespace detail {
+
+/// One buffered local check: prove tasks[task] over `cut`. Exposed (with
+/// flush_buffer) so the flush ladder's terminal branches — deadline
+/// expiry, abandonment accounting — are unit-testable directly; the pass
+/// driver's own deadline check between levels intercepts an expired
+/// deadline before a flush would see it.
+struct BufEntry {
+  std::uint32_t task = 0;
+  Cut cut;
+};
+
+/// Flushes the buffer through the exhaustive simulator (Alg. 2 lines
+/// 13-15 / 17-18); see run_checking_pass. `sim_memory` is the pass-wide
+/// working simulator budget: the flush ladder halves it on recoverable
+/// batch failures and the reduction sticks for later flushes.
+void flush_buffer(const aig::Aig& aig, const std::vector<PairTask>& tasks,
+                  std::vector<BufEntry>& buffer,
+                  std::vector<std::uint8_t>& proved, const PassParams& params,
+                  std::size_t& sim_memory, PassStats& stats);
+
+}  // namespace detail
 
 }  // namespace simsweep::cut

@@ -23,7 +23,16 @@ std::vector<std::uint32_t> enumeration_levels(
 CutScorer::CutScorer(const aig::Aig& aig, Pass pass)
     : pass_(pass),
       fanout_(aig::compute_fanouts(aig)),
-      level_(aig::compute_levels(aig)) {}
+      owned_levels_(aig::compute_levels(aig)),
+      level_(&owned_levels_) {}
+
+CutScorer::CutScorer(const aig::Aig& aig, Pass pass,
+                     const aig::LevelSchedule& schedule)
+    : pass_(pass),
+      fanout_(aig::compute_fanouts(aig)),
+      level_(&schedule.levels) {
+  assert(schedule.matches(aig));
+}
 
 double CutScorer::avg_fanout(const Cut& c) const {
   double sum = 0;
@@ -33,7 +42,7 @@ double CutScorer::avg_fanout(const Cut& c) const {
 
 double CutScorer::avg_level(const Cut& c) const {
   double sum = 0;
-  for (unsigned i = 0; i < c.size; ++i) sum += level_[c.leaves[i]];
+  for (unsigned i = 0; i < c.size; ++i) sum += (*level_)[c.leaves[i]];
   return sum / c.size;
 }
 

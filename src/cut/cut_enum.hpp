@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "aig/aig.hpp"
+#include "aig/aig_analysis.hpp"
 #include "cut/cut_set.hpp"
 
 namespace simsweep::cut {
@@ -46,6 +47,16 @@ class CutScorer {
  public:
   CutScorer(const aig::Aig& aig, Pass pass);
 
+  /// Schedule-sharing overload: borrows the levels from a cached
+  /// LevelSchedule (must match `aig`; see DESIGN.md §2.7) instead of
+  /// recomputing them. The schedule must outlive the scorer.
+  CutScorer(const aig::Aig& aig, Pass pass,
+            const aig::LevelSchedule& schedule);
+
+  // level_ may point into owned_levels_; a default copy would dangle.
+  CutScorer(const CutScorer&) = delete;
+  CutScorer& operator=(const CutScorer&) = delete;
+
   /// Metric accessors (averages over the cut's leaves).
   double avg_fanout(const Cut& c) const;
   double avg_level(const Cut& c) const;
@@ -66,7 +77,8 @@ class CutScorer {
  private:
   Pass pass_;
   std::vector<std::uint32_t> fanout_;
-  std::vector<std::uint32_t> level_;
+  std::vector<std::uint32_t> owned_levels_;  // empty when borrowing
+  const std::vector<std::uint32_t>* level_;  // owned_levels_ or borrowed
 };
 
 /// Priority-cut storage plus the per-node enumeration step.

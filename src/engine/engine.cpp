@@ -107,6 +107,9 @@ EngineResult SimCecEngine::check_miter(aig::Aig miter) const {
   // caller's (portfolio-shared budget) or a run-private one.
   ctx.degrade.memory_words = params_.memory_words;
   ctx.degrade.window_merging = params_.window_merging;
+  // Incremental simulation A/B lever (DESIGN.md §2.7): disabled, every
+  // sync() re-simulates the whole bank and rebuilds classes from scratch.
+  ctx.inc.set_enabled(params_.incremental_sim);
   std::optional<fault::MemoryLedger> local_ledger;
   if (params_.memory_ledger != nullptr)
     ctx.ledger = params_.memory_ledger;
@@ -158,6 +161,15 @@ EngineResult SimCecEngine::check_miter(aig::Aig miter) const {
     registry.add(obs::metric::kDegradeDeadlineExpiries, ctx.degrade.deadline_expiries);
     registry.add(obs::metric::kDegradeUnitsAbandoned, ctx.degrade.units_abandoned);
     registry.add(obs::metric::kDegradePassRetries, ctx.degrade.pass_retries);
+    // Incremental carry-over section (DESIGN.md §2.7). Published even when
+    // all-zero so every report carries the partial_sim.carryover family.
+    const sim::CarryStats& cs = ctx.inc.stats();
+    registry.add(obs::metric::kPartialSimIncrementalWords,
+                 cs.incremental_words);
+    registry.add(obs::metric::kPartialSimFullResims, cs.full_resims);
+    registry.add(obs::metric::kPartialSimCarryClasses, cs.carry_classes);
+    registry.add(obs::metric::kPartialSimCarryDropped, cs.carry_dropped);
+    registry.add(obs::metric::kPartialSimCarryFallbacks, cs.carry_fallbacks);
     if (ctx.ledger != nullptr) {
       registry.set(obs::metric::kDegradeMemoryPeakBytes,
                    static_cast<double>(ctx.ledger->peak_bytes()));

@@ -28,10 +28,12 @@
 #include <vector>
 
 #include "aig/aig.hpp"
+#include "aig/aig_analysis.hpp"
 #include "aig/miter.hpp"
 #include "common/verdict.hpp"
 #include "fault/governor.hpp"
 #include "obs/registry.hpp"
+#include "sim/incremental.hpp"
 #include "sim/partial_sim.hpp"
 
 namespace simsweep::engine {
@@ -65,6 +67,12 @@ struct EngineParams {
   bool enable_po_phase = true;
   bool enable_global_phase = true;
   std::array<bool, 3> local_passes{true, true, true};  ///< Table I passes
+  /// Incremental simulation & EC carry-over (DESIGN.md §2.7). Off =
+  /// pre-incremental behaviour — full re-simulation and a fresh class
+  /// build at every phase entry and refinement round (the A/B lever of
+  /// bench_incremental). The verdict is identical either way; only the
+  /// work to reach it differs.
+  bool incremental_sim = true;
 
   // --- Paper §V (Discussion) extensions. ---
   /// Distance-1 CEX simulation [Mishchenko et al., ICCAD'06]: every
@@ -242,6 +250,15 @@ struct EngineContext {
   /// Memory governor for this run: the caller's EngineParams::memory_ledger,
   /// an engine-private one (memory_budget_bytes > 0), or null (ungoverned).
   fault::MemoryLedger* ledger = nullptr;
+  /// Incremental simulation + EC carry-over state (DESIGN.md §2.7): one
+  /// Signatures matrix and one EcManager kept alive across phases,
+  /// delta-simulated on CEX absorption and translated through rebuild
+  /// lit_maps. check_miter() enables it from EngineParams.
+  sim::IncrementalState inc;
+  /// Cached level schedule of the current miter, shared by partial
+  /// simulation, window building and cut passes. Lazily built by
+  /// level_schedule() (phase_common.hpp); reset at every rebuild.
+  std::optional<aig::LevelSchedule> schedule;
 };
 
 /// Returns false if the miter was disproved (stop immediately).

@@ -6,11 +6,14 @@
 #include <vector>
 
 #include "aig/aig.hpp"
+#include "aig/aig_analysis.hpp"
+#include "aig/rebuild.hpp"
 #include "engine/engine.hpp"
 #include "exhaustive/exhaustive_sim.hpp"
 #include "fault/governor.hpp"
 #include "obs/metric_names.hpp"
 #include "sim/ec_manager.hpp"
+#include "sim/incremental.hpp"
 #include "window/window_merge.hpp"
 
 namespace simsweep::engine::detail {
@@ -180,6 +183,51 @@ inline void note_rebuild(EngineContext& ctx, std::size_t ands_before,
 inline void note_partial_sim(EngineContext& ctx, std::size_t bank_words) {
   ctx.obs->add(obs::metric::kPartialSimSimulateCalls);
   ctx.obs->add(obs::metric::kPartialSimPatternWords, bank_words);
+}
+
+/// The current miter's cached level schedule (DESIGN.md §2.7), built on
+/// first use after each rebuild and shared by partial simulation, window
+/// building and the cut passes. Host thread only; the returned pointer is
+/// valid until the next rebuild (apply_reduction resets the cache).
+inline const aig::LevelSchedule* level_schedule(EngineContext& ctx) {
+  if (!ctx.schedule || !ctx.schedule->matches(ctx.miter))
+    ctx.schedule = aig::build_level_schedule(ctx.miter);
+  return &*ctx.schedule;
+}
+
+/// Publishes the full re-simulations one IncrementalState::sync() decided
+/// to perform (`before` = ctx.inc.stats() snapshot taken just before the
+/// sync). Delta-simulated columns are reported per run under
+/// partial_sim.incremental_words by check_miter's finish().
+inline void note_sync(EngineContext& ctx, const sim::CarryStats& before) {
+  const sim::CarryStats& now = ctx.inc.stats();
+  const std::uint64_t resims = now.full_resims - before.full_resims;
+  if (resims > 0 && ctx.bank) {
+    ctx.obs->add(obs::metric::kPartialSimSimulateCalls, resims);
+    ctx.obs->add(obs::metric::kPartialSimPatternWords,
+                 resims * ctx.bank->num_words());
+  }
+}
+
+/// The engine's single rebuild site: applies a substitution map to the
+/// miter, carries the incremental simulation state through the rebuild's
+/// lit_map (DESIGN.md §2.7), drops the cached level schedule and records
+/// the reduction under `miter.*`. A failed carry-over (injected
+/// sim.carryover fault, stale state) degrades to a full re-simulation at
+/// the next sync — a ladder step the next sync recovers from.
+inline void apply_reduction(EngineContext& ctx,
+                            const aig::SubstitutionMap& subst) {
+  const std::size_t before_ands = ctx.miter.num_ands();
+  const std::uint64_t fallbacks_before = ctx.inc.stats().carry_fallbacks;
+  aig::RebuildResult rr = aig::rebuild(ctx.miter, subst);
+  ctx.inc.apply_rebuild(rr.aig, rr.lit_map);
+  if (ctx.inc.stats().carry_fallbacks > fallbacks_before) {
+    ++ctx.degrade.ladder_steps;
+    ++ctx.degrade.faults_recovered;
+  }
+  ctx.miter = std::move(rr.aig);
+  ctx.schedule.reset();
+  note_rebuild(ctx, before_ands, ctx.miter.num_ands());
 }
 
 /// Publishes the deltas an EcManager accumulated since `since` under

@@ -42,10 +42,16 @@ std::size_t run_global_phase(EngineContext& ctx, unsigned k_g) {
           sim::PatternBank::random(miter.num_pis(), p.sim_words, p.seed);
     }
   }
-  note_partial_sim(ctx, ctx.bank->num_words());
-  sim::Signatures sigs = sim::simulate(miter, *ctx.bank);
-  sim::EcManager ec;
-  ec.build(miter, sigs);
+  // Incremental entry (DESIGN.md §2.7): the engine-wide signature/class
+  // state is brought up to date with (miter, bank) — a cheap delta when
+  // state was carried from the previous phase, a full re-simulation on
+  // the first phase or after a carry-over fallback. EC stats are deltas
+  // against phase entry because the manager now lives across phases.
+  const aig::LevelSchedule* sched = level_schedule(ctx);
+  const sim::CarryStats cs_entry = ctx.inc.stats();
+  const sim::EcStats ec_entry = ctx.inc.ec().stats();
+  sim::EcManager& ec = ctx.inc.sync(miter, *ctx.bank, sched);
+  note_sync(ctx, cs_entry);
   SIMSWEEP_LOG_INFO("G phase: %zu initial equivalence classes",
                     ec.num_classes());
 
@@ -83,7 +89,8 @@ std::size_t run_global_phase(EngineContext& ctx, unsigned k_g) {
                 miter, inputs_of[i],
                 {window::CheckItem{aig::make_lit(pair.repr, pair.phase),
                                    aig::make_lit(pair.node),
-                                   static_cast<std::uint32_t>(i)}});
+                                   static_cast<std::uint32_t>(i)}},
+                sched);
           }
         });
     std::vector<window::Window> windows;
@@ -118,12 +125,8 @@ std::size_t run_global_phase(EngineContext& ctx, unsigned k_g) {
       const LadderOutcome ladder =
           run_batch_with_ladder(ctx, miter, std::move(batch), sim_params);
       if (ladder.cancelled) {  // outcomes invalid: finish the phase early
-        if (!subst.empty()) {
-          const std::size_t before = miter.num_ands();
-          ctx.miter = aig::rebuild(miter, subst).aig;
-          note_rebuild(ctx, before, ctx.miter.num_ands());
-        }
-        publish_ec_stats(ctx, ec.stats());
+        publish_ec_stats(ctx, ec.stats(), ec_entry);
+        if (!subst.empty()) apply_reduction(ctx, subst);
         ctx.stats.global_seconds += t.seconds();
         return subst.num_merged();
       }
@@ -173,33 +176,26 @@ std::size_t run_global_phase(EngineContext& ctx, unsigned k_g) {
 
     if (collector.empty()) break;  // nothing left to refine
 
-    // Refine the classes with the CEX patterns and persist them in the
-    // engine-wide bank for later phases.
-    sim::PatternBank cex_bank(miter.num_pis(), 0);
-    collector.flush_into(cex_bank);
-    note_partial_sim(ctx, cex_bank.num_words());
-    const sim::Signatures cex_sigs = sim::simulate(miter, cex_bank);
-    ec.refine(cex_sigs);
-    for (std::size_t w = 0; w < cex_bank.num_words(); ++w) {
-      std::vector<sim::Word> column(miter.num_pis());
-      for (unsigned pi = 0; pi < miter.num_pis(); ++pi)
-        column[pi] = cex_bank.word(pi, w);
-      ctx.bank->append_words(column);
-    }
+    // Refinement round (DESIGN.md §2.7): the CEX columns are appended to
+    // the engine-wide bank (batched — a single amortized append) and the
+    // incremental state delta-simulates ONLY those new columns, refining
+    // the classes in the same step. Before the incremental layer this
+    // round simulated a scratch bank over the whole miter AND re-copied
+    // the full bank per column.
+    collector.flush_into(*ctx.bank);
     const std::size_t dropped = ctx.bank->truncate_front(p.max_pattern_words);
     if (dropped > 0) {
       ctx.obs->add(obs::metric::kPartialSimBankTruncations);
       ctx.obs->add(obs::metric::kPartialSimWordsDropped, dropped);
     }
+    const sim::CarryStats cs_round = ctx.inc.stats();
+    ctx.inc.sync(miter, *ctx.bank, sched);
+    note_sync(ctx, cs_round);
   }
 
   const std::size_t merged = subst.num_merged();
-  if (!subst.empty()) {
-    const std::size_t before = miter.num_ands();
-    ctx.miter = aig::rebuild(miter, subst).aig;
-    note_rebuild(ctx, before, ctx.miter.num_ands());
-  }
-  publish_ec_stats(ctx, ec.stats());
+  publish_ec_stats(ctx, ec.stats(), ec_entry);
+  if (!subst.empty()) apply_reduction(ctx, subst);
   ctx.stats.global_seconds += t.seconds();
   return merged;
 }

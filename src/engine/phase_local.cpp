@@ -48,9 +48,10 @@ void publish_pass_stats(EngineContext& ctx, unsigned pass_index,
   r.add(name("levels"), s.levels);
   // Hit rate of the pass's exhaustive cut checks, cumulative across runs
   // (recomputed from the registry's own counters so it stays consistent).
-  const obs::Snapshot snap = r.snapshot();
-  const double checks = static_cast<double>(snap.count(name("checks")));
-  const double proved = static_cast<double>(snap.count(name("proved")));
+  // Direct counter reads: taking a full Registry::snapshot() per pass
+  // copied every metric in the registry just to read these two cells.
+  const double checks = static_cast<double>(r.counter(name("checks")).value());
+  const double proved = static_cast<double>(r.counter(name("proved")).value());
   r.set(name("hit_rate"), checks > 0 ? proved / checks : 0.0);
   for (std::size_t b = 0; b < s.level_hist.size(); ++b) {
     if (s.level_hist[b] == 0) continue;
@@ -70,11 +71,16 @@ bool run_local_phase(EngineContext& ctx) {
 
   if (!ctx.bank)
     ctx.bank = sim::PatternBank::random(miter.num_pis(), p.sim_words, p.seed);
-  note_partial_sim(ctx, ctx.bank->num_words());
-  const sim::Signatures sigs = sim::simulate(miter, *ctx.bank);
-  sim::EcManager ec;
-  ec.build(miter, sigs);
-  publish_ec_stats(ctx, ec.stats());
+  // Incremental entry (DESIGN.md §2.7): classes carried over from the
+  // previous phase's rebuild (or delta-refined) instead of a full
+  // re-simulation + fresh build; EC stats publish as deltas since the
+  // manager lives across phases.
+  const aig::LevelSchedule* sched = level_schedule(ctx);
+  const sim::CarryStats cs_entry = ctx.inc.stats();
+  const sim::EcStats ec_entry = ctx.inc.ec().stats();
+  sim::EcManager& ec = ctx.inc.sync(miter, *ctx.bank, sched);
+  note_sync(ctx, cs_entry);
+  publish_ec_stats(ctx, ec.stats(), ec_entry);
 
   std::vector<cut::PairTask> tasks;
   for (const sim::CandidatePair& pair : ec.candidate_pairs()) {
@@ -102,6 +108,7 @@ bool run_local_phase(EngineContext& ctx) {
   pass_params.sim_params.ledger = ctx.ledger;
   pass_params.max_fault_retries = p.max_fault_retries;
   pass_params.min_memory_words = p.min_memory_words;
+  pass_params.schedule = sched;
 
   std::vector<std::uint8_t> proved(tasks.size(), 0);
   static constexpr cut::Pass kPasses[3] = {
@@ -109,11 +116,18 @@ bool run_local_phase(EngineContext& ctx) {
   bool phase_expired = false;
   for (unsigned i = 0; i < 3 && !phase_expired; ++i) {
     if (!ctx.active_passes[i]) continue;
+    // Per-pass parameter reset: retry backoff below shrinks cut_size /
+    // buffer_capacity for THIS pass only — each pass starts from the
+    // configured values again (only memory degradation, which tracks a
+    // process-wide pressure, sticks in ctx.degrade.memory_words).
+    pass_params.enum_params.cut_size = p.k_l;
+    pass_params.buffer_capacity = p.cut_buffer_capacity;
     // Degradation ladder around a whole pass: a pass that faults (cut
     // buffer overflow injection, OOM outside the batch path) is retried
     // with smaller cuts and a smaller buffer; after the retry budget the
     // pass is skipped — its unproved pairs stay soundly undecided.
     std::optional<cut::PassResult> result;
+    unsigned retries_taken = 0;
     for (unsigned retry = 0;; ++retry) {
       pass_params.sim_params.memory_words = ctx.degrade.memory_words;
       try {
@@ -130,7 +144,7 @@ bool run_local_phase(EngineContext& ctx) {
       }
       ++ctx.degrade.pass_retries;
       ++ctx.degrade.ladder_steps;
-      ++ctx.degrade.faults_recovered;
+      ++retries_taken;
       pass_params.enum_params.cut_size =
           std::max(2u, pass_params.enum_params.cut_size - 2);
       pass_params.buffer_capacity =
@@ -140,6 +154,9 @@ bool run_local_phase(EngineContext& ctx) {
         ++ctx.degrade.memory_halvings;
       }
     }
+    // Retries only count as recovered when the pass eventually succeeded;
+    // an abandoned pass's retries recovered nothing.
+    if (result) ctx.degrade.faults_recovered += retries_taken;
     if (!result) continue;  // pass abandoned
     proved = result->proved;
     SIMSWEEP_LOG_INFO("L pass %u: %zu proved (%zu cut checks, %zu flushes)",
@@ -147,10 +164,13 @@ bool run_local_phase(EngineContext& ctx) {
                       result->stats.flushes);
     publish_pass_stats(ctx, i, result->stats);
     // Fold the pass's internal flush-ladder activity into the run state.
+    // Halvings count as recovered only when their flush succeeded (the
+    // halvings_recovered subset); flushes that halved and still abandoned
+    // their checks recovered nothing.
     if (result->stats.ladder_steps > 0) {
       ctx.degrade.ladder_steps += result->stats.ladder_steps;
       ctx.degrade.memory_halvings += result->stats.ladder_steps;
-      ctx.degrade.faults_recovered += result->stats.ladder_steps;
+      ctx.degrade.faults_recovered += result->stats.halvings_recovered;
       for (std::size_t h = 0; h < result->stats.ladder_steps; ++h)
         if (ctx.degrade.memory_words / 2 >= p.min_memory_words)
           ctx.degrade.memory_words /= 2;
@@ -179,8 +199,7 @@ bool run_local_phase(EngineContext& ctx) {
     return false;
   }
   const std::size_t before = miter.num_ands();
-  ctx.miter = aig::rebuild(miter, subst).aig;
-  note_rebuild(ctx, before, ctx.miter.num_ands());
+  apply_reduction(ctx, subst);
   SIMSWEEP_LOG_INFO("L phase reduced miter: %zu -> %zu AND nodes", before,
                     ctx.miter.num_ands());
   ctx.stats.local_seconds += t.seconds();

@@ -48,7 +48,8 @@ bool run_po_phase(EngineContext& ctx) {
     auto w = window::build_window(
         miter, supports.sets[v],
         {window::CheckItem{po, aig::kLitFalse,
-                           static_cast<std::uint32_t>(i)}});
+                           static_cast<std::uint32_t>(i)}},
+        level_schedule(ctx));
     if (w) windows.push_back(std::move(*w));
   }
   if (windows.empty()) {
@@ -107,9 +108,7 @@ bool run_po_phase(EngineContext& ctx) {
   ctx.stats.pos_proved += proved;
   if (proved > 0) {
     // Drop the logic of proved POs (miter reduction).
-    const std::size_t before = miter.num_ands();
-    ctx.miter = aig::rebuild(miter, subst).aig;
-    note_rebuild(ctx, before, ctx.miter.num_ands());
+    apply_reduction(ctx, subst);
   }
   SIMSWEEP_LOG_INFO("P phase: %zu/%zu POs proved (threshold %u)", proved,
                     ctx.stats.pos_total, threshold);

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cassert>
 
-#include "aig/aig_analysis.hpp"
 #include "common/word_kernels.hpp"
 #include "parallel/thread_pool.hpp"
 
@@ -13,37 +12,49 @@ PatternBank PatternBank::random(unsigned num_pis, std::size_t num_words,
                                 std::uint64_t seed) {
   PatternBank bank(num_pis, num_words);
   Rng rng(seed);
-  for (auto& w : bank.words_) w = rng.next64();
+  // Fill in PI-major traversal (all words of PI 0, then PI 1, ...) so the
+  // bank is bit-identical for a given seed to what the historical PI-major
+  // layout produced — seeded runs and golden tests stay stable across the
+  // word-major storage switch.
+  for (unsigned pi = 0; pi < num_pis; ++pi)
+    for (std::size_t w = 0; w < num_words; ++w) bank.word(pi, w) = rng.next64();
   return bank;
+}
+
+void PatternBank::reserve_columns(std::size_t extra_words) {
+  const std::size_t need =
+      static_cast<std::size_t>(num_pis_) * (num_words_ + extra_words);
+  if (need <= words_.capacity()) return;
+  std::size_t cap = words_.capacity() < 16 ? 16 : words_.capacity() * 2;
+  if (cap < need) cap = need;
+  words_.reserve(cap);
+  ++reallocations_;
 }
 
 void PatternBank::append_words(const std::vector<Word>& per_pi_words) {
   assert(per_pi_words.size() == num_pis_);
-  std::vector<Word> next(static_cast<std::size_t>(num_pis_) *
-                         (num_words_ + 1));
-  // words_.data() (not &words_[i]): the bank may hold zero words, and
-  // operator[] on an empty vector is UB even for a zero-length copy.
-  for (unsigned pi = 0; pi < num_pis_; ++pi) {
-    std::copy_n(words_.data() + static_cast<std::size_t>(pi) * num_words_,
-                num_words_, next.data() + static_cast<std::size_t>(pi) *
-                                              (num_words_ + 1));
-    next[static_cast<std::size_t>(pi) * (num_words_ + 1) + num_words_] =
-        per_pi_words[pi];
-  }
-  words_ = std::move(next);
+  reserve_columns(1);
+  words_.insert(words_.end(), per_pi_words.begin(), per_pi_words.end());
   ++num_words_;
+}
+
+void PatternBank::append_groups(const std::vector<std::vector<Word>>& groups) {
+  reserve_columns(groups.size());
+  for (const auto& group : groups) {
+    assert(group.size() == num_pis_);
+    words_.insert(words_.end(), group.begin(), group.end());
+    ++num_words_;
+  }
 }
 
 std::size_t PatternBank::truncate_front(std::size_t max_words) {
   if (num_words_ <= max_words) return 0;
   const std::size_t drop = num_words_ - max_words;
-  std::vector<Word> next(static_cast<std::size_t>(num_pis_) * max_words);
-  for (unsigned pi = 0; pi < num_pis_; ++pi)
-    std::copy_n(
-        words_.data() + static_cast<std::size_t>(pi) * num_words_ + drop,
-        max_words, next.data() + static_cast<std::size_t>(pi) * max_words);
-  words_ = std::move(next);
+  words_.erase(words_.begin(),
+               words_.begin() + static_cast<std::ptrdiff_t>(
+                                    drop * static_cast<std::size_t>(num_pis_)));
   num_words_ = max_words;
+  start_index_ += drop;
   return drop;
 }
 
@@ -60,48 +71,52 @@ void CexCollector::add(
 }
 
 void CexCollector::flush_into(PatternBank& bank) {
-  for (auto& group : groups_) bank.append_words(group);
+  bank.append_groups(groups_);
   groups_.clear();
   count_ = 0;
 }
 
-Signatures simulate(const aig::Aig& aig, const PatternBank& bank) {
-  assert(bank.num_pis() == aig.num_pis());
-  const std::size_t W = bank.num_words();
-  Signatures sig;
-  sig.num_words = W;
-  sig.words.assign(aig.num_nodes() * W, 0);
+namespace {
 
-  // PIs copy their bank rows.
-  parallel::parallel_for_chunks(0, aig.num_pis(), [&](std::size_t lo,
-                                                      std::size_t hi) {
-    for (std::size_t i = lo; i < hi; ++i)
-      for (std::size_t w = 0; w < W; ++w)
-        sig.words[(i + 1) * W + w] = bank.word(static_cast<unsigned>(i), w);
-  });
+/// Simulates columns [from, W) of every node row, where W is the bank's
+/// current width and sig is already laid out at row stride W with PI rows
+/// filled for [0, from). Shared core of simulate() (from = 0) and
+/// extend_signatures() (from = old width): the delta path is bit-identical
+/// to full simulation by construction because both run exactly this code
+/// over their column range.
+void simulate_columns(const aig::Aig& aig, const PatternBank& bank,
+                      std::size_t from, Signatures& sig,
+                      const aig::LevelSchedule* schedule) {
+  const std::size_t W = bank.num_words();
+  assert(sig.num_words == W);
+  assert(from <= W);
+  const std::size_t D = W - from;
+  if (D == 0) return;
+
+  // PIs copy their bank rows (new columns only).
+  parallel::parallel_for_chunks(
+      0, aig.num_pis(), [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i)
+          for (std::size_t w = from; w < W; ++w)
+            sig.words[(i + 1) * W + w] =
+                bank.word(static_cast<unsigned>(i), w);
+      });
 
   // Level-parallel sweep over AND nodes: batch nodes by level and process
   // each batch with a parallel_for (paper's second parallelism dimension).
   // Concurrency contract: within a level batch each worker writes only
-  // its own nodes' signature rows (disjoint W-word ranges of sig.words)
+  // its own nodes' signature rows (disjoint word ranges of sig.words)
   // and reads rows of strictly lower levels, which the preceding
   // parallel_for's completion ordered before this one started.
-  const auto levels = aig::compute_levels(aig);
-  const std::uint32_t max_level =
-      *std::max_element(levels.begin(), levels.end());
-  // Bucket node ids by level (counting sort).
-  std::vector<std::size_t> offset(max_level + 2, 0);
-  for (aig::Var v = aig.num_pis() + 1; v < aig.num_nodes(); ++v)
-    ++offset[levels[v] + 1];
-  for (std::size_t l = 1; l < offset.size(); ++l) offset[l] += offset[l - 1];
-  std::vector<aig::Var> order(aig.num_ands());
-  {
-    std::vector<std::size_t> cursor(offset.begin(), offset.end() - 1);
-    for (aig::Var v = aig.num_pis() + 1; v < aig.num_nodes(); ++v)
-      order[cursor[levels[v]]++] = v;
+  aig::LevelSchedule local;
+  if (schedule == nullptr || !schedule->matches(aig)) {
+    local = aig::build_level_schedule(aig);
+    schedule = &local;
   }
+  const auto& order = schedule->order;
+  const auto& offset = schedule->offset;
 
-  for (std::uint32_t l = 1; l <= max_level; ++l) {
+  for (std::uint32_t l = 1; l <= schedule->max_level; ++l) {
     const std::size_t lo = offset[l], hi = offset[l + 1];
     parallel::parallel_for_chunks(lo, hi, [&](std::size_t clo,
                                               std::size_t chi) {
@@ -112,15 +127,53 @@ Signatures simulate(const aig::Aig& aig, const PatternBank& bank) {
         const aig::Lit f0 = aig.fanin0(v);
         const aig::Lit f1 = aig.fanin1(v);
         kernels::and2_words(
-            words + static_cast<std::size_t>(v) * W,
-            words + static_cast<std::size_t>(aig::lit_var(f0)) * W,
+            words + static_cast<std::size_t>(v) * W + from,
+            words + static_cast<std::size_t>(aig::lit_var(f0)) * W + from,
             aig::lit_compl(f0) ? ~Word{0} : 0,
-            words + static_cast<std::size_t>(aig::lit_var(f1)) * W,
-            aig::lit_compl(f1) ? ~Word{0} : 0, W);
+            words + static_cast<std::size_t>(aig::lit_var(f1)) * W + from,
+            aig::lit_compl(f1) ? ~Word{0} : 0, D);
       }
     });
   }
+}
+
+}  // namespace
+
+Signatures simulate(const aig::Aig& aig, const PatternBank& bank,
+                    const aig::LevelSchedule* schedule) {
+  assert(bank.num_pis() == aig.num_pis());
+  const std::size_t W = bank.num_words();
+  Signatures sig;
+  sig.num_words = W;
+  sig.words.assign(aig.num_nodes() * W, 0);
+  simulate_columns(aig, bank, 0, sig, schedule);
   return sig;
+}
+
+void extend_signatures(const aig::Aig& aig, const PatternBank& bank,
+                       std::size_t from_word, Signatures& sig,
+                       const aig::LevelSchedule* schedule) {
+  assert(bank.num_pis() == aig.num_pis());
+  assert(sig.num_words == from_word);
+  assert(sig.words.size() ==
+         static_cast<std::size_t>(aig.num_nodes()) * from_word);
+  const std::size_t W = bank.num_words();
+  assert(from_word <= W);
+  if (W == from_word) return;
+
+  // Re-lay rows out at the new stride, back to front so each row's source
+  // range is read before it can be overwritten (dst row v starts at v*W >=
+  // v*from_word = src start, so copying descending rows is safe in place).
+  sig.words.resize(static_cast<std::size_t>(aig.num_nodes()) * W, 0);
+  Word* const data = sig.words.data();
+  for (std::size_t v = aig.num_nodes(); v-- > 0;) {
+    Word* const dst = data + v * W;
+    const Word* const src = data + v * from_word;
+    std::copy_backward(src, src + from_word, dst + from_word);
+    std::fill(dst + from_word, dst + W, Word{0});
+  }
+  sig.num_words = W;
+  simulate_columns(aig, bank, from_word, sig, schedule);
 }
 
 }  // namespace simsweep::sim

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "aig/aig.hpp"
+#include "aig/aig_analysis.hpp"
 #include "common/random.hpp"
 
 namespace simsweep::sim {
@@ -21,8 +22,19 @@ namespace simsweep::sim {
 using Word = std::uint64_t;
 
 /// Input patterns for all PIs, packed 64 assignments per word.
-/// words[pi_index * num_words + w] holds assignments 64w .. 64w+63 of that
-/// PI (pi_index is 0-based).
+///
+/// Storage is word-major — words[w * num_pis + pi] holds assignments
+/// 64w .. 64w+63 of PI `pi` (0-based) — so appending one word-column for
+/// all PIs is an amortized vector append instead of a full-bank copy
+/// (CexCollector::flush_into appends a column per CEX group; the old
+/// PI-major layout made that O(pis × words) per column, quadratic as
+/// CEXs accumulate).
+///
+/// The bank behaves as a sliding window over an append-only pattern
+/// stream: columns are appended at the back and dropped from the front
+/// only. start_index() is the stream index of the current first column;
+/// incremental consumers (sim::IncrementalState) use it to know which of
+/// their cached columns survived a truncation.
 class PatternBank {
  public:
   PatternBank(unsigned num_pis, std::size_t num_words)
@@ -37,26 +49,43 @@ class PatternBank {
   std::size_t num_words() const { return num_words_; }
   std::size_t num_patterns() const { return num_words_ * 64; }
 
+  /// Stream index of column 0: the total number of words ever dropped by
+  /// truncate_front(). Monotonic over the bank's lifetime.
+  std::uint64_t start_index() const { return start_index_; }
+
   Word word(unsigned pi, std::size_t w) const {
-    return words_[static_cast<std::size_t>(pi) * num_words_ + w];
+    return words_[w * num_pis_ + pi];
   }
   Word& word(unsigned pi, std::size_t w) {
-    return words_[static_cast<std::size_t>(pi) * num_words_ + w];
+    return words_[w * num_pis_ + pi];
   }
 
   /// Appends one extra word per PI, filled with the given per-PI values
-  /// replicated (used to splice CEX patterns; see CexCollector).
+  /// (used to splice CEX patterns; see CexCollector). Amortized O(pis).
   void append_words(const std::vector<Word>& per_pi_words);
+
+  /// Batch form: appends one column per group with a single capacity
+  /// reservation. Each group must hold num_pis() words.
+  void append_groups(const std::vector<std::vector<Word>>& groups);
 
   /// Drops the oldest words until at most max_words remain (bounds the
   /// resimulation cost as CEXs accumulate). Returns the number of words
   /// dropped per PI (0 when the bank already fits).
   std::size_t truncate_front(std::size_t max_words);
 
+  /// Times the append paths grew the underlying capacity — regression
+  /// guard for the amortized-growth contract (a bank appended to N times
+  /// reallocates O(log N) times, not N).
+  std::uint64_t reallocations() const { return reallocations_; }
+
  private:
+  void reserve_columns(std::size_t extra_words);
+
   unsigned num_pis_;
   std::size_t num_words_;
-  std::vector<Word> words_;  // PI-major
+  std::uint64_t start_index_ = 0;
+  std::uint64_t reallocations_ = 0;
+  std::vector<Word> words_;  // word-major: words_[w * num_pis_ + pi]
 };
 
 /// Accumulates counter-example input assignments (sparse: only support PIs
@@ -90,11 +119,26 @@ struct Signatures {
   Word word(aig::Var v, std::size_t w) const {
     return words[static_cast<std::size_t>(v) * num_words + w];
   }
-  const Word* row(aig::Var v) const { return &words[v * num_words]; }
+  const Word* row(aig::Var v) const {
+    return words.data() + static_cast<std::size_t>(v) * num_words;
+  }
 };
 
-/// Simulates the whole AIG under the bank's patterns, level-parallel on the
-/// global thread pool. Complemented fanins are handled by bitwise NOT.
-Signatures simulate(const aig::Aig& aig, const PatternBank& bank);
+/// Simulates the whole AIG under the bank's patterns, level-parallel on
+/// the global thread pool. Complemented fanins are handled by bitwise NOT.
+/// When `schedule` is non-null and matches the AIG it is used instead of
+/// recomputing the level order (DESIGN.md §2.7).
+Signatures simulate(const aig::Aig& aig, const PatternBank& bank,
+                    const aig::LevelSchedule* schedule = nullptr);
+
+/// Delta simulation: `sig` must be a simulate() result for this AIG over
+/// the bank's first `from_word` columns (sig.num_words == from_word).
+/// Re-lays the rows out to the bank's current width and simulates ONLY
+/// the appended columns [from_word, bank.num_words()), so the result is
+/// bit-identical to a full simulate(aig, bank) at a fraction of the cost
+/// (the word kernels operate on arbitrary word ranges).
+void extend_signatures(const aig::Aig& aig, const PatternBank& bank,
+                       std::size_t from_word, Signatures& sig,
+                       const aig::LevelSchedule* schedule = nullptr);
 
 }  // namespace simsweep::sim

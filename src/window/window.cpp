@@ -9,7 +9,8 @@ namespace simsweep::window {
 
 std::optional<Window> build_window(const aig::Aig& aig,
                                    std::vector<aig::Var> inputs,
-                                   std::vector<CheckItem> items) {
+                                   std::vector<CheckItem> items,
+                                   const aig::LevelSchedule* schedule) {
   assert(std::is_sorted(inputs.begin(), inputs.end()));
   Window w;
   w.inputs = std::move(inputs);
@@ -59,16 +60,36 @@ std::optional<Window> build_window(const aig::Aig& aig,
   };
   for (aig::Var v : w.inputs) set_level(v, 0);
   std::uint32_t max_level = 0;
-  for (aig::Var v : w.nodes) {  // ascending id = topological
-    const std::uint32_t l = 1 + std::max(level(aig::lit_var(aig.fanin0(v))),
-                                         level(aig::lit_var(aig.fanin1(v))));
-    set_level(v, l);
-    max_level = std::max(max_level, l);
-  }
+  if (schedule != nullptr && schedule->matches(aig)) {
+    // Schedule path: stage by cached global levels, compressed to
+    // consecutive local levels. Stable sort keeps ascending id within a
+    // stage (w.nodes arrives in ascending id order from the cone).
+    const std::vector<std::uint32_t>& gl = schedule->levels;
+    std::stable_sort(
+        w.nodes.begin(), w.nodes.end(),
+        [&](aig::Var a, aig::Var b) { return gl[a] < gl[b]; });
+    std::uint32_t prev_gl = 0;
+    for (aig::Var v : w.nodes) {
+      if (max_level == 0 || gl[v] != prev_gl) {
+        ++max_level;
+        prev_gl = gl[v];
+      }
+      set_level(v, max_level);
+    }
+  } else {
+    for (aig::Var v : w.nodes) {  // ascending id = topological
+      const std::uint32_t l =
+          1 + std::max(level(aig::lit_var(aig.fanin0(v))),
+                       level(aig::lit_var(aig.fanin1(v))));
+      set_level(v, l);
+      max_level = std::max(max_level, l);
+    }
 
-  // Level-major node order (stable within a level by id).
-  std::stable_sort(w.nodes.begin(), w.nodes.end(),
-                   [&](aig::Var a, aig::Var b) { return level(a) < level(b); });
+    // Level-major node order (stable within a level by id).
+    std::stable_sort(
+        w.nodes.begin(), w.nodes.end(),
+        [&](aig::Var a, aig::Var b) { return level(a) < level(b); });
+  }
 
   // Slot assignment: inputs occupy 0..k-1, then nodes in level-major order.
   for (std::size_t i = 0; i < w.inputs.size(); ++i)

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "aig/aig.hpp"
+#include "aig/aig_analysis.hpp"
 
 namespace simsweep::window {
 
@@ -86,8 +87,17 @@ struct Window {
 /// ascending, no duplicates). Returns nullopt if the inputs do not block
 /// every PI path to some root (i.e. they are not a valid cut/support set),
 /// in which case exhaustive simulation over them would be unsound.
+///
+/// When `schedule` is non-null and matches the AIG, window nodes are
+/// staged by their cached *global* levels instead of recomputing local
+/// window levels (DESIGN.md §2.7) — valid because a fanin's global level
+/// is strictly below its fanout's, so global-level groups are a staged
+/// evaluation order too (possibly more stages than the local minimum;
+/// the simulated functions are identical either way).
 std::optional<Window> build_window(const aig::Aig& aig,
                                    std::vector<aig::Var> inputs,
-                                   std::vector<CheckItem> items);
+                                   std::vector<CheckItem> items,
+                                   const aig::LevelSchedule* schedule =
+                                       nullptr);
 
 }  // namespace simsweep::window

@@ -11,6 +11,7 @@
 #include "cut/common_cuts.hpp"
 #include "cut/cut_enum.hpp"
 #include "cut/cut_set.hpp"
+#include "fault/governor.hpp"
 #include "sim/ec_manager.hpp"
 #include "test_util.hpp"
 
@@ -297,6 +298,86 @@ TEST(CheckingPass, TinyBufferForcesManyFlushes) {
   const PassResult rt = run_checking_pass(a, tasks, Pass::kFanout, tiny);
   EXPECT_GE(rt.stats.flushes, rb.stats.flushes);
   EXPECT_EQ(rb.proved, rt.proved);  // buffer size must not change results
+}
+
+TEST(CheckingPass, OversizedGroupIsSplitAcrossFlushes) {
+  // S2 regression: one pair's common-cut group can exceed the WHOLE
+  // buffer capacity (buffer_capacity < max_cuts_per_pair). The pass must
+  // split the group across flushes instead of overrunning the bound.
+  const Aig a = testutil::random_aig(8, 150, 4, 87);
+  sim::EcManager ec;
+  const auto bank = sim::PatternBank::random(a.num_pis(), 2, 3);
+  ec.build(a, sim::simulate(a, bank));
+  std::vector<PairTask> tasks;
+  for (const sim::CandidatePair& p : ec.candidate_pairs())
+    if (a.is_and(p.node)) tasks.push_back(PairTask{p.repr, p.node, p.phase});
+  if (tasks.empty()) GTEST_SKIP() << "no candidate pairs in random AIG";
+
+  PassParams big;
+  PassParams tiny;
+  tiny.buffer_capacity = 2;  // < max_cuts_per_pair (8)
+  ASSERT_LT(tiny.buffer_capacity, tiny.max_cuts_per_pair);
+  const PassResult rb = run_checking_pass(a, tasks, Pass::kFanout, big);
+  const PassResult rt = run_checking_pass(a, tasks, Pass::kFanout, tiny);
+  // The bounded-buffer contract: the high-water mark never exceeds the
+  // configured capacity, even while a single group is larger than it.
+  EXPECT_LE(rt.stats.peak_buffered, tiny.buffer_capacity);
+  EXPECT_GT(rt.stats.group_splits, 0u);
+  EXPECT_EQ(rb.stats.group_splits, 0u);
+  EXPECT_LE(rb.stats.peak_buffered, big.buffer_capacity);
+  EXPECT_EQ(rb.proved, rt.proved);  // splitting must not change results
+}
+
+TEST(CheckingPassDetail, ExpiredDeadlineFlushCountsAbandonedChecks) {
+  // S4 regression: a flush whose exhaustive batch hits the deadline drops
+  // its in-flight windows — that loss must surface as checks_abandoned,
+  // not silently vanish behind deadline_expired.
+  Aig a(6);
+  const Lit f = a.add_and(a.pi_lit(0), a.pi_lit(1));
+  const Lit g = a.add_or(a.pi_lit(2), a.pi_lit(3));
+  const Lit h = a.add_xor(a.pi_lit(4), a.pi_lit(5));
+  const Lit n = a.add_or(a.add_and(f, g), a.add_and(f, h));
+  const Lit m = a.add_and(f, a.add_or(g, h));
+  a.add_po(n);
+  a.add_po(m);
+  std::vector<PairTask> tasks{
+      PairTask{std::min(aig::lit_var(n), aig::lit_var(m)),
+               std::max(aig::lit_var(n), aig::lit_var(m)),
+               aig::lit_compl(n) != aig::lit_compl(m)}};
+  Cut c01, cut;
+  merge_cuts(Cut::trivial(aig::lit_var(f)), Cut::trivial(aig::lit_var(g)), 3,
+             c01);
+  merge_cuts(c01, Cut::trivial(aig::lit_var(h)), 3, cut);
+  std::vector<detail::BufEntry> buffer{detail::BufEntry{0, cut}};
+  std::vector<std::uint8_t> proved(1, 0);
+
+  const fault::Deadline past = fault::Deadline::after(1e-9);
+  while (!past.expired()) {
+  }
+  PassParams params;
+  params.sim_params.deadline = &past;
+  std::size_t sim_memory = params.sim_params.memory_words;
+  PassStats stats;
+  detail::flush_buffer(a, tasks, buffer, proved, params, sim_memory, stats);
+  EXPECT_TRUE(stats.deadline_expired);
+  EXPECT_EQ(stats.checks_abandoned, 1u);
+  EXPECT_EQ(proved[0], 0u);
+  EXPECT_TRUE(buffer.empty());
+
+  // Control: the same flush under no deadline proves the pair and
+  // abandons nothing.
+  std::vector<detail::BufEntry> buffer2{detail::BufEntry{0, cut}};
+  std::vector<std::uint8_t> proved2(1, 0);
+  PassParams params2;
+  std::size_t sim_memory2 = params2.sim_params.memory_words;
+  PassStats stats2;
+  detail::flush_buffer(a, tasks, buffer2, proved2, params2, sim_memory2,
+                       stats2);
+  EXPECT_FALSE(stats2.deadline_expired);
+  EXPECT_EQ(stats2.checks_abandoned, 0u);
+  EXPECT_EQ(proved2[0], 1u);
+  EXPECT_EQ(stats2.halvings_recovered, 0u);
+  EXPECT_EQ(stats2.flushes_abandoned, 0u);
 }
 
 }  // namespace

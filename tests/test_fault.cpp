@@ -268,6 +268,30 @@ TEST(FaultRecovery, CutPassFaultIsRetriedWithBackoff) {
   EXPECT_GT(scoped.fires(fault::sites::kCutEnumOverflow), 0u);
   EXPECT_GT(r.report.count(obs::metric::kDegradePassRetries), 0u);
   EXPECT_GT(r.report.count(obs::metric::kFaultsInjected), 0u);
+  // S3 accounting: both fires hit the first pass, which then succeeded on
+  // its third attempt — exactly those 2 retries count as recovered (no
+  // other recovery source is armed or under pressure in this run).
+  EXPECT_EQ(r.report.count(obs::metric::kDegradePassRetries), 2u);
+  EXPECT_EQ(r.report.count(obs::metric::kFaultsRecovered), 2u);
+}
+
+TEST(FaultRecovery, AbandonedPassRetriesAreNotCountedRecovered) {
+  // S3 regression: with the overflow site firing on EVERY hit no pass can
+  // ever complete — every retry is futile and every pass is abandoned.
+  // faults_recovered must stay 0 (the old accounting credited each retry
+  // as a recovery up front, so a fully-failing run looked "recovered").
+  const aig::Aig a = gen::array_multiplier(4);
+  const aig::Aig b = gen::wallace_multiplier(4);
+  fault::FaultPlan plan;
+  plan.on_hit(fault::sites::kCutEnumOverflow, 1, /*fires=*/0);  // unlimited
+  fault::ScopedFaultPlan scoped(plan);
+  const engine::EngineResult r =
+      engine::SimCecEngine(small_engine()).check(a, b);
+  EXPECT_NE(r.verdict, Verdict::kNotEquivalent);  // soundness
+  EXPECT_GT(scoped.fires(fault::sites::kCutEnumOverflow), 0u);
+  EXPECT_GT(r.report.count(obs::metric::kDegradePassRetries), 0u);
+  EXPECT_GT(r.report.count(obs::metric::kDegradeUnitsAbandoned), 0u);
+  EXPECT_EQ(r.report.count(obs::metric::kFaultsRecovered), 0u);
 }
 
 TEST(FaultRecovery, ExhaustedRetriesAbandonToUndecidedNeverUnsound) {

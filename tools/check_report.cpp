@@ -114,7 +114,9 @@ int main(int argc, char** argv) {
   // present; the demo flow additionally guarantees the specific leaves
   // the engine publishes unconditionally (zero-valued when healthy).
   for (const char* leaf : {"\"faults\"", "\"injected\"", "\"degrade\"",
-                           "\"ladder_steps\"", "\"units_abandoned\""}) {
+                           "\"ladder_steps\"", "\"units_abandoned\"",
+                           "\"carryover\"", "\"full_resims\"",
+                           "\"incremental_words\""}) {
     if (json.find(leaf) == std::string::npos) {
       std::fprintf(stderr, "check_report: report lacks expected key %s\n",
                    leaf);
