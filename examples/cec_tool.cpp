@@ -3,46 +3,134 @@
 /// "&cec"-style front end of the library.
 ///
 /// Usage:
-///   ./cec_tool [--json-report <path>] [--sweep-threads <n>] a.aig b.aig
-///   ./cec_tool [--json-report <path>] [--sweep-threads <n>] --demo
+///   ./cec_tool [options] (<a.aig> <b.aig> | --demo)
 ///
-/// --demo generates a demo pair, writes it to the working directory, and
-/// checks it. --json-report writes the run's metric snapshot (DESIGN.md
-/// §2.3, schema simsweep.run_report.v2) to <path>. --sweep-threads <n>
-/// shards the SAT residue sweep over n cooperating solvers (DESIGN.md
-/// §2.5; default 1 = sequential).
+/// Options:
+///   --demo                 generate a demo pair in the working directory
+///                          and check it
+///   --json-report <path>   write the run's metric snapshot (DESIGN.md
+///                          §2.3, schema simsweep.run_report.v3)
+///   --sweep-threads <n>    shard the SAT residue sweep over n cooperating
+///                          solvers (DESIGN.md §2.5; default 1)
+///   --checkpoint <path>    durable checkpoint/resume (DESIGN.md §2.8):
+///                          snapshot at phase/round boundaries, resume
+///                          from the last good snapshot of the same run
+///   --checkpoint-interval <sec>  throttle durable writes (default 0 =
+///                          every boundary)
+///   --no-resume            ignore an existing checkpoint (overwrite mode)
+///   --supervise            fork the run into a watched child; on abnormal
+///                          exit re-run from the last-good checkpoint with
+///                          exponential backoff (requires --checkpoint)
+///   --max-restarts <n>     abnormal exits tolerated by --supervise
+///                          (default 3)
+///   --arm-fault <site:nth> arm one catalogued injection site (DESIGN.md
+///                          §2.4) for crash/IO drills; under --supervise
+///                          only the first attempt is armed
+///   --drill-signal <TERM|INT>  raise that signal against the tool itself
+///                          after the first durable checkpoint write (the
+///                          kill-and-resume walkthrough's scripted kill)
+///
+/// SIGINT/SIGTERM request a graceful stop: the flow cancels at the next
+/// checkpoint, the pending snapshot and the JSON report are flushed, and
+/// the tool exits 4 so callers can distinguish "interrupted but resumable"
+/// from a verdict.
 ///
 /// Exit code: 0 equivalent, 1 not equivalent, 2 undecided, 3 error (bad
 /// usage, unreadable/malformed input, or any internal failure — every
 /// exception is caught and reported as a one-line diagnostic; the tool
-/// never crashes on bad input).
+/// never crashes on bad input), 4 interrupted with state flushed.
 
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "aig/aig_io.hpp"
 #include "aig/cex.hpp"
 #include "aig/miter.hpp"
+#include "ckpt/resume.hpp"
+#include "ckpt/supervisor.hpp"
+#include "fault/fault.hpp"
 #include "gen/suite.hpp"
+#include "obs/metric_names.hpp"
 #include "obs/report.hpp"
 #include "portfolio/portfolio.hpp"
 
 namespace {
 
+/// Set by the SIGINT/SIGTERM handler; polled by the engine and sweeper at
+/// their cancellation checkpoints, so a signal degrades the run to a
+/// flushed kUndecided instead of killing it mid-write.
+std::atomic<bool> g_cancel{false};
+
+void handle_signal(int) { g_cancel.store(true, std::memory_order_relaxed); }
+
+struct Options {
+  bool demo = false;
+  std::string report_path;
+  unsigned sweep_threads = 1;
+  std::string checkpoint;
+  double checkpoint_interval = 0;
+  bool resume = true;
+  bool supervise = false;
+  unsigned max_restarts = 3;
+  std::string arm_site;
+  std::uint64_t arm_nth = 1;
+  int drill_signal = 0;
+  std::vector<std::string> files;
+};
+
 int check(const simsweep::aig::Aig& a, const simsweep::aig::Aig& b,
-          const std::string& report_path, unsigned sweep_threads) {
+          const Options& opt, const simsweep::ckpt::SupervisorProgress& sup) {
   using namespace simsweep;
-  portfolio::CombinedParams params;
+  // Arm the requested drill. Under --supervise only the FIRST attempt
+  // arms it: the installed plan is process-wide state, and the drill that
+  // crashed the child must not re-fire in the restarted one (the point of
+  // the restart is to get past the fault).
+  std::optional<fault::ScopedFaultPlan> armed;
+  if (!opt.arm_site.empty() && (!opt.supervise || sup.restarts == 0)) {
+    fault::FaultPlan plan;
+    plan.on_hit(opt.arm_site, opt.arm_nth);
+    armed.emplace(plan);
+  }
+
+  // The child owns the run report: restart telemetry handed down by the
+  // supervisor is published here so it lands in the JSON snapshot.
+  obs::Registry registry;
+  registry.add(obs::metric::kSupervisorRestarts, sup.restarts);
+  registry.add(obs::metric::kSupervisorBackoffMs, sup.backoff_ms);
+
+  ckpt::CheckpointedParams cp;
   // The paper's engine parameters rescaled to CPU exhaustive-simulation
   // reach (2^24 patterns one-shot), matching the benches' convention.
-  params.engine.k_P = 24;
-  params.engine.k_p = 14;
-  params.engine.k_g = 14;
-  params.sweeper.num_threads = sweep_threads;
-  const portfolio::CombinedResult r = portfolio::combined_check(a, b, params);
+  cp.combined.engine.k_P = 24;
+  cp.combined.engine.k_p = 14;
+  cp.combined.engine.k_g = 14;
+  cp.combined.engine.registry = &registry;
+  cp.combined.engine.cancel = &g_cancel;
+  cp.combined.sweeper.cancel = &g_cancel;
+  cp.combined.sweeper.num_threads = opt.sweep_threads;
+  cp.checkpoint_path = opt.checkpoint;
+  cp.checkpoint_interval = opt.checkpoint_interval;
+  cp.resume = opt.resume;
+  bool drill_fired = false;
+  cp.on_write = [&] {
+    if (opt.drill_signal != 0 && !drill_fired) {
+      drill_fired = true;
+      std::raise(opt.drill_signal);
+    }
+  };
+
+  const ckpt::CheckpointedResult cr = ckpt::checked_combined_check(a, b, cp);
+  const portfolio::CombinedResult& r = cr.combined;
+  if (cr.resumed)
+    std::printf("resume:   restored %llu proven pair(s) from %s\n",
+                static_cast<unsigned long long>(cr.pairs_restored),
+                opt.checkpoint.c_str());
   std::printf("engine:   %.3fs, reduced %.1f%% of the miter\n",
               r.engine_seconds, r.reduction_percent);
   if (r.used_sat)
@@ -66,14 +154,22 @@ int check(const simsweep::aig::Aig& a, const simsweep::aig::Aig& b,
       std::printf("  (%zu of %u inputs)\n", mc.num_care, miter.num_pis());
     }
   }
-  if (!report_path.empty()) {
-    if (obs::write_json_file(r.report, report_path)) {
-      std::printf("report:   %s\n", report_path.c_str());
+  if (!opt.report_path.empty()) {
+    if (obs::write_json_file(r.report, opt.report_path)) {
+      std::printf("report:   %s\n", opt.report_path.c_str());
     } else {
       std::fprintf(stderr, "error: cannot write report to %s\n",
-                   report_path.c_str());
+                   opt.report_path.c_str());
       return 3;
     }
+  }
+  // Interrupted-with-flush: the checkpoint (pending snapshot included)
+  // and the report above are durable, so a re-invocation resumes. The
+  // distinct exit code lets wrappers tell this apart from a verdict.
+  if (g_cancel.load(std::memory_order_relaxed) &&
+      r.verdict == Verdict::kUndecided) {
+    std::printf("interrupted: checkpoint and report flushed\n");
+    return 4;
   }
   switch (r.verdict) {
     case Verdict::kEquivalent: return 0;
@@ -86,6 +182,9 @@ int check(const simsweep::aig::Aig& a, const simsweep::aig::Aig& b,
 int usage(const char* prog) {
   std::fprintf(stderr,
                "usage: %s [--json-report <path>] [--sweep-threads <n>] "
+               "[--checkpoint <path>] [--checkpoint-interval <sec>] "
+               "[--no-resume] [--supervise] [--max-restarts <n>] "
+               "[--arm-fault <site:nth>] [--drill-signal <TERM|INT>] "
                "(<a.aig> <b.aig> | --demo)\n",
                prog);
   return 3;
@@ -93,51 +192,133 @@ int usage(const char* prog) {
 
 int run(int argc, char** argv) {
   using namespace simsweep;
-  bool demo = false;
-  std::string report_path;
-  unsigned sweep_threads = 1;
-  std::vector<std::string> files;
+  Options opt;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--demo") == 0) {
-      demo = true;
+      opt.demo = true;
     } else if (std::strcmp(argv[i], "--json-report") == 0) {
       if (i + 1 >= argc) return usage(argv[0]);
-      report_path = argv[++i];
+      opt.report_path = argv[++i];
     } else if (std::strcmp(argv[i], "--sweep-threads") == 0) {
       // Shard count of the SAT residue sweep (DESIGN.md §2.5); 1 keeps
       // the sequential sweeper.
       if (i + 1 >= argc) return usage(argv[0]);
       const long v = std::strtol(argv[++i], nullptr, 10);
       if (v < 1 || v > 256) return usage(argv[0]);
-      sweep_threads = static_cast<unsigned>(v);
+      opt.sweep_threads = static_cast<unsigned>(v);
+    } else if (std::strcmp(argv[i], "--checkpoint") == 0) {
+      if (i + 1 >= argc) return usage(argv[0]);
+      opt.checkpoint = argv[++i];
+    } else if (std::strcmp(argv[i], "--checkpoint-interval") == 0) {
+      if (i + 1 >= argc) return usage(argv[0]);
+      opt.checkpoint_interval = std::strtod(argv[++i], nullptr);
+      if (opt.checkpoint_interval < 0) return usage(argv[0]);
+    } else if (std::strcmp(argv[i], "--no-resume") == 0) {
+      opt.resume = false;
+    } else if (std::strcmp(argv[i], "--supervise") == 0) {
+      opt.supervise = true;
+    } else if (std::strcmp(argv[i], "--max-restarts") == 0) {
+      if (i + 1 >= argc) return usage(argv[0]);
+      const long v = std::strtol(argv[++i], nullptr, 10);
+      if (v < 0 || v > 100) return usage(argv[0]);
+      opt.max_restarts = static_cast<unsigned>(v);
+    } else if (std::strcmp(argv[i], "--arm-fault") == 0) {
+      if (i + 1 >= argc) return usage(argv[0]);
+      const std::string spec = argv[++i];
+      const std::size_t colon = spec.rfind(':');
+      opt.arm_site = spec.substr(0, colon);
+      if (colon != std::string::npos) {
+        const long n = std::strtol(spec.c_str() + colon + 1, nullptr, 10);
+        if (n < 1) return usage(argv[0]);
+        opt.arm_nth = static_cast<std::uint64_t>(n);
+      }
+      bool known = false;
+      for (const char* site : fault::kCataloguedSites)
+        known = known || opt.arm_site == site;
+      if (!known) {
+        std::fprintf(stderr, "error: unknown fault site %s\n",
+                     opt.arm_site.c_str());
+        return 3;
+      }
+    } else if (std::strcmp(argv[i], "--drill-signal") == 0) {
+      if (i + 1 >= argc) return usage(argv[0]);
+      const std::string sig = argv[++i];
+      if (sig == "TERM")
+        opt.drill_signal = SIGTERM;
+      else if (sig == "INT")
+        opt.drill_signal = SIGINT;
+      else
+        return usage(argv[0]);
     } else if (argv[i][0] == '-') {
       return usage(argv[0]);
     } else {
-      files.emplace_back(argv[i]);
+      opt.files.emplace_back(argv[i]);
     }
   }
-  if (demo) {
-    if (!files.empty()) return usage(argv[0]);
-    // The multiplier pair exercises the whole flow (P, G and L phases);
-    // simpler families are fully proved by PO checking alone.
-    gen::SuiteParams sp;
-    sp.doublings = 1;
-    const gen::BenchCase c = gen::make_case("multiplier", sp);
-    aig::write_aiger_file(c.original, "demo_original.aig");
-    aig::write_aiger_file(c.optimized, "demo_optimized.aig");
-    std::printf("wrote demo_original.aig (%zu ANDs) and "
-                "demo_optimized.aig (%zu ANDs)\n",
-                c.original.num_ands(), c.optimized.num_ands());
-    return check(c.original, c.optimized, report_path, sweep_threads);
+  if (opt.demo ? !opt.files.empty() : opt.files.size() != 2)
+    return usage(argv[0]);
+  if (opt.supervise && opt.checkpoint.empty()) {
+    std::fprintf(stderr,
+                 "error: --supervise requires --checkpoint (a restarted "
+                 "child resumes from the snapshot)\n");
+    return 3;
   }
-  if (files.size() != 2) return usage(argv[0]);
-  const aig::Aig a = aig::read_aiger_file(files[0].c_str());
-  const aig::Aig b = aig::read_aiger_file(files[1].c_str());
-  std::printf("%s: %u PIs, %zu POs, %zu ANDs\n", files[0].c_str(),
-              a.num_pis(), a.num_pos(), a.num_ands());
-  std::printf("%s: %u PIs, %zu POs, %zu ANDs\n", files[1].c_str(),
-              b.num_pis(), b.num_pos(), b.num_ands());
-  return check(a, b, report_path, sweep_threads);
+
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+
+  // One attempt = one full check. Under --supervise this body runs in a
+  // forked child; exceptions must resolve to the documented one-line
+  // diagnostic + exit 3 inside the attempt, because the supervisor only
+  // sees the exit status.
+  const auto attempt = [&](const ckpt::SupervisorProgress& sup) -> int {
+    try {
+      if (opt.demo) {
+        // The multiplier pair exercises the whole flow (P, G and L
+        // phases); simpler families are fully proved by PO checking alone.
+        gen::SuiteParams sp;
+        sp.doublings = 1;
+        const gen::BenchCase c = gen::make_case("multiplier", sp);
+        aig::write_aiger_file(c.original, "demo_original.aig");
+        aig::write_aiger_file(c.optimized, "demo_optimized.aig");
+        std::printf("wrote demo_original.aig (%zu ANDs) and "
+                    "demo_optimized.aig (%zu ANDs)\n",
+                    c.original.num_ands(), c.optimized.num_ands());
+        return check(c.original, c.optimized, opt, sup);
+      }
+      const aig::Aig a = aig::read_aiger_file(opt.files[0].c_str());
+      const aig::Aig b = aig::read_aiger_file(opt.files[1].c_str());
+      std::printf("%s: %u PIs, %zu POs, %zu ANDs\n", opt.files[0].c_str(),
+                  a.num_pis(), a.num_pos(), a.num_ands());
+      std::printf("%s: %u PIs, %zu POs, %zu ANDs\n", opt.files[1].c_str(),
+                  b.num_pis(), b.num_pos(), b.num_ands());
+      return check(a, b, opt, sup);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 3;
+    } catch (...) {
+      std::fprintf(stderr, "error: unknown failure\n");
+      return 3;
+    }
+  };
+
+  if (opt.supervise) {
+    ckpt::SupervisorParams sp;
+    sp.max_restarts = opt.max_restarts;
+    sp.backoff_initial_ms = 50;  // drills should not stall the test suite
+    const ckpt::SupervisorOutcome so = ckpt::supervise(sp, attempt);
+    if (so.gave_up) {
+      std::fprintf(stderr,
+                   "error: supervised run died abnormally %u time(s); "
+                   "restart budget spent\n",
+                   so.restarts + 1);
+      return 3;
+    }
+    std::printf("supervisor: %u restart(s), %llu ms backoff\n", so.restarts,
+                static_cast<unsigned long long>(so.backoff_ms));
+    return so.exit_code;
+  }
+  return attempt(ckpt::SupervisorProgress{});
 }
 
 }  // namespace

@@ -1,0 +1,93 @@
+#include "ckpt/supervisor.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "common/log.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define SIMSWEEP_HAVE_FORK 1
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#else
+#define SIMSWEEP_HAVE_FORK 0
+#endif
+
+namespace simsweep::ckpt {
+
+SupervisorOutcome supervise(
+    const SupervisorParams& params,
+    const std::function<int(const SupervisorProgress&)>& attempt) {
+  SupervisorOutcome outcome;
+  SupervisorProgress progress;
+#if SIMSWEEP_HAVE_FORK
+  double backoff = static_cast<double>(params.backoff_initial_ms);
+  for (;;) {
+    const pid_t pid = fork();
+    if (pid == 0) {
+      // Child: run the attempt and leave without unwinding the parent's
+      // stack (_exit, not exit — no shared-state destructors run twice).
+      int rc = 3;
+      try {
+        rc = attempt(progress);
+      } catch (...) {
+      }
+      std::fflush(nullptr);
+      _exit(rc);
+    }
+    if (pid < 0) {
+      // fork itself failed (fd/process limits): degrade to inline
+      // execution rather than failing the run.
+      SIMSWEEP_LOG_WARN("supervisor: fork failed; running attempt inline");
+      outcome.exit_code = attempt(progress);
+      outcome.restarts = progress.restarts;
+      outcome.backoff_ms = progress.backoff_ms;
+      return outcome;
+    }
+    int status = 0;
+    if (waitpid(pid, &status, 0) < 0) {
+      outcome.gave_up = true;
+      break;
+    }
+    if (WIFEXITED(status)) {
+      outcome.exit_code = WEXITSTATUS(status);
+      break;
+    }
+    // Abnormal exit (signal): the crash the subsystem exists for.
+    const int sig = WIFSIGNALED(status) ? WTERMSIG(status) : 0;
+    if (progress.restarts >= params.max_restarts) {
+      SIMSWEEP_LOG_WARN(
+          "supervisor: child died (signal %d) with restart budget spent; "
+          "giving up",
+          sig);
+      outcome.gave_up = true;
+      break;
+    }
+    const std::uint64_t sleep_ms = static_cast<std::uint64_t>(backoff);
+    SIMSWEEP_LOG_WARN(
+        "supervisor: child died (signal %d); restarting from last-good "
+        "checkpoint in %llu ms",
+        sig, static_cast<unsigned long long>(sleep_ms));
+    std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+    ++progress.restarts;
+    progress.backoff_ms += sleep_ms;
+    backoff = std::min(backoff * params.backoff_factor,
+                       static_cast<double>(params.backoff_max_ms));
+  }
+  outcome.restarts = progress.restarts;
+  outcome.backoff_ms = progress.backoff_ms;
+  return outcome;
+#else
+  // No fork on this platform: run once inline. A crash is a crash, but
+  // the checkpoint file still lets the *next* invocation resume.
+  outcome.exit_code = attempt(progress);
+  outcome.restarts = 0;
+  outcome.backoff_ms = 0;
+  return outcome;
+#endif
+}
+
+}  // namespace simsweep::ckpt

@@ -1,0 +1,59 @@
+#pragma once
+/// \file supervisor.hpp
+/// \brief Crash-restart supervision for checkpointed runs (DESIGN.md
+/// §2.8; `cec_tool --supervise`).
+///
+/// supervise() forks the attempt into a child process and watches its
+/// exit. A normal exit (any exit code — verdicts and tool errors alike)
+/// ends supervision; an abnormal one (killed by a signal: crash, OOM
+/// kill, the `ckpt.child_crash` drill's abort) triggers a re-run after an
+/// exponential backoff, up to max_restarts. Each re-run loads the
+/// last-good checkpoint through the normal fail-closed resume ladder, so
+/// a restarted attempt continues instead of starting over, and the chain
+/// reaches the same verdict an uninterrupted run would (checkpoint.hpp's
+/// determinism argument).
+///
+/// On platforms without fork/waitpid the attempt runs inline exactly
+/// once — supervision degrades to plain execution, never to a changed
+/// verdict.
+
+#include <cstdint>
+#include <functional>
+
+namespace simsweep::ckpt {
+
+struct SupervisorParams {
+  unsigned max_restarts = 3;  ///< abnormal exits tolerated before giving up
+  /// Exponential-backoff schedule between restarts (doubles up to the
+  /// cap): restart storms on a persistently failing host help nobody.
+  std::uint64_t backoff_initial_ms = 100;
+  double backoff_factor = 2.0;
+  std::uint64_t backoff_max_ms = 10000;
+};
+
+/// What the current attempt knows about the restarts before it. Passed to
+/// the attempt callback so it can publish `supervisor.restarts` /
+/// `supervisor.backoff_ms` into its run report (the supervisor itself has
+/// no registry — the child owns the report).
+struct SupervisorProgress {
+  unsigned restarts = 0;            ///< abnormal exits so far
+  std::uint64_t backoff_ms = 0;     ///< total backoff slept so far
+};
+
+struct SupervisorOutcome {
+  /// Exit code of the first normally-exiting attempt; -1 if supervision
+  /// gave up (every attempt died abnormally).
+  int exit_code = -1;
+  unsigned restarts = 0;
+  std::uint64_t backoff_ms = 0;
+  bool gave_up = false;
+};
+
+/// Runs `attempt` in a forked child until one exits normally or the
+/// restart budget is spent. The callback's return value becomes the
+/// child's exit code.
+SupervisorOutcome supervise(
+    const SupervisorParams& params,
+    const std::function<int(const SupervisorProgress&)>& attempt);
+
+}  // namespace simsweep::ckpt

@@ -14,6 +14,7 @@ const char* to_string(LockRank rank) {
     case LockRank::kExecutor: return "executor";
     case LockRank::kBoard: return "board";
     case LockRank::kCexBank: return "cex_bank";
+    case LockRank::kCkpt: return "ckpt";
     case LockRank::kRegistry: return "registry";
     case LockRank::kFault: return "fault";
     case LockRank::kLog: return "log";
@@ -76,8 +77,8 @@ void note_acquire(LockRank rank) {
       violation(std::string("acquiring rank '") + to_string(rank) +
                     "' while holding rank '" + to_string(top) +
                     "' (nested acquisitions must strictly ascend "
-                    "pool < executor < board < cex_bank < registry "
-                    "< fault < log)",
+                    "pool < executor < board < cex_bank < ckpt "
+                    "< registry < fault < log)",
                 mode);
   }
   if (held.depth >= kNumRanks)

@@ -6,7 +6,7 @@
 /// Every mutex in the repo belongs to exactly one rank of a single total
 /// order, and nested acquisitions must strictly ascend it:
 ///
-///   pool < executor < board < cex_bank < registry < fault < log
+///   pool < executor < board < cex_bank < ckpt < registry < fault < log
 ///
 /// The order is encoded twice from one table:
 ///
@@ -32,6 +32,8 @@
 ///   executor  portfolio VerdictBox — cross-engine race coordination
 ///   board     sweep::EquivBoard journal
 ///   cex_bank  sweep::SharedCexBank rows
+///   ckpt      ckpt::CheckpointManager throttle/pending state — below
+///             registry so a write can publish its metrics under the lock
 ///   registry  obs::Registry cell map
 ///   fault     fault-injector plan state (fault points fire anywhere)
 ///   log       log-output serialization (logging is legal under any lock)
@@ -47,9 +49,10 @@ enum class LockRank : int {
   kExecutor = 1,
   kBoard = 2,
   kCexBank = 3,
-  kRegistry = 4,
-  kFault = 5,
-  kLog = 6,
+  kCkpt = 4,
+  kRegistry = 5,
+  kFault = 6,
+  kLog = 7,
 };
 
 const char* to_string(LockRank rank);
@@ -82,15 +85,17 @@ inline RankAnchor board SIMSWEEP_ACQUIRED_AFTER(pool, executor){
     LockRank::kBoard};
 inline RankAnchor cex_bank SIMSWEEP_ACQUIRED_AFTER(pool, executor, board){
     LockRank::kCexBank};
+inline RankAnchor ckpt SIMSWEEP_ACQUIRED_AFTER(pool, executor, board,
+                                               cex_bank){LockRank::kCkpt};
 inline RankAnchor registry SIMSWEEP_ACQUIRED_AFTER(pool, executor, board,
-                                                   cex_bank){
+                                                   cex_bank, ckpt){
     LockRank::kRegistry};
 inline RankAnchor fault SIMSWEEP_ACQUIRED_AFTER(pool, executor, board,
-                                                cex_bank, registry){
+                                                cex_bank, ckpt, registry){
     LockRank::kFault};
 inline RankAnchor log SIMSWEEP_ACQUIRED_AFTER(pool, executor, board,
-                                              cex_bank, registry, fault){
-    LockRank::kLog};
+                                              cex_bank, ckpt, registry,
+                                              fault){LockRank::kLog};
 
 /// What the runtime checker does on an out-of-order acquisition. kAbort
 /// mirrors the SIMSWEEP_CHECKED executor protocol checks (diagnostic on

@@ -170,6 +170,12 @@ EngineResult SimCecEngine::check_miter(aig::Aig miter) const {
     registry.add(obs::metric::kPartialSimCarryClasses, cs.carry_classes);
     registry.add(obs::metric::kPartialSimCarryDropped, cs.carry_dropped);
     registry.add(obs::metric::kPartialSimCarryFallbacks, cs.carry_fallbacks);
+    // Checkpoint/supervisor sections (DESIGN.md §2.8). Zero-added like
+    // the faults/degrade sections above so every v3 report carries both
+    // families; the ckpt layer and the cec_tool supervisor add the real
+    // event counts.
+    registry.add(obs::metric::kCkptWrites, 0);
+    registry.add(obs::metric::kSupervisorRestarts, 0);
     if (ctx.ledger != nullptr) {
       registry.set(obs::metric::kDegradeMemoryPeakBytes,
                    static_cast<double>(ctx.ledger->peak_bytes()));
@@ -196,6 +202,24 @@ EngineResult SimCecEngine::check_miter(aig::Aig miter) const {
   };
   if (cancelled()) return finish(Verdict::kUndecided);
 
+  // Phase-boundary checkpoint offer (DESIGN.md §2.8): a transient view of
+  // the host-thread state, handed to the caller's hook. Any exception the
+  // hook lets escape is swallowed — checkpointing is strictly best-effort
+  // and must never change the verdict.
+  auto offer_checkpoint = [&](const char* boundary) {
+    if (!params_.checkpoint_hook) return;
+    EngineCheckpointView view;
+    view.miter = &ctx.miter;
+    view.bank = ctx.bank ? &*ctx.bank : nullptr;
+    view.stats = &ctx.stats;
+    view.degrade = &ctx.degrade;
+    view.boundary = boundary;
+    try {
+      params_.checkpoint_hook(view);
+    } catch (...) {
+    }
+  };
+
   // --- P phase: PO checking (paper §III-D). ---
   if (params_.enable_po_phase) {
     const bool ok = detail::run_po_phase(ctx);
@@ -205,6 +229,7 @@ EngineResult SimCecEngine::check_miter(aig::Aig miter) const {
   } else if (params_.capture_snapshots) {
     ctx.snapshots.emplace_back("P", ctx.miter);
   }
+  offer_checkpoint("P");
 
   if (cancelled()) return finish(Verdict::kUndecided);
 
@@ -217,6 +242,7 @@ EngineResult SimCecEngine::check_miter(aig::Aig miter) const {
       return finish(Verdict::kNotEquivalent);
     if (aig::miter_proved(ctx.miter)) return finish(Verdict::kEquivalent);
   }
+  offer_checkpoint("G");
 
   if (cancelled()) return finish(Verdict::kUndecided);
 
@@ -231,6 +257,7 @@ EngineResult SimCecEngine::check_miter(aig::Aig miter) const {
       if (ctx.disproved || aig::miter_disproved(ctx.miter))
         return finish(Verdict::kNotEquivalent);
       if (aig::miter_proved(ctx.miter)) return finish(Verdict::kEquivalent);
+      offer_checkpoint("L");
       progress |= reduced;
       if (!reduced) break;  // this L loop stalled
     }
@@ -251,6 +278,7 @@ EngineResult SimCecEngine::check_miter(aig::Aig miter) const {
       if (ctx.disproved || aig::miter_disproved(ctx.miter))
         return finish(Verdict::kNotEquivalent);
       if (aig::miter_proved(ctx.miter)) return finish(Verdict::kEquivalent);
+      offer_checkpoint("G+");
       progress |= proved > 0;
     }
     if (!progress && !can_escalate) break;  // fully stalled

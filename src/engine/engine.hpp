@@ -23,6 +23,7 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -39,6 +40,39 @@
 namespace simsweep::engine {
 
 using simsweep::Verdict;
+
+struct EngineStats;
+
+/// Degradation-ladder state (DESIGN.md §2.4), mutated by the host thread
+/// only. Backoff persists across phases: once a fault forced M down or
+/// merging off, later phases start from the degraded values — the
+/// resource pressure that caused the fault rarely goes away mid-run. It
+/// is also part of every checkpoint snapshot (DESIGN.md §2.8), so a
+/// resumed run re-enters the ladder where the crashed run left it.
+struct DegradeState {
+  std::size_t memory_words = 0;  ///< working M (seeded from params)
+  bool window_merging = true;    ///< dropped on repeated merge faults
+  std::uint64_t ladder_steps = 0;      ///< parameter-backoff steps taken
+  std::uint64_t memory_halvings = 0;   ///< M halved (OOM / budget denial)
+  std::uint64_t merge_fallbacks = 0;   ///< merged builds that fell back
+  std::uint64_t batch_splits = 0;      ///< batches split per-window
+  std::uint64_t deadline_expiries = 0; ///< phase deadlines that expired
+  std::uint64_t units_abandoned = 0;   ///< windows/passes left undecided
+  std::uint64_t pass_retries = 0;      ///< cut passes retried after fault
+  std::uint64_t faults_recovered = 0;  ///< failures answered by a retry
+};
+
+/// Read-only view handed to EngineParams::checkpoint_hook at every phase
+/// boundary of an undecided-but-continuing run (DESIGN.md §2.8). All
+/// pointers alias host-thread engine state and are only valid for the
+/// duration of the call — a hook that wants durability must copy.
+struct EngineCheckpointView {
+  const aig::Aig* miter = nullptr;           ///< current reduced miter
+  const sim::PatternBank* bank = nullptr;    ///< null before first random sim
+  const EngineStats* stats = nullptr;
+  const DegradeState* degrade = nullptr;
+  const char* boundary = "";  ///< "P", "G", "L" or "G+" (escalated global)
+};
 
 struct EngineParams {
   // --- Paper §IV parameter values (defaults). ---
@@ -135,6 +169,19 @@ struct EngineParams {
   /// accumulates across engine attempts. When null the engine uses a
   /// private registry so EngineResult::report is always populated.
   obs::Registry* registry = nullptr;
+
+  // --- Checkpoint/resume (DESIGN.md §2.8). ---
+  /// Invoked on the host thread at every phase boundary the flow passes
+  /// through while still undecided, with a transient view of the current
+  /// state. The ckpt layer installs a hook that snapshots and durably
+  /// writes it. Exceptions thrown by the hook are swallowed: a failed
+  /// checkpoint must never change the run's verdict.
+  std::function<void(const EngineCheckpointView&)> checkpoint_hook;
+  /// Resume entry: when set (and PI-compatible with the miter), the first
+  /// phase that needs a pattern bank starts from a copy of this bank
+  /// instead of a fresh random one, so a resumed run re-derives the
+  /// crashed run's equivalence classes from its accumulated patterns.
+  const sim::PatternBank* initial_bank = nullptr;
 };
 
 struct EngineStats {
@@ -230,23 +277,12 @@ struct EngineContext {
   /// inside a phase — the engine substitutes a private registry when the
   /// caller provided none).
   obs::Registry* obs = nullptr;
-  /// Degradation-ladder state (DESIGN.md §2.4), mutated by the host
-  /// thread only. Backoff persists across phases: once a fault forced M
-  /// down or merging off, later phases start from the degraded values —
-  /// the resource pressure that caused the fault rarely goes away
-  /// mid-run.
-  struct DegradeState {
-    std::size_t memory_words = 0;  ///< working M (seeded from params)
-    bool window_merging = true;    ///< dropped on repeated merge faults
-    std::uint64_t ladder_steps = 0;      ///< parameter-backoff steps taken
-    std::uint64_t memory_halvings = 0;   ///< M halved (OOM / budget denial)
-    std::uint64_t merge_fallbacks = 0;   ///< merged builds that fell back
-    std::uint64_t batch_splits = 0;      ///< batches split per-window
-    std::uint64_t deadline_expiries = 0; ///< phase deadlines that expired
-    std::uint64_t units_abandoned = 0;   ///< windows/passes left undecided
-    std::uint64_t pass_retries = 0;      ///< cut passes retried after fault
-    std::uint64_t faults_recovered = 0;  ///< failures answered by a retry
-  } degrade;
+  /// Degradation-ladder state (DESIGN.md §2.4); the type lives at
+  /// namespace scope so checkpoint snapshots can carry it (§2.8). The
+  /// member alias keeps the phases' historical EngineContext::DegradeState
+  /// spelling valid.
+  using DegradeState = ::simsweep::engine::DegradeState;
+  DegradeState degrade;
   /// Memory governor for this run: the caller's EngineParams::memory_ledger,
   /// an engine-private one (memory_budget_bytes > 0), or null (ungoverned).
   fault::MemoryLedger* ledger = nullptr;

@@ -31,7 +31,12 @@ std::size_t run_global_phase(EngineContext& ctx, unsigned k_g) {
   const aig::SupportInfo supports = aig::compute_supports(miter, k_g);
 
   if (!ctx.bank) {
-    if (p.quality_patterns) {
+    if (p.initial_bank != nullptr &&
+        p.initial_bank->num_pis() == miter.num_pis()) {
+      // Resume entry (DESIGN.md §2.8): the crashed run's accumulated
+      // patterns (random init + CEXs) re-derive its equivalence classes.
+      ctx.bank = *p.initial_bank;
+    } else if (p.quality_patterns) {
       sim::QualityParams qp;
       qp.base_words = p.sim_words;
       qp.max_words = p.sim_words + 4;

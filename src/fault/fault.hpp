@@ -25,6 +25,12 @@
 /// configuring with -DSIMSWEEP_FAULT_INJECTION=OFF compiles every site to
 /// a constant `false` for release deployments.
 ///
+/// The checkpoint subsystem (DESIGN.md §2.8) adds three sites beyond the
+/// degradation ladder proper: ckpt.write (a snapshot write is skipped,
+/// the last-good file stays), ckpt.load (a snapshot read is rejected and
+/// the load ladder falls through) and ckpt.child_crash (process death
+/// immediately *after* a durable write — the supervisor restart drill).
+///
 /// Site names are catalogued once, in the X-macro table
 /// src/fault/fault_sites.def (one row per failure class the degradation
 /// ladder handles). Code never spells a site as a raw string: fault

@@ -271,10 +271,12 @@ bool validate_report_json(const std::string& json, std::string* error) {
   const auto schema = p.strings.find("schema");
   if (schema == p.strings.end())
     return fail("missing top-level \"schema\" string");
-  const bool is_v2 = schema->second == kSchemaId;
-  if (!is_v2 && schema->second != kSchemaIdV1)
+  const bool is_v3 = schema->second == kSchemaId;
+  const bool is_v2 = schema->second == kSchemaIdV2;
+  if (!is_v3 && !is_v2 && schema->second != kSchemaIdV1)
     return fail("unexpected schema id \"" + schema->second + "\" (want \"" +
-                kSchemaId + "\" or \"" + kSchemaIdV1 + "\")");
+                kSchemaId + "\", \"" + kSchemaIdV2 + "\" or \"" +
+                kSchemaIdV1 + "\")");
   if (p.objects.find("metrics") == p.objects.end())
     return fail("missing top-level \"metrics\" object");
 
@@ -303,13 +305,22 @@ bool validate_report_json(const std::string& json, std::string* error) {
   }
   if (p.objects.find("metrics.pool") == p.objects.end())
     return fail("missing \"metrics.pool\" section");
-  if (is_v2) {
+  if (is_v2 || is_v3) {
     // Robustness telemetry (DESIGN.md §2.4): presence only — a run with
     // no faults and no degradation legitimately reports all zeros.
     for (const char* section : {"faults", "degrade"}) {
       const std::string path = std::string("metrics.") + section;
       if (p.objects.find(path) == p.objects.end())
         return fail("missing v2 section \"" + path + "\"");
+    }
+  }
+  if (is_v3) {
+    // Checkpoint durability (DESIGN.md §2.8): same presence-only contract
+    // — an uncheckpointed, unsupervised run reports all zeros.
+    for (const char* section : {"ckpt", "supervisor"}) {
+      const std::string path = std::string("metrics.") + section;
+      if (p.objects.find(path) == p.objects.end())
+        return fail("missing v3 section \"" + path + "\"");
     }
   }
   return true;

@@ -28,11 +28,12 @@
 /// (exhaustive, cut, ec, partial_sim, miter) plus the pool section — the
 /// acceptance contract of the report.
 ///
-/// v2 (current) additionally requires the robustness sections `faults`
-/// and `degrade` (DESIGN.md §2.4) to be *present* under "metrics" — all
+/// v2 additionally requires the robustness sections `faults` and
+/// `degrade` (DESIGN.md §2.4) to be *present* under "metrics" — all
 /// zeros is the expected healthy state, so presence, not nonzero-ness, is
-/// the contract. v1 documents (no schema-level fault telemetry) are still
-/// accepted by the validator.
+/// the contract. v3 (current) extends that presence contract to the
+/// checkpoint-durability sections `ckpt` and `supervisor` (DESIGN.md
+/// §2.8). v1 and v2 documents are still accepted by the validator.
 
 #include <string>
 
@@ -41,25 +42,27 @@
 namespace simsweep::obs {
 
 /// Schema tag stamped into every emitted run report (current version).
-inline constexpr const char kSchemaId[] = "simsweep.run_report.v2";
+inline constexpr const char kSchemaId[] = "simsweep.run_report.v3";
 
-/// Previous schema tag; still accepted by validate_report_json() so
+/// Previous schema tags; still accepted by validate_report_json() so
 /// archived reports and older tooling keep validating.
+inline constexpr const char kSchemaIdV2[] = "simsweep.run_report.v2";
 inline constexpr const char kSchemaIdV1[] = "simsweep.run_report.v1";
 
-/// Serializes a snapshot as a `simsweep.run_report.v2` JSON document.
+/// Serializes a snapshot as a `simsweep.run_report.v3` JSON document.
 std::string to_json(const Snapshot& snapshot);
 
 /// Writes to_json(snapshot) to `path`. Returns false on I/O failure.
 bool write_json_file(const Snapshot& snapshot, const std::string& path);
 
 /// Validates a serialized report: well-formed JSON, a known "schema" tag
-/// (v1 or v2), "metrics" object present, the five module sections
+/// (v1, v2 or v3), "metrics" object present, the five module sections
 /// (exhaustive, cut, ec, partial_sim, miter) each present with at least
-/// one nonzero numeric leaf, and a "pool" section present. v2 documents
-/// must additionally carry the "faults" and "degrade" sections (presence
-/// only — all-zero is the healthy state). On failure returns false and,
-/// if `error` is non-null, stores a human-readable reason.
+/// one nonzero numeric leaf, and a "pool" section present. v2 and v3
+/// documents must additionally carry the "faults" and "degrade" sections,
+/// and v3 documents the "ckpt" and "supervisor" sections (presence only —
+/// all-zero is the healthy state). On failure returns false and, if
+/// `error` is non-null, stores a human-readable reason.
 bool validate_report_json(const std::string& json, std::string* error);
 
 }  // namespace simsweep::obs

@@ -55,8 +55,11 @@ class VerdictBox {
   std::atomic<bool> cancel_{false};
 };
 
+}  // namespace
+
 /// SAT-sweeper fallback stats under `sat_sweeper.*` (gauges, set
-/// semantics: one sweep per combined run at most).
+/// semantics: one sweep per combined run at most). Namespace-scope so the
+/// ckpt resume wrapper can republish after a sweep-stage resume.
 void publish_sweeper_stats(obs::Registry& r, bool used,
                            const sweep::SweeperStats& s, double seconds) {
   r.set(obs::metric::kSweeperUsed, used ? 1.0 : 0.0);
@@ -92,8 +95,6 @@ void publish_sweeper_stats(obs::Registry& r, bool used,
     r.set(p + ".busy_seconds", s.shard[i].busy_seconds);
   }
 }
-
-}  // namespace
 
 CombinedResult combined_check_miter(const aig::Aig& miter,
                                     const CombinedParams& params) {

@@ -76,6 +76,13 @@ struct CombinedResult {
 CombinedResult combined_check_miter(const aig::Aig& miter,
                                     const CombinedParams& params = {});
 
+/// Publishes the SAT-sweeper fallback stats as `sat_sweeper.*` gauges
+/// (set semantics: at most one sweep per combined run). Exposed for the
+/// ckpt resume wrapper, which runs the sweeper directly — without
+/// re-entering the engine — when resuming a sweep-stage snapshot.
+void publish_sweeper_stats(obs::Registry& registry, bool used,
+                           const sweep::SweeperStats& stats, double seconds);
+
 inline CombinedResult combined_check(const aig::Aig& a, const aig::Aig& b,
                                      const CombinedParams& params = {}) {
   return combined_check_miter(aig::make_miter(a, b), params);

@@ -95,9 +95,37 @@ SweepResult ParallelSatSweeper::check_miter(const aig::Aig& miter) const {
   // portfolio engines). num_threads counts the calling thread.
   parallel::ThreadPool pool(std::max(1u, num_threads - 1));
 
-  sim::PatternBank bank = make_init_bank(miter.num_pis(), params_);
+  // EC init, or a resume of a crashed run's accumulated bank (DESIGN.md
+  // §2.8) — building over the full bank reproduces its refined partition.
+  const SweepResumeState* resume = params_.resume;
+  const bool resuming =
+      resume != nullptr && resume->bank &&
+      resume->bank->num_pis() == miter.num_pis();
+  sim::PatternBank bank = resuming
+                              ? *resume->bank
+                              : make_init_bank(miter.num_pis(), params_);
   sim::EcManager ec;
   ec.build(miter, sim::simulate(miter, bank));
+
+  // Round-barrier journal (DESIGN.md §2.8). Restored merges are applied
+  // to the master state only, not re-published to the board: board/CEX
+  // counts are scheduling-era telemetry, the verdict path is subst + ec.
+  std::vector<std::pair<aig::Var, aig::Lit>> merge_journal;
+  std::vector<aig::Var> removed_nodes;
+  unsigned start_round = 0;
+  if (resuming) {
+    for (const auto& [node, lit] : resume->merges) {
+      subst.merge(node, lit);
+      ec.mark_proved(node);
+    }
+    for (aig::Var v : resume->removed) ec.remove_node(v);
+    merge_journal = resume->merges;
+    removed_nodes = resume->removed;
+    stats.pairs_proved = resume->pairs_proved;
+    stats.pairs_disproved = resume->pairs_disproved;
+    stats.pairs_undecided = resume->pairs_undecided;
+    start_round = resume->next_round;
+  }
 
   // Structural supports for the simulation-first pair resolution below.
   // Computed once on the host: the sets are read-only to every shard.
@@ -107,7 +135,7 @@ SweepResult ParallelSatSweeper::check_miter(const aig::Aig& miter) const {
   const aig::SupportInfo* supports =
       support_info.has_value() ? &*support_info : nullptr;
 
-  for (unsigned round = 0; round < params_.max_rounds; ++round) {
+  for (unsigned round = start_round; round < params_.max_rounds; ++round) {
     if (out_of_time()) return finish(Verdict::kUndecided);
     std::vector<sim::CandidatePair> pairs = ec.candidate_pairs();
     if (pairs.empty()) break;
@@ -290,6 +318,8 @@ SweepResult ParallelSatSweeper::check_miter(const aig::Aig& miter) const {
             throw fault::FaultError(fault::sites::kSweepBoardMerge);
           subst.merge(pair.node, aig::make_lit(pair.repr, pair.phase));
           ec.mark_proved(pair.node);
+          merge_journal.emplace_back(pair.node,
+                                     aig::make_lit(pair.repr, pair.phase));
           ++proved;
           ++stats.pairs_proved;
           break;
@@ -312,6 +342,7 @@ SweepResult ParallelSatSweeper::check_miter(const aig::Aig& miter) const {
         case PairOutcome::Kind::kUnknown:
           ++stats.pairs_undecided;
           ec.remove_node(pair.node);  // do not retry within this run
+          removed_nodes.push_back(pair.node);
           break;
       }
     }
@@ -332,6 +363,31 @@ SweepResult ParallelSatSweeper::check_miter(const aig::Aig& miter) const {
     sim::PatternBank cex_bank(miter.num_pis(), 0);
     collector.flush_into(cex_bank);
     ec.refine(sim::simulate(miter, cex_bank));
+    if (params_.checkpoint_hook) {
+      // Host-thread checkpoint offer at the round barrier (DESIGN.md
+      // §2.8): fold the round's CEX columns into the accumulated bank so
+      // a snapshot's bank re-derives exactly these refined classes; hook
+      // exceptions are swallowed (must never change the verdict).
+      for (std::size_t w = 0; w < cex_bank.num_words(); ++w) {
+        std::vector<sim::Word> column(miter.num_pis());
+        for (unsigned pi = 0; pi < miter.num_pis(); ++pi)
+          column[pi] = cex_bank.word(pi, w);
+        bank.append_words(column);
+      }
+      SweepCheckpointView view;
+      view.miter = &miter;
+      view.next_round = round + 1;
+      view.merges = &merge_journal;
+      view.removed = &removed_nodes;
+      view.bank = &bank;
+      SweeperStats snap_stats = stats;
+      snap_stats.seconds = t.seconds();
+      view.stats = &snap_stats;
+      try {
+        params_.checkpoint_hook(view);
+      } catch (...) {
+      }
+    }
   }
   stats.board_merges = board.size();
   stats.cex_shared = shared_cex.size();

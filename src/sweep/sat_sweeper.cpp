@@ -57,12 +57,59 @@ SweepResult SatSweeper::check_miter(const aig::Aig& miter) const {
   if (aig::miter_proved(miter)) return finish(Verdict::kEquivalent);
 
   // EC initialization by partial random simulation, extended with any
-  // transferred patterns (§V EC-transfer extension).
-  sim::PatternBank bank = make_init_bank(miter.num_pis(), params_);
+  // transferred patterns (§V EC-transfer extension). A resume restores
+  // the crashed run's accumulated bank instead: building classes over the
+  // full bank reproduces its refined partition exactly.
+  const SweepResumeState* resume = params_.resume;
+  const bool resuming =
+      resume != nullptr && resume->bank &&
+      resume->bank->num_pis() == miter.num_pis();
+  sim::PatternBank bank = resuming
+                              ? *resume->bank
+                              : make_init_bank(miter.num_pis(), params_);
   sim::EcManager ec;
   ec.build(miter, sim::simulate(miter, bank));
 
-  for (unsigned round = 0; round < params_.max_rounds; ++round) {
+  // Round-barrier journal (DESIGN.md §2.8): what a resumed run replays.
+  std::vector<std::pair<aig::Var, aig::Lit>> merge_journal;
+  std::vector<aig::Var> removed_nodes;
+  unsigned start_round = 0;
+  if (resuming) {
+    for (const auto& [node, lit] : resume->merges) {
+      subst.merge(node, lit);
+      ec.mark_proved(node);
+      core.assert_equal(lit, aig::make_lit(node));
+    }
+    for (aig::Var v : resume->removed) ec.remove_node(v);
+    merge_journal = resume->merges;
+    removed_nodes = resume->removed;
+    result.stats.pairs_proved = resume->pairs_proved;
+    result.stats.pairs_disproved = resume->pairs_disproved;
+    result.stats.pairs_undecided = resume->pairs_undecided;
+    start_round = resume->next_round;
+  }
+
+  // Offers the round-barrier state to the checkpoint hook; swallows hook
+  // exceptions (checkpointing must never change the verdict).
+  auto offer_checkpoint = [&](unsigned next_round) {
+    SweepCheckpointView view;
+    view.miter = &miter;
+    view.next_round = next_round;
+    view.merges = &merge_journal;
+    view.removed = &removed_nodes;
+    view.bank = &bank;
+    SweeperStats stats = result.stats;
+    stats.sat_calls = core.sat_calls();
+    stats.conflicts = core.conflicts();
+    stats.solve_faults = core.solve_faults();
+    view.stats = &stats;
+    try {
+      params_.checkpoint_hook(view);
+    } catch (...) {
+    }
+  };
+
+  for (unsigned round = start_round; round < params_.max_rounds; ++round) {
     std::vector<sim::CandidatePair> pairs = ec.candidate_pairs();
     if (pairs.empty()) break;
     // Topological (ascending node id) order: proofs of small cones come
@@ -84,6 +131,7 @@ SweepResult SatSweeper::check_miter(const aig::Aig& miter) const {
           subst.merge(pair.node, lr);
           ec.mark_proved(pair.node);
           core.assert_equal(lr, ln);
+          merge_journal.emplace_back(pair.node, lr);
           ++proved;
           ++result.stats.pairs_proved;
           break;
@@ -101,6 +149,7 @@ SweepResult SatSweeper::check_miter(const aig::Aig& miter) const {
         case PairSolver::Outcome::kUnknown:
           ++result.stats.pairs_undecided;
           ec.remove_node(pair.node);  // do not retry within this run
+          removed_nodes.push_back(pair.node);
           break;
       }
       if (core.inconsistent()) break;
@@ -112,6 +161,17 @@ SweepResult SatSweeper::check_miter(const aig::Aig& miter) const {
     sim::PatternBank cex_bank(miter.num_pis(), 0);
     collector.flush_into(cex_bank);
     ec.refine(sim::simulate(miter, cex_bank));
+    if (params_.checkpoint_hook) {
+      // Fold the round's CEX columns into the accumulated bank first so a
+      // snapshot's bank re-derives exactly these refined classes.
+      for (std::size_t w = 0; w < cex_bank.num_words(); ++w) {
+        std::vector<sim::Word> column(miter.num_pis());
+        for (unsigned pi = 0; pi < miter.num_pis(); ++pi)
+          column[pi] = cex_bank.word(pi, w);
+        bank.append_words(column);
+      }
+      offer_checkpoint(round + 1);
+    }
   }
 
   // Final PO proving on the substituted miter.

@@ -13,7 +13,9 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "aig/aig.hpp"
@@ -22,6 +24,43 @@
 #include "sim/partial_sim.hpp"
 
 namespace simsweep::sweep {
+
+struct SweeperStats;
+
+/// Read-only view handed to SweeperParams::checkpoint_hook at every round
+/// barrier of a still-running sweep (DESIGN.md §2.8). Pointers alias
+/// host-thread sweeper state and are valid only for the call.
+struct SweepCheckpointView {
+  const aig::Aig* miter = nullptr;  ///< the residue miter being swept
+  unsigned next_round = 0;          ///< first round a resume would run
+  /// Merge journal: every (node, replacement literal) proved so far, in
+  /// application order (lit_var(lit) < node for each entry).
+  const std::vector<std::pair<aig::Var, aig::Lit>>* merges = nullptr;
+  /// Nodes dropped from the candidate stream (conflict-limit kUnknown).
+  const std::vector<aig::Var>* removed = nullptr;
+  /// The accumulated pattern bank (EC init + every refinement CEX), from
+  /// which a resume re-derives the refined equivalence classes.
+  const sim::PatternBank* bank = nullptr;
+  const SweeperStats* stats = nullptr;
+};
+
+/// Journal a resumed sweep replays before its first round (DESIGN.md
+/// §2.8): restores the pattern bank, re-applies proved merges, drops
+/// removed candidates and carries the pair counters forward. Because the
+/// EC partition over the full accumulated bank equals the crashed run's
+/// refined partition, the resumed candidate sequence — and therefore the
+/// verdict — is identical to the uninterrupted run's.
+struct SweepResumeState {
+  std::vector<std::pair<aig::Var, aig::Lit>> merges;
+  std::vector<aig::Var> removed;
+  std::optional<sim::PatternBank> bank;
+  unsigned next_round = 0;
+  /// Pair counters of the crashed run (pairs_proved / disproved /
+  /// undecided are carried; solver-local counters restart at zero).
+  std::size_t pairs_proved = 0;
+  std::size_t pairs_disproved = 0;
+  std::size_t pairs_undecided = 0;
+};
 
 struct SweeperParams {
   std::size_t sim_words = 4;       ///< random pattern words for EC init
@@ -70,6 +109,16 @@ struct SweeperParams {
   /// in different classes and are never SAT-checked. Caller keeps the
   /// bank alive for the duration of the check.
   const sim::PatternBank* initial_bank = nullptr;
+
+  // --- Checkpoint/resume (DESIGN.md §2.8). ---
+  /// Invoked on the host thread at every round barrier while the sweep is
+  /// still undecided. Exceptions are swallowed by the sweepers: a failed
+  /// checkpoint must never change the verdict.
+  std::function<void(const SweepCheckpointView&)> checkpoint_hook;
+  /// Journal to replay before the first round (takes precedence over
+  /// initial_bank for EC init when it carries a bank). Caller keeps the
+  /// state alive for the duration of the check.
+  const SweepResumeState* resume = nullptr;
 };
 
 /// Per-shard scheduling telemetry of one parallel sweep. Chunk/steal

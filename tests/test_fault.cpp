@@ -19,12 +19,15 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <cstdio>
+#include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
 #include "aig/aig_analysis.hpp"
 #include "aig/miter.hpp"
+#include "ckpt/checkpoint.hpp"
 #include "engine/engine.hpp"
 #include "gen/arith.hpp"
 #include "opt/resyn.hpp"
@@ -516,6 +519,40 @@ TEST(FaultSites, EveryCataloguedSiteSurvivesInjection) {
       const sweep::SweepResult r = sweep::sweep_miter(sat_miter, sp);
       EXPECT_NE(r.verdict, Verdict::kNotEquivalent);
       EXPECT_EQ(r.stats.parallel_fallbacks, 1u);
+    } else if (name == fault::sites::kCkptWrite) {
+      // A failed durable write leaves the run unaffected; the snapshot
+      // stays pending and lands once the plan is spent (DESIGN.md §2.8).
+      const std::string path = ::testing::TempDir() + "soak_ckpt_write.ckpt";
+      std::remove(path.c_str());
+      std::remove((path + ".prev").c_str());
+      ckpt::CheckpointManager mgr({path, 0.0, nullptr, {}});
+      ckpt::Snapshot s;
+      s.fingerprint = 1;
+      s.miter = sat_miter;
+      mgr.offer(s);  // fire 1: write fails, pending kept
+      mgr.offer(s);  // fire 2
+      EXPECT_EQ(mgr.writes(), 0u);
+      mgr.flush();   // plan spent: the pending snapshot lands
+      EXPECT_EQ(mgr.writes(), 1u);
+      EXPECT_TRUE(mgr.load(1).has_value());
+    } else if (name == fault::sites::kCkptLoad) {
+      // A failed snapshot read fails CLOSED: the ladder ends in a fresh
+      // run, never resuming questionable state.
+      const std::string path = ::testing::TempDir() + "soak_ckpt_load.ckpt";
+      std::remove(path.c_str());
+      std::remove((path + ".prev").c_str());
+      ckpt::CheckpointManager mgr({path, 0.0, nullptr, {}});
+      ckpt::Snapshot s;
+      s.fingerprint = 2;
+      s.miter = sat_miter;
+      mgr.offer(s);
+      EXPECT_FALSE(mgr.load(2).has_value());
+    } else if (name == fault::sites::kCkptChildCrash) {
+      // The real site aborts the process right after a durable write, so
+      // the in-process soak only records the hit; the process-death path
+      // is covered by the supervised CLI gate (cli_supervise_resume) and
+      // the CI kill-and-resume smoke.
+      EXPECT_TRUE(SIMSWEEP_FAULT_POINT(fault::sites::kCkptChildCrash));
     } else {
       const engine::EngineResult r =
           engine::SimCecEngine(small_engine()).check(a, b);

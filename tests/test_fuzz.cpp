@@ -10,11 +10,15 @@
 
 #include "aig/aig_analysis.hpp"
 #include "aig/aig_io.hpp"
+#include "aig/miter.hpp"
+#include "ckpt/checkpoint.hpp"
 #include "common/random.hpp"
+#include "gen/arith.hpp"
 #include "opt/balance.hpp"
 #include "opt/exact3.hpp"
 #include "opt/refactor.hpp"
 #include "sat/dimacs.hpp"
+#include "sim/partial_sim.hpp"
 #include "test_util.hpp"
 
 namespace simsweep {
@@ -108,6 +112,59 @@ TEST_P(AigerFuzz, BitFlipAndTruncationMutationsNeverInvokeUb) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, AigerFuzz, ::testing::Values(900, 901, 902));
+
+class CkptFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CkptFuzz, BitFlipAndTruncationMutationsNeverInvokeUb) {
+  // Checkpoint-loader contract (DESIGN.md §2.8): ckpt::parse() fails
+  // CLOSED — nullopt, never a crash, hang, exception or sanitizer report
+  // (this suite runs under asan AND ubsan) — on arbitrarily mutated
+  // snapshot bytes. The CRC trailer catches almost every mutant; the
+  // shape checks catch the rest. A mutant that does parse must still be
+  // structurally sound.
+  ckpt::Snapshot snap;
+  snap.stage = ckpt::Stage::kSweep;
+  snap.fingerprint = 0xFEEDFACEull + GetParam();
+  snap.elapsed_seconds = 1.25;
+  snap.boundary = "round";
+  snap.miter = aig::make_miter(gen::array_multiplier(3),
+                               gen::wallace_multiplier(3));
+  snap.bank = sim::PatternBank::random(snap.miter.num_pis(), 4, GetParam());
+  // A plausible journal: merge the last AND onto a smaller literal.
+  const aig::Var last = static_cast<aig::Var>(snap.miter.num_nodes() - 1);
+  snap.merges.emplace_back(last, aig::make_lit(1));
+  snap.removed.push_back(last - 1);
+  snap.next_round = 2;
+  snap.sweep_pairs_proved = 1;
+  const std::vector<std::uint8_t> good = ckpt::serialize(snap);
+  ASSERT_TRUE(ckpt::parse(good.data(), good.size()).has_value());
+
+  Rng rng(GetParam() * 193 + 3);
+  for (int trial = 0; trial < 400; ++trial) {
+    std::vector<std::uint8_t> bad = good;
+    // 1-8 single-bit flips.
+    const int flips = 1 + static_cast<int>(rng.below(8));
+    for (int f = 0; f < flips; ++f) {
+      const std::size_t at = rng.below(bad.size());
+      bad[at] = static_cast<std::uint8_t>(bad[at] ^ (1 << rng.below(8)));
+    }
+    // Half the trials also truncate to a random prefix.
+    if (rng.below(2) == 0) bad.resize(rng.below(bad.size() + 1));
+    const std::optional<ckpt::Snapshot> parsed =
+        ckpt::parse(bad.data(), bad.size());
+    if (parsed) {
+      const aig::Aig& g = parsed->miter;
+      for (aig::Var v = g.num_pis() + 1; v < g.num_nodes(); ++v) {
+        ASSERT_LT(aig::lit_var(g.fanin0(v)), v);
+        ASSERT_LT(aig::lit_var(g.fanin1(v)), v);
+      }
+      for (const auto& [node, lit] : parsed->merges)
+        ASSERT_LT(aig::lit_var(lit), node);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CkptFuzz, ::testing::Values(920, 921, 922));
 
 TEST(DimacsFuzz, GarbageRejectedGracefully) {
   Rng rng(55);

@@ -99,8 +99,9 @@ TEST(ObsRegistry, ConcurrentPublishersAgree) {
               static_cast<std::uint64_t>(kIters));
 }
 
-/// A registry covering the report schema's required sections (v2: the
-/// faults/degrade sections must exist; zero values are the healthy state).
+/// A registry covering the report schema's required sections (v2 added
+/// faults/degrade, v3 adds ckpt/supervisor; the sections must exist, zero
+/// values are the healthy state).
 Registry& fill_valid(Registry& r) {
   r.add(obs::metric::kExhaustiveBatches, 3);
   r.add("cut.pass1.checks", 12);
@@ -111,6 +112,8 @@ Registry& fill_valid(Registry& r) {
   r.set(obs::metric::kEngineTotalSeconds, 0.25);
   r.add(obs::metric::kFaultsInjected, 0);
   r.add(obs::metric::kDegradeLadderSteps, 0);
+  r.add(obs::metric::kCkptWrites, 0);
+  r.add(obs::metric::kSupervisorRestarts, 0);
   return r;
 }
 
@@ -159,7 +162,14 @@ TEST(ObsReport, ValidatorRejectsBadReports) {
 
 TEST(ObsReport, V2RequiresFaultAndDegradeSections) {
   // A v2-tagged report without the robustness sections is invalid; their
-  // *presence* (not nonzero-ness) is the v2 contract.
+  // *presence* (not nonzero-ness) is the v2 contract. to_json always
+  // stamps the newest schema id, so retag each emission as v2.
+  const auto as_v2 = [](std::string json) {
+    const std::size_t at = json.find(kSchemaId);
+    EXPECT_NE(at, std::string::npos);
+    json.replace(at, std::string(kSchemaId).size(), kSchemaIdV2);
+    return json;
+  };
   Registry r;
   r.add(obs::metric::kExhaustiveBatches, 3);
   r.add("cut.pass1.checks", 12);
@@ -168,14 +178,40 @@ TEST(ObsReport, V2RequiresFaultAndDegradeSections) {
   r.add(obs::metric::kMiterRebuilds, 1);
   r.set(obs::metric::kPoolWorkers, 4.0);
   std::string error;
-  EXPECT_FALSE(validate_report_json(to_json(r.snapshot()), &error));
+  EXPECT_FALSE(validate_report_json(as_v2(to_json(r.snapshot())), &error));
   EXPECT_NE(error.find("faults"), std::string::npos);
 
   r.add(obs::metric::kFaultsInjected, 0);
-  EXPECT_FALSE(validate_report_json(to_json(r.snapshot()), &error));
+  EXPECT_FALSE(validate_report_json(as_v2(to_json(r.snapshot())), &error));
   EXPECT_NE(error.find("degrade"), std::string::npos);
 
   r.add(obs::metric::kDegradeLadderSteps, 0);
+  EXPECT_TRUE(validate_report_json(as_v2(to_json(r.snapshot())), &error))
+      << error;
+}
+
+TEST(ObsReport, V3RequiresCkptAndSupervisorSections) {
+  // v3 (DESIGN.md §2.8) additionally requires the checkpoint/supervisor
+  // sections; presence, not nonzero-ness, is the contract — an unarmed
+  // run reports zero writes and zero restarts.
+  Registry r;
+  r.add(obs::metric::kExhaustiveBatches, 3);
+  r.add("cut.pass1.checks", 12);
+  r.add(obs::metric::kEcBuilds, 2);
+  r.add(obs::metric::kPartialSimSimulateCalls, 5);
+  r.add(obs::metric::kMiterRebuilds, 1);
+  r.set(obs::metric::kPoolWorkers, 4.0);
+  r.add(obs::metric::kFaultsInjected, 0);
+  r.add(obs::metric::kDegradeLadderSteps, 0);
+  std::string error;
+  EXPECT_FALSE(validate_report_json(to_json(r.snapshot()), &error));
+  EXPECT_NE(error.find("ckpt"), std::string::npos);
+
+  r.add(obs::metric::kCkptWrites, 0);
+  EXPECT_FALSE(validate_report_json(to_json(r.snapshot()), &error));
+  EXPECT_NE(error.find("supervisor"), std::string::npos);
+
+  r.add(obs::metric::kSupervisorRestarts, 0);
   EXPECT_TRUE(validate_report_json(to_json(r.snapshot()), &error)) << error;
 }
 

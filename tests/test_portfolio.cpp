@@ -5,7 +5,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+
 #include "aig/aig_analysis.hpp"
+#include "aig/miter.hpp"
+#include "ckpt/checkpoint.hpp"
+#include "ckpt/resume.hpp"
 #include "gen/arith.hpp"
 #include "opt/resyn.hpp"
 #include "test_util.hpp"
@@ -178,6 +184,57 @@ TEST(Combined, SweeperGetsRemainingBudgetNotFullBudget) {
   const CombinedResult ru = combined_check(a, b, unbounded);
   ASSERT_TRUE(ru.used_sat);
   EXPECT_DOUBLE_EQ(ru.sweeper_time_limit, 0.0);
+}
+
+TEST(Combined, ResumedRunChargesElapsedAgainstDeadline) {
+  // Regression (deadline plumbing x checkpoint/resume, DESIGN.md §2.8):
+  // a resumed run restores the snapshot's wall-clock and charges it
+  // against engine.time_limit, so the SAT fallback receives only the TRUE
+  // remainder of the original budget — not the full budget restarted.
+  // Here the "crashed" run had burned 80% of a 30 s budget; the resumed
+  // leg's sweeper may see at most the remaining 6 s.
+  const Aig a = testutil::random_aig(12, 260, 6, 300);
+  const Aig b = opt::resyn_light(a);
+  if (aig::miter_proved(aig::make_miter(a, b)))
+    GTEST_SKIP() << "strash solved it";
+
+  ckpt::CheckpointedParams cp;
+  cp.combined = small_combined();
+  // Same phase gating as above: the SAT fallback is guaranteed.
+  cp.combined.engine.enable_po_phase = false;
+  cp.combined.engine.enable_global_phase = false;
+  cp.combined.engine.max_local_phases = 0;
+  cp.combined.engine.escalate_global = false;
+  cp.combined.engine.time_limit = 30.0;
+  cp.checkpoint_path = ::testing::TempDir() + "simsweep_budget.ckpt";
+  std::remove(cp.checkpoint_path.c_str());
+  std::remove((cp.checkpoint_path + ".prev").c_str());
+
+  // Hand-craft the crashed run's engine-boundary snapshot: 24 s already
+  // spent, miter untouched.
+  const aig::Aig miter = aig::make_miter(a, b);
+  ckpt::Snapshot snap;
+  snap.stage = ckpt::Stage::kEngine;
+  snap.fingerprint = ckpt::run_fingerprint(miter, cp.combined);
+  snap.elapsed_seconds = 24.0;
+  snap.boundary = "G";
+  snap.miter = miter;
+  snap.engine_stats.initial_ands = miter.num_ands();
+  snap.engine_stats.final_ands = miter.num_ands();
+  snap.engine_stats.pos_total = miter.num_pos();
+  const std::vector<std::uint8_t> bytes = ckpt::serialize(snap);
+  {
+    std::ofstream out(cp.checkpoint_path, std::ios::binary);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+  }
+
+  const ckpt::CheckpointedResult r =
+      ckpt::checked_combined_check_miter(miter, cp);
+  EXPECT_TRUE(r.resumed);
+  ASSERT_TRUE(r.combined.used_sat);
+  EXPECT_GT(r.combined.sweeper_time_limit, 0.0);
+  EXPECT_LE(r.combined.sweeper_time_limit, 6.0);
 }
 
 TEST(Portfolio, FirstDecisiveEngineWins) {

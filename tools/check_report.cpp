@@ -3,11 +3,12 @@
 ///
 /// Runs the same flow as `cec_tool --demo` (multiplier pair, CPU-rescaled
 /// engine parameters), writes the run report to argv[1], reads it back
-/// and validates it against schema simsweep.run_report.v2 — including the
+/// and validates it against schema simsweep.run_report.v3 — including the
 /// acceptance contract that all five paper-module sections carry nonzero
-/// counters and that the v2 robustness sections (`faults`, `degrade`,
-/// DESIGN.md §2.4) are present with their expected leaves. Exit code 0 on
-/// success, 1 on any failure.
+/// counters, that the v2 robustness sections (`faults`, `degrade`,
+/// DESIGN.md §2.4) are present with their expected leaves, and that the
+/// v3 checkpoint-durability sections (`ckpt`, `supervisor`, DESIGN.md
+/// §2.8) are present. Exit code 0 on success, 1 on any failure.
 ///
 /// Usage: ./check_report <report-path>
 
@@ -28,8 +29,8 @@ namespace {
 /// the metric catalog src/obs/metric_names.def, so a new family has to be
 /// added in both places deliberately.
 constexpr const char* kSchemaFamilies[] = {
-    "exhaustive", "cut",  "ec",     "partial_sim", "miter",
-    "engine",     "pool", "faults", "degrade",     "sat_sweeper"};
+    "exhaustive", "cut",  "ec",     "partial_sim", "miter",       "engine",
+    "pool",       "faults", "degrade", "sat_sweeper", "ckpt", "supervisor"};
 
 /// True iff `name` starts with `<family>.` for a known schema family.
 bool in_known_family(std::string_view name) {
@@ -116,7 +117,9 @@ int main(int argc, char** argv) {
   for (const char* leaf : {"\"faults\"", "\"injected\"", "\"degrade\"",
                            "\"ladder_steps\"", "\"units_abandoned\"",
                            "\"carryover\"", "\"full_resims\"",
-                           "\"incremental_words\""}) {
+                           "\"incremental_words\"", "\"ckpt\"",
+                           "\"writes\"", "\"supervisor\"",
+                           "\"restarts\""}) {
     if (json.find(leaf) == std::string::npos) {
       std::fprintf(stderr, "check_report: report lacks expected key %s\n",
                    leaf);
@@ -136,7 +139,7 @@ int main(int argc, char** argv) {
               obs::kSchemaId);
 
   // Second flow: a sharded residue sweep (sweeper.num_threads = 2) on a
-  // small multiplier pair. The report must still validate as v2 and
+  // small multiplier pair. The report must still validate as v3 and
   // additionally carry the sat_sweeper.* shard gauges (DESIGN.md §2.5)
   // — the demo report above, whose sweep is sequential, is the shape
   // without them. k_P below the PI count keeps the P phase from solving
@@ -169,7 +172,7 @@ int main(int argc, char** argv) {
   for (const char* leaf :
        {"\"shards\"", "\"chunks\"", "\"steals\"", "\"board_merges\"",
         "\"cex_shared\"", "\"pairs_sim_resolved\"", "\"parallel_fallbacks\"",
-        "\"shard\""}) {
+        "\"shard\"", "\"ckpt\"", "\"supervisor\""}) {
     if (shard_json.find(leaf) == std::string::npos) {
       std::fprintf(stderr,
                    "check_report: sharded report lacks expected key %s\n",
