@@ -1,0 +1,263 @@
+/// \file bench_service.cpp
+/// \brief Throughput benchmark of the batch job service (DESIGN.md §2.9):
+/// a mixed stream of miter-check jobs — four distinct pairs, each
+/// submitted three times, the re-submission profile of a regression
+/// queue — run sequentially (no service, no cache) vs through one
+/// CecService at 1/2/4 concurrent jobs.
+///
+/// Metric: jobs per wall second. On a single core the service's win is
+/// the fingerprint-keyed verdict cache plus in-flight coalescing: of the
+/// twelve jobs only four are distinct, so eight answers are served from
+/// the cache (or a coalesced in-flight computation) instead of being
+/// recomputed. The `service_c4_nocache` row is the transparency control:
+/// same concurrency, cache disabled — its speedup shows what scheduling
+/// alone buys (≈1x on one core).
+///
+/// JSON emitter (`--json FILE [--smoke]`) writes one row per config plus
+/// the speedup table; the `bench_service_smoke` ctest keeps the perf
+/// trajectory tracked in CI. Every config must reproduce the sequential
+/// baseline's per-job verdicts bit-identically (the bench aborts
+/// otherwise).
+
+// Compile-time guarantee that this benchmark carries no sanitizer
+// instrumentation: instrumented numbers would poison the perf trajectory.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#error "bench targets must be built without sanitizer instrumentation"
+#endif
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer) || \
+    __has_feature(memory_sanitizer)
+#error "bench targets must be built without sanitizer instrumentation"
+#endif
+#endif
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/verdict.hpp"
+#include "gen/arith.hpp"
+#include "obs/metric_names.hpp"
+#include "portfolio/portfolio.hpp"
+#include "service/cec_service.hpp"
+
+namespace {
+
+using namespace simsweep;
+
+/// Engine/sweeper parameters sized so every job decides in milliseconds:
+/// the bench measures service throughput, not single-job capacity.
+portfolio::CombinedParams job_params() {
+  portfolio::CombinedParams p;
+  p.engine.k_P = 16;
+  p.engine.k_p = 10;
+  p.engine.k_g = 10;
+  p.engine.k_l = 6;
+  p.engine.memory_words = 1 << 16;
+  return p;
+}
+
+/// Four distinct pairs, each submitted three times, duplicates
+/// interleaved — so under concurrency a duplicate regularly lands while
+/// its original is still in flight (the coalescing path), not only after
+/// (the plain cache-hit path).
+std::vector<service::JobSpec> make_jobs(bool smoke) {
+  std::vector<std::pair<aig::Aig, aig::Aig>> pairs;
+  // Smoke still uses a real multiplier pair: the jobs must be large
+  // enough that compute (not per-rep service construction) dominates,
+  // or the cache win is invisible.
+  const unsigned mult_bits = 4;
+  const unsigned add_bits = smoke ? 8 : 10;
+  pairs.emplace_back(gen::array_multiplier(mult_bits),
+                     gen::wallace_multiplier(mult_bits));
+  pairs.emplace_back(gen::ripple_adder(add_bits),
+                     gen::kogge_stone_adder(add_bits));
+  pairs.emplace_back(gen::array_multiplier(mult_bits + 1),
+                     gen::wallace_multiplier(mult_bits + 1));
+  pairs.emplace_back(gen::ripple_adder(add_bits + 2),
+                     gen::kogge_stone_adder(add_bits + 2));
+
+  std::vector<service::JobSpec> jobs;
+  for (int round = 0; round < 3; ++round) {
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      service::JobSpec s;
+      s.id = "p" + std::to_string(i) + "_r" + std::to_string(round);
+      s.a = pairs[i].first;
+      s.b = pairs[i].second;
+      s.params = job_params();
+      jobs.push_back(std::move(s));
+    }
+  }
+  return jobs;
+}
+
+struct RepResult {
+  std::vector<Verdict> verdicts;  ///< per job, submission order
+  std::uint64_t cache_hits = 0;
+};
+
+struct JsonRow {
+  std::string name;
+  unsigned concurrency = 0;
+  std::size_t reps = 0;
+  double wall_seconds = 0.0;
+  std::size_t jobs = 0;  ///< completed jobs over all reps
+  double jobs_per_sec = 0.0;
+  std::uint64_t cache_hits = 0;  ///< of the last rep (cache starts cold)
+  std::vector<Verdict> verdicts;  ///< of the last rep
+};
+
+/// Times repeated full passes over the job set (one warm-up pass first);
+/// each rep starts from a cold cache.
+template <typename Run>
+JsonRow measure(const std::string& name, unsigned concurrency, Run run,
+                std::size_t min_reps, double min_seconds) {
+  JsonRow row;
+  row.name = name;
+  row.concurrency = concurrency;
+  (void)run();  // warm-up (first-touch allocations, branch history)
+  const auto start = std::chrono::steady_clock::now();
+  double elapsed = 0.0;
+  do {
+    RepResult r = run();
+    row.jobs += r.verdicts.size();
+    row.cache_hits = r.cache_hits;
+    row.verdicts = std::move(r.verdicts);
+    ++row.reps;
+    elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            start)
+                  .count();
+  } while (row.reps < min_reps || elapsed < min_seconds);
+  row.wall_seconds = elapsed;
+  row.jobs_per_sec = static_cast<double>(row.jobs) / elapsed;
+  return row;
+}
+
+int run_json(const char* path, bool smoke) {
+  const std::vector<service::JobSpec> jobs = make_jobs(smoke);
+  const std::size_t min_reps = smoke ? 2 : 5;
+  const double min_seconds = smoke ? 0.2 : 2.0;
+
+  // Baseline: the jobs one after another through the plain combined
+  // flow — no service, no cache, every duplicate recomputed.
+  const auto sequential = [&]() -> RepResult {
+    RepResult r;
+    for (const service::JobSpec& j : jobs) {
+      const aig::Aig miter = aig::make_miter(*j.a, *j.b);
+      r.verdicts.push_back(
+          portfolio::combined_check_miter(miter, j.params).verdict);
+    }
+    return r;
+  };
+
+  const auto through_service = [&](unsigned concurrency,
+                                   std::size_t cache_capacity) -> RepResult {
+    service::ServiceParams sp;
+    sp.max_concurrent_jobs = concurrency;
+    sp.cache_capacity = cache_capacity;
+    service::CecService svc(sp);
+    std::vector<service::JobSpec> batch = jobs;  // service moves from it
+    const std::vector<service::JobResult> results =
+        svc.run_batch(std::move(batch));
+    RepResult r;
+    for (const service::JobResult& res : results)
+      r.verdicts.push_back(res.verdict);
+    r.cache_hits = svc.metrics().count(obs::metric::kServiceCacheHits);
+    return r;
+  };
+
+  std::vector<JsonRow> rows;
+  rows.push_back(measure("sequential", 1, sequential, min_reps, min_seconds));
+  for (const unsigned c : {1u, 2u, 4u}) {
+    rows.push_back(measure(
+        "service_c" + std::to_string(c), c,
+        [&] { return through_service(c, 1024); }, min_reps, min_seconds));
+  }
+  rows.push_back(measure(
+      "service_c4_nocache", 4, [&] { return through_service(4, 0); },
+      min_reps, min_seconds));
+
+  // Acceptance: per-job verdicts bit-identical to the sequential baseline
+  // in every config.
+  for (const JsonRow& r : rows) {
+    if (r.verdicts != rows[0].verdicts) {
+      std::fprintf(stderr, "bench_service: verdict mismatch in %s\n",
+                   r.name.c_str());
+      return 1;
+    }
+  }
+
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_service: cannot open %s for writing\n", path);
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"bench_service\",\n");
+  std::fprintf(f, "  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
+  std::fprintf(f,
+               "  \"workload\": \"%zu jobs: 4 distinct multiplier/adder "
+               "pairs x 3 submissions\",\n",
+               jobs.size());
+  std::fprintf(f, "  \"metric\": \"jobs_per_sec = completed miter-check "
+                  "jobs per wall second\",\n  \"configs\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const JsonRow& r = rows[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"concurrency\": %u, \"reps\": %zu, "
+                 "\"wall_seconds\": %.6f, \"jobs\": %zu, "
+                 "\"jobs_per_sec\": %.4e, \"cache_hits\": %llu}%s\n",
+                 r.name.c_str(), r.concurrency, r.reps, r.wall_seconds,
+                 r.jobs, r.jobs_per_sec,
+                 static_cast<unsigned long long>(r.cache_hits),
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"speedup_vs_sequential\": {");
+  bool first = true;
+  for (const JsonRow& r : rows) {
+    if (r.name == "sequential") continue;
+    std::fprintf(f, "%s\"%s\": %.2f", first ? "" : ", ", r.name.c_str(),
+                 r.jobs_per_sec / rows[0].jobs_per_sec);
+    first = false;
+  }
+  std::fprintf(f, "}\n}\n");
+  if (std::ferror(f) != 0 || std::fclose(f) != 0) {
+    std::fprintf(stderr, "bench_service: write to %s failed\n", path);
+    return 1;
+  }
+
+  for (const JsonRow& r : rows)
+    std::printf("%-20s %2u jobs %6zu reps %9.3f s  %.4e jobs/sec  "
+                "%llu cache hits (last rep)\n",
+                r.name.c_str(), r.concurrency, r.reps, r.wall_seconds,
+                r.jobs_per_sec,
+                static_cast<unsigned long long>(r.cache_hits));
+  std::printf("wrote %s\n", path);
+  return 0;
+}
+
+int usage() {
+  std::fprintf(stderr, "usage: bench_service --json FILE [--smoke]\n");
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("uninstrumented: ok (no sanitizer feature macros at build)\n");
+  const char* json_path = nullptr;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      if (i + 1 >= argc) return usage();
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      return usage();
+    }
+  }
+  if (json_path == nullptr) return usage();
+  return run_json(json_path, smoke);
+}

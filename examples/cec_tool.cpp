@@ -30,6 +30,22 @@
 ///                          after the first durable checkpoint write (the
 ///                          kill-and-resume walkthrough's scripted kill)
 ///
+/// Batch service mode (DESIGN.md §2.9) — mutually exclusive with the
+/// single-pair form:
+///   --batch <jobs.jsonl>   run a JSON-lines job file through one
+///                          CecService; per-job result lines go to stdout
+///   --serve                same, but jobs stream in on stdin and result
+///                          lines stream out as jobs complete (submission
+///                          order)
+///   --jobs <n>             concurrent jobs (service worker threads;
+///                          default 1)
+///   --memory-budget <MiB>  shared admission-ledger budget (default 0 =
+///                          unlimited)
+///   --cache-capacity <n>   verdict-cache entries (default 1024; 0
+///                          disables)
+///   --service-report <path>  write the aggregate service.* metric
+///                          snapshot
+///
 /// SIGINT/SIGTERM request a graceful stop: the flow cancels at the next
 /// checkpoint, the pending snapshot and the JSON report are flushed, and
 /// the tool exits 4 so callers can distinguish "interrupted but resumable"
@@ -41,6 +57,7 @@
 /// never crashes on bad input), 4 interrupted with state flushed.
 
 #include <atomic>
+#include <cctype>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -59,6 +76,8 @@
 #include "obs/metric_names.hpp"
 #include "obs/report.hpp"
 #include "portfolio/portfolio.hpp"
+#include "service/cec_service.hpp"
+#include "service/json_jobs.hpp"
 
 namespace {
 
@@ -81,8 +100,179 @@ struct Options {
   std::string arm_site;
   std::uint64_t arm_nth = 1;
   int drill_signal = 0;
+  std::string batch_path;
+  bool serve = false;
+  unsigned jobs = 1;
+  std::uint64_t memory_budget_mib = 0;
+  std::size_t cache_capacity = 1024;
+  std::string service_report_path;
   std::vector<std::string> files;
 };
+
+/// The CLI-wide job defaults: every batch/serve job starts from the same
+/// rescaled engine parameters as the single-pair path and shares the
+/// tool's cancellation flag, then the JSON line overrides what it names.
+simsweep::service::JobSpec default_job_spec() {
+  simsweep::service::JobSpec spec;
+  spec.params.engine.k_P = 24;
+  spec.params.engine.k_p = 14;
+  spec.params.engine.k_g = 14;
+  spec.params.engine.cancel = &g_cancel;
+  spec.params.sweeper.cancel = &g_cancel;
+  return spec;
+}
+
+simsweep::service::ServiceParams service_params(const Options& opt) {
+  simsweep::service::ServiceParams sp;
+  sp.max_concurrent_jobs = opt.jobs;
+  sp.memory_budget_bytes = opt.memory_budget_mib << 20;
+  sp.cache_capacity = opt.cache_capacity;
+  return sp;
+}
+
+/// Flushes the aggregate service.* snapshot; shared by batch and serve.
+int write_service_report(simsweep::service::CecService& svc,
+                         const Options& opt) {
+  if (opt.service_report_path.empty()) return 0;
+  if (!simsweep::obs::write_json_file(svc.metrics(),
+                                      opt.service_report_path)) {
+    std::fprintf(stderr, "error: cannot write service report to %s\n",
+                 opt.service_report_path.c_str());
+    return 3;
+  }
+  std::printf("report:   %s\n", opt.service_report_path.c_str());
+  return 0;
+}
+
+/// True for lines the job-file grammar skips (blank, '#' comments).
+bool is_skippable(const std::string& line) {
+  for (const char c : line) {
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) continue;
+    return c == '#';
+  }
+  return true;
+}
+
+/// --batch: parse the whole file, run it as one atomic batch (so
+/// priorities order the dispatch), print one result line per job in
+/// submission order. Exit 0 iff every line parsed and every job ran
+/// error-free (individual verdicts do not affect the exit code — callers
+/// read them from the result lines).
+int run_batch(const Options& opt) {
+  using namespace simsweep;
+  std::FILE* f = std::fopen(opt.batch_path.c_str(), "r");
+  if (f == nullptr) {
+    std::fprintf(stderr, "error: cannot open %s\n", opt.batch_path.c_str());
+    return 3;
+  }
+  std::vector<service::JobSpec> specs;
+  bool bad_input = false;
+  std::string line;
+  std::size_t line_no = 0;
+  for (int c = std::fgetc(f); ; c = std::fgetc(f)) {
+    if (c != EOF && c != '\n') {
+      line.push_back(static_cast<char>(c));
+      continue;
+    }
+    ++line_no;
+    if (!is_skippable(line)) {
+      service::JobSpec spec = default_job_spec();
+      std::string error;
+      if (service::parse_job_line(line, &spec, &error)) {
+        specs.push_back(std::move(spec));
+      } else {
+        std::fprintf(stderr, "error: %s:%zu: %s\n", opt.batch_path.c_str(),
+                     line_no, error.c_str());
+        bad_input = true;
+      }
+    }
+    line.clear();
+    if (c == EOF) break;
+  }
+  std::fclose(f);
+  if (specs.empty()) {
+    std::fprintf(stderr, "error: %s holds no jobs\n", opt.batch_path.c_str());
+    return 3;
+  }
+
+  service::CecService svc(service_params(opt));
+  const std::vector<service::JobResult> results =
+      svc.run_batch(std::move(specs));
+  bool job_failed = false;
+  for (const service::JobResult& r : results) {
+    std::printf("%s\n", service::result_to_json_line(r).c_str());
+    job_failed = job_failed || !r.error.empty();
+  }
+  const obs::Snapshot m = svc.metrics();
+  std::printf("batch:    %llu job(s), %llu cache hit(s), %llu rejected, "
+              "%llu deadline-expired\n",
+              static_cast<unsigned long long>(
+                  m.count(obs::metric::kServiceJobsCompleted)),
+              static_cast<unsigned long long>(
+                  m.count(obs::metric::kServiceCacheHits)),
+              static_cast<unsigned long long>(
+                  m.count(obs::metric::kServiceJobsRejected)),
+              static_cast<unsigned long long>(
+                  m.count(obs::metric::kServiceDeadlineExpired)));
+  const int report_rc = write_service_report(svc, opt);
+  if (report_rc != 0) return report_rc;
+  return bad_input || job_failed ? 3 : 0;
+}
+
+/// --serve: jobs stream in on stdin (one JSON object per line), results
+/// stream out on stdout in submission order, each flushed as soon as it
+/// is both complete and at the head of the pending window — so a client
+/// pipelining independent jobs sees answers while later jobs still run.
+int run_serve(const Options& opt) {
+  using namespace simsweep;
+  service::CecService svc(service_params(opt));
+  std::vector<std::size_t> pending;  // tickets not yet printed, FIFO
+  bool had_error = false;
+
+  const auto drain_ready = [&](bool block) {
+    while (!pending.empty()) {
+      service::JobResult r;
+      if (block) {
+        r = svc.wait(pending.front());
+      } else if (!svc.poll(pending.front(), &r)) {
+        return;
+      }
+      pending.erase(pending.begin());
+      std::printf("%s\n", service::result_to_json_line(r).c_str());
+      std::fflush(stdout);
+      had_error = had_error || !r.error.empty();
+    }
+  };
+
+  std::string line;
+  for (int c = std::fgetc(stdin); ; c = std::fgetc(stdin)) {
+    if (c != EOF && c != '\n') {
+      line.push_back(static_cast<char>(c));
+      continue;
+    }
+    if (!is_skippable(line)) {
+      service::JobSpec spec = default_job_spec();
+      std::string error;
+      if (service::parse_job_line(line, &spec, &error)) {
+        pending.push_back(svc.submit(std::move(spec)));
+      } else {
+        service::JobResult bad;
+        bad.id = "parse_error";
+        bad.error = error;  // result_to_json_line escapes it
+        std::printf("%s\n", service::result_to_json_line(bad).c_str());
+        std::fflush(stdout);
+        had_error = true;
+      }
+    }
+    line.clear();
+    drain_ready(/*block=*/false);
+    if (c == EOF || g_cancel.load(std::memory_order_relaxed)) break;
+  }
+  drain_ready(/*block=*/true);
+  const int report_rc = write_service_report(svc, opt);
+  if (report_rc != 0) return report_rc;
+  return had_error ? 3 : 0;
+}
 
 int check(const simsweep::aig::Aig& a, const simsweep::aig::Aig& b,
           const Options& opt, const simsweep::ckpt::SupervisorProgress& sup) {
@@ -185,7 +375,10 @@ int usage(const char* prog) {
                "[--checkpoint <path>] [--checkpoint-interval <sec>] "
                "[--no-resume] [--supervise] [--max-restarts <n>] "
                "[--arm-fault <site:nth>] [--drill-signal <TERM|INT>] "
-               "(<a.aig> <b.aig> | --demo)\n",
+               "(<a.aig> <b.aig> | --demo | --batch <jobs.jsonl> | --serve)\n"
+               "       batch/serve options: [--jobs <n>] "
+               "[--memory-budget <MiB>] [--cache-capacity <n>] "
+               "[--service-report <path>]\n",
                prog);
   return 3;
 }
@@ -240,6 +433,29 @@ int run(int argc, char** argv) {
                      opt.arm_site.c_str());
         return 3;
       }
+    } else if (std::strcmp(argv[i], "--batch") == 0) {
+      if (i + 1 >= argc) return usage(argv[0]);
+      opt.batch_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--serve") == 0) {
+      opt.serve = true;
+    } else if (std::strcmp(argv[i], "--jobs") == 0) {
+      if (i + 1 >= argc) return usage(argv[0]);
+      const long v = std::strtol(argv[++i], nullptr, 10);
+      if (v < 1 || v > 256) return usage(argv[0]);
+      opt.jobs = static_cast<unsigned>(v);
+    } else if (std::strcmp(argv[i], "--memory-budget") == 0) {
+      if (i + 1 >= argc) return usage(argv[0]);
+      const long v = std::strtol(argv[++i], nullptr, 10);
+      if (v < 0) return usage(argv[0]);
+      opt.memory_budget_mib = static_cast<std::uint64_t>(v);
+    } else if (std::strcmp(argv[i], "--cache-capacity") == 0) {
+      if (i + 1 >= argc) return usage(argv[0]);
+      const long v = std::strtol(argv[++i], nullptr, 10);
+      if (v < 0) return usage(argv[0]);
+      opt.cache_capacity = static_cast<std::size_t>(v);
+    } else if (std::strcmp(argv[i], "--service-report") == 0) {
+      if (i + 1 >= argc) return usage(argv[0]);
+      opt.service_report_path = argv[++i];
     } else if (std::strcmp(argv[i], "--drill-signal") == 0) {
       if (i + 1 >= argc) return usage(argv[0]);
       const std::string sig = argv[++i];
@@ -255,8 +471,18 @@ int run(int argc, char** argv) {
       opt.files.emplace_back(argv[i]);
     }
   }
-  if (opt.demo ? !opt.files.empty() : opt.files.size() != 2)
+  const bool service_mode = !opt.batch_path.empty() || opt.serve;
+  if (service_mode) {
+    // Batch/serve owns the whole invocation: no single-pair inputs, and
+    // the single-run plumbing (checkpoint/supervise/drill) does not
+    // compose with a multiplexed job stream.
+    if (!opt.batch_path.empty() && opt.serve) return usage(argv[0]);
+    if (opt.demo || !opt.files.empty() || opt.supervise ||
+        !opt.checkpoint.empty() || opt.drill_signal != 0)
+      return usage(argv[0]);
+  } else if (opt.demo ? !opt.files.empty() : opt.files.size() != 2) {
     return usage(argv[0]);
+  }
   if (opt.supervise && opt.checkpoint.empty()) {
     std::fprintf(stderr,
                  "error: --supervise requires --checkpoint (a restarted "
@@ -266,6 +492,9 @@ int run(int argc, char** argv) {
 
   std::signal(SIGINT, handle_signal);
   std::signal(SIGTERM, handle_signal);
+
+  if (service_mode)
+    return opt.serve ? run_serve(opt) : run_batch(opt);
 
   // One attempt = one full check. Under --supervise this body runs in a
   // forked child; exceptions must resolve to the documented one-line

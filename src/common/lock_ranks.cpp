@@ -10,6 +10,7 @@ namespace simsweep::common {
 
 const char* to_string(LockRank rank) {
   switch (rank) {
+    case LockRank::kService: return "service";
     case LockRank::kPool: return "pool";
     case LockRank::kExecutor: return "executor";
     case LockRank::kBoard: return "board";
@@ -77,7 +78,7 @@ void note_acquire(LockRank rank) {
       violation(std::string("acquiring rank '") + to_string(rank) +
                     "' while holding rank '" + to_string(top) +
                     "' (nested acquisitions must strictly ascend "
-                    "pool < executor < board < cex_bank < ckpt "
+                    "service < pool < executor < board < cex_bank < ckpt "
                     "< registry < fault < log)",
                 mode);
   }

@@ -6,7 +6,8 @@
 /// Every mutex in the repo belongs to exactly one rank of a single total
 /// order, and nested acquisitions must strictly ascend it:
 ///
-///   pool < executor < board < cex_bank < ckpt < registry < fault < log
+///   service < pool < executor < board < cex_bank < ckpt < registry
+///     < fault < log
 ///
 /// The order is encoded twice from one table:
 ///
@@ -27,8 +28,13 @@
 ///    works on GCC-only hosts, where the Clang analysis cannot run.
 ///
 /// Rank assignment (see DESIGN.md §2.6 for the rationale):
+///   service   CecService scheduler state (job queue, verdict cache,
+///             completion flags) — a service worker takes it strictly
+///             before dispatching into a job, never while the job holds
+///             any engine/sweeper lock, so it sits below pool
 ///   pool      ThreadPool::submit_mutex_ — held for a whole job, so it is
-///             the outermost lock any participant thread can hold
+///             the outermost lock any participant thread inside a run can
+///             hold
 ///   executor  portfolio VerdictBox — cross-engine race coordination
 ///   board     sweep::EquivBoard journal
 ///   cex_bank  sweep::SharedCexBank rows
@@ -45,14 +51,15 @@ namespace simsweep::common {
 /// The total order. Values are the rank positions; nested acquisitions
 /// must be strictly increasing.
 enum class LockRank : int {
-  kPool = 0,
-  kExecutor = 1,
-  kBoard = 2,
-  kCexBank = 3,
-  kCkpt = 4,
-  kRegistry = 5,
-  kFault = 6,
-  kLog = 7,
+  kService = 0,
+  kPool = 1,
+  kExecutor = 2,
+  kBoard = 3,
+  kCexBank = 4,
+  kCkpt = 5,
+  kRegistry = 6,
+  kFault = 7,
+  kLog = 8,
 };
 
 const char* to_string(LockRank rank);
@@ -78,24 +85,26 @@ class SIMSWEEP_CAPABILITY("lock_rank") RankAnchor {
 /// edges through anchors that are not currently held).
 namespace lock_ranks {
 
-inline RankAnchor pool{LockRank::kPool};
-inline RankAnchor executor SIMSWEEP_ACQUIRED_AFTER(pool){
+inline RankAnchor service{LockRank::kService};
+inline RankAnchor pool SIMSWEEP_ACQUIRED_AFTER(service){LockRank::kPool};
+inline RankAnchor executor SIMSWEEP_ACQUIRED_AFTER(service, pool){
     LockRank::kExecutor};
-inline RankAnchor board SIMSWEEP_ACQUIRED_AFTER(pool, executor){
+inline RankAnchor board SIMSWEEP_ACQUIRED_AFTER(service, pool, executor){
     LockRank::kBoard};
-inline RankAnchor cex_bank SIMSWEEP_ACQUIRED_AFTER(pool, executor, board){
-    LockRank::kCexBank};
-inline RankAnchor ckpt SIMSWEEP_ACQUIRED_AFTER(pool, executor, board,
-                                               cex_bank){LockRank::kCkpt};
-inline RankAnchor registry SIMSWEEP_ACQUIRED_AFTER(pool, executor, board,
-                                                   cex_bank, ckpt){
+inline RankAnchor cex_bank SIMSWEEP_ACQUIRED_AFTER(service, pool, executor,
+                                                   board){LockRank::kCexBank};
+inline RankAnchor ckpt SIMSWEEP_ACQUIRED_AFTER(service, pool, executor,
+                                               board, cex_bank){
+    LockRank::kCkpt};
+inline RankAnchor registry SIMSWEEP_ACQUIRED_AFTER(service, pool, executor,
+                                                   board, cex_bank, ckpt){
     LockRank::kRegistry};
-inline RankAnchor fault SIMSWEEP_ACQUIRED_AFTER(pool, executor, board,
-                                                cex_bank, ckpt, registry){
-    LockRank::kFault};
-inline RankAnchor log SIMSWEEP_ACQUIRED_AFTER(pool, executor, board,
-                                              cex_bank, ckpt, registry,
-                                              fault){LockRank::kLog};
+inline RankAnchor fault SIMSWEEP_ACQUIRED_AFTER(service, pool, executor,
+                                                board, cex_bank, ckpt,
+                                                registry){LockRank::kFault};
+inline RankAnchor log SIMSWEEP_ACQUIRED_AFTER(service, pool, executor,
+                                              board, cex_bank, ckpt,
+                                              registry, fault){LockRank::kLog};
 
 /// What the runtime checker does on an out-of-order acquisition. kAbort
 /// mirrors the SIMSWEEP_CHECKED executor protocol checks (diagnostic on

@@ -31,6 +31,13 @@
 /// the load ladder falls through) and ckpt.child_crash (process death
 /// immediately *after* a durable write — the supervisor restart drill).
 ///
+/// The batch job service (DESIGN.md §2.9) adds two more: service.admit
+/// (an admission attempt is denied as if the memory ledger refused the
+/// job's stake — the job requeues instead of overcommitting) and
+/// service.cache (a verdict-cache lookup is forced to miss, so the job
+/// recomputes; the recomputed verdict must match what the cache would
+/// have returned — the cache-soundness drill).
+///
 /// Site names are catalogued once, in the X-macro table
 /// src/fault/fault_sites.def (one row per failure class the degradation
 /// ladder handles). Code never spells a site as a raw string: fault

@@ -116,11 +116,22 @@ CombinedResult combined_check_miter(const aig::Aig& miter,
   // is *left* of it, they do not restart the clock. (Before this fix the
   // full budget was handed to every attempt again, so a combined run
   // could take attempts+1 times its nominal limit.) 0 = unbounded.
+  //
+  // remaining() reports the TRUE remainder, floored at zero. It used to
+  // floor at 0.05 s, which turned an exhausted budget into a 50 ms grant
+  // for every interleaved-rewriting round and the SAT fallback — up to
+  // max_rewrite_rounds+1 extra attempts past the deadline. A spent
+  // budget now short-circuits the rewrite loop and skips the sweeper
+  // (the zero-remainder timeout path) instead of dribbling slices.
   const double budget = params.engine.time_limit;
   auto remaining = [&]() -> double {
-    return budget > 0 ? std::max(0.05, budget - total.seconds()) : 0.0;
+    return budget > 0 ? std::max(0.0, budget - total.seconds()) : 0.0;
   };
 
+  // engine.attempts counts every engine entry of the combined flow (the
+  // first run plus each rewriting-interleaved re-run), so budget tests
+  // can pin the exact attempt count.
+  registry.add(obs::metric::kEngineAttempts, 1);
   const engine::SimCecEngine eng(engine_params);
   engine::EngineResult er = eng.check_miter(miter);
 
@@ -130,13 +141,15 @@ CombinedResult combined_check_miter(const aig::Aig& miter,
   // CEX needs no translation because the PI interface is preserved.
   for (unsigned round = 0;
        params.interleave_rewriting && round < params.max_rewrite_rounds &&
-       er.verdict == Verdict::kUndecided && er.reduced.num_ands() > 0;
+       er.verdict == Verdict::kUndecided && er.reduced.num_ands() > 0 &&
+       (budget <= 0 || remaining() > 0);
        ++round) {
     aig::Aig rewritten = opt::resyn_light(er.reduced);
     SIMSWEEP_LOG_INFO("interleaved rewriting: %zu -> %zu ANDs",
                       er.reduced.num_ands(), rewritten.num_ands());
     engine::EngineParams round_params = engine_params;
     round_params.time_limit = remaining();
+    registry.add(obs::metric::kEngineAttempts, 1);
     const engine::SimCecEngine round_eng(round_params);
     engine::EngineResult next = round_eng.check_miter(std::move(rewritten));
     engine::accumulate_attempt_stats(next.stats, er.stats);
@@ -152,14 +165,17 @@ CombinedResult combined_check_miter(const aig::Aig& miter,
   result.verdict = er.verdict;
   result.cex = std::move(er.cex);
 
-  if (er.verdict == Verdict::kUndecided) {
+  if (er.verdict == Verdict::kUndecided &&
+      (budget <= 0 || remaining() > 0)) {
     result.used_sat = true;
     sweep::SweeperParams sweeper_params = params.sweeper;
     // Deadline plumbing: the fallback gets the remaining combined budget
     // (clamped against any caller-set sweeper limit), not the full engine
-    // budget over again.
+    // budget over again. The microsecond floor only guards the instant
+    // where the budget ran out between the entry check above and here —
+    // time_limit 0 would mean "unbounded" to the sweeper.
     if (budget > 0) {
-      const double rem = remaining();
+      const double rem = std::max(1e-6, remaining());
       sweeper_params.time_limit = sweeper_params.time_limit > 0
                                       ? std::min(sweeper_params.time_limit, rem)
                                       : rem;

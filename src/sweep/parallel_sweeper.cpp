@@ -88,12 +88,24 @@ SweepResult ParallelSatSweeper::check_miter(const aig::Aig& miter) const {
   EquivBoard board(miter.num_nodes());
   SharedCexBank shared_cex(miter.num_pis());
   aig::SubstitutionMap subst(miter.num_nodes());
-  stats.shard.resize(num_threads);
+  // stats.shard is sized lazily per round to the shards that actually
+  // run (min(num_threads, num_chunks)), never to num_threads up front: a
+  // run whose rounds have fewer chunks than threads must not carry — or
+  // publish as sat_sweeper.shard.sN.* gauges — all-zero rows for shards
+  // that never existed. When candidate pairs run out before the first
+  // round, the vector stays empty and stats.shards stays 0.
 
-  // A private pool: the global pool serializes whole jobs, so parking a
-  // long sweep launch there would starve concurrent clients (the racing
-  // portfolio engines). num_threads counts the calling thread.
-  parallel::ThreadPool pool(std::max(1u, num_threads - 1));
+  // A private pool by default: the global pool serializes whole jobs, so
+  // parking a long sweep launch there would starve concurrent clients
+  // (the racing portfolio engines). num_threads counts the calling
+  // thread. A caller-injected pool (params_.pool; the batch service's
+  // shared executor, DESIGN.md §2.9) takes precedence so concurrent jobs
+  // share one worker set instead of oversubscribing the host.
+  std::optional<parallel::ThreadPool> private_pool;
+  if (params_.pool == nullptr)
+    private_pool.emplace(std::max(1u, num_threads - 1));
+  parallel::ThreadPool& pool =
+      params_.pool != nullptr ? *params_.pool : *private_pool;
 
   // EC init, or a resume of a crashed run's accumulated bank (DESIGN.md
   // §2.8) — building over the full bank reproduces its refined partition.
@@ -149,6 +161,7 @@ SweepResult ParallelSatSweeper::check_miter(const aig::Aig& miter) const {
     const std::size_t num_chunks = (pairs.size() + chunk_size - 1) / chunk_size;
     const std::size_t num_shards =
         std::min<std::size_t>(num_threads, num_chunks);
+    if (stats.shard.size() < num_shards) stats.shard.resize(num_shards);
     std::vector<PairOutcome> outcomes(pairs.size());
     std::vector<ChunkStats> chunk_stats(num_chunks);
     std::atomic<std::size_t> ticket{0};

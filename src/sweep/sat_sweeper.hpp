@@ -23,6 +23,10 @@
 #include "common/verdict.hpp"
 #include "sim/partial_sim.hpp"
 
+namespace simsweep::parallel {
+class ThreadPool;
+}  // namespace simsweep::parallel
+
 namespace simsweep::sweep {
 
 struct SweeperStats;
@@ -97,6 +101,14 @@ struct SweeperParams {
   /// unaffected. 0 disables. The sequential SatSweeper ignores this:
   /// it stays the pure-SAT "ABC &cec" baseline.
   unsigned sim_support_limit = 12;
+  /// Shared staged executor for the parallel sweeper (DESIGN.md §2.9).
+  /// Null (the default) keeps the historical behaviour: each parallel
+  /// sweep builds a private pool sized num_threads-1. A batch service
+  /// passes ONE pool here so concurrent jobs contend for a single worker
+  /// set (the pool serializes whole staged jobs) instead of every job
+  /// spawning its own threads and oversubscribing the host. Caller keeps
+  /// the pool alive for the duration of the check.
+  parallel::ThreadPool* pool = nullptr;
   /// Cooperative cancellation (portfolio use): checked between SAT calls.
   /// Annotation audit: the only cross-thread cell of a sweep — written by
   /// the portfolio/watchdog, read relaxed here; all other sweeper state

@@ -33,6 +33,7 @@
 #include "opt/resyn.hpp"
 #include "parallel/thread_pool.hpp"
 #include "portfolio/portfolio.hpp"
+#include "service/cec_service.hpp"
 #include "sweep/parallel_sweeper.hpp"
 #include "sweep/sat_sweeper.hpp"
 #include "test_util.hpp"
@@ -547,6 +548,22 @@ TEST(FaultSites, EveryCataloguedSiteSurvivesInjection) {
       s.miter = sat_miter;
       mgr.offer(s);
       EXPECT_FALSE(mgr.load(2).has_value());
+    } else if (name == fault::sites::kServiceAdmit ||
+               name == fault::sites::kServiceCache) {
+      // Batch-service drills (DESIGN.md §2.9): a forced admission denial
+      // degrades to queuing (or to the un-staked progress exception when
+      // nothing runs), a forced cache miss to a sound recompute. Either
+      // way every job still reaches the true verdict.
+      service::CecService svc(service::ServiceParams{});
+      std::vector<service::JobSpec> jobs(2);
+      jobs[0].id = "soak1";
+      jobs[0].a = a;
+      jobs[0].b = b;
+      jobs[0].params.engine = small_engine();
+      jobs[1] = jobs[0];
+      jobs[1].id = "soak2";
+      for (const service::JobResult& res : svc.run_batch(std::move(jobs)))
+        EXPECT_EQ(res.verdict, Verdict::kEquivalent);
     } else if (name == fault::sites::kCkptChildCrash) {
       // The real site aborts the process right after a durable write, so
       // the in-process soak only records the hit; the process-death path

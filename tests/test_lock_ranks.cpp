@@ -31,6 +31,7 @@ class ScopedThrowEnforcement {
 };
 
 TEST(LockRanks, ToStringNamesEveryRank) {
+  EXPECT_STREQ(to_string(LockRank::kService), "service");
   EXPECT_STREQ(to_string(LockRank::kPool), "pool");
   EXPECT_STREQ(to_string(LockRank::kExecutor), "executor");
   EXPECT_STREQ(to_string(LockRank::kBoard), "board");
@@ -41,8 +42,27 @@ TEST(LockRanks, ToStringNamesEveryRank) {
 }
 
 TEST(LockRanks, AnchorsCarryTheirRank) {
+  EXPECT_EQ(lock_ranks::service.rank(), LockRank::kService);
   EXPECT_EQ(lock_ranks::pool.rank(), LockRank::kPool);
   EXPECT_EQ(lock_ranks::log.rank(), LockRank::kLog);
+}
+
+TEST(LockRanks, ServiceIsTheOutermostRank) {
+  // The batch service's scheduler mutex nests OUTSIDE everything: a
+  // service worker holds it while consulting the fault registry
+  // (admission/cache drills) and job code takes every other rank after
+  // the scheduler released. service -> pool must be legal ascent...
+  ScopedThrowEnforcement mode;
+  Mutex svc_mu, pool_mu;
+  EXPECT_NO_THROW({
+    RankedMutexLock a(svc_mu, lock_ranks::service);
+    RankedMutexLock b(pool_mu, lock_ranks::pool);
+  });
+  // ...and pool -> service the forbidden inversion.
+  Mutex pool2, svc2;
+  RankedMutexLock outer(pool2, lock_ranks::pool);
+  EXPECT_THROW(RankedMutexLock inner(svc2, lock_ranks::service),
+               std::logic_error);
 }
 
 TEST(LockRanks, AscendingNestingIsLegal) {

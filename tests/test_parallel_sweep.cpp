@@ -19,6 +19,7 @@
 #include "aig/aig_analysis.hpp"
 #include "gen/arith.hpp"
 #include "opt/refactor.hpp"
+#include "parallel/thread_pool.hpp"
 #include "portfolio/portfolio.hpp"
 #include "sweep/parallel_sweeper.hpp"
 #include "test_util.hpp"
@@ -168,12 +169,70 @@ TEST(ParallelSweep, ShardTelemetryIsPopulated) {
   EXPECT_GE(r.stats.shards, 1u);
   EXPECT_LE(r.stats.shards, 3u);
   EXPECT_GT(r.stats.chunks, 0u);
-  EXPECT_EQ(r.stats.shard.size(), 3u);
+  // The per-shard vector covers exactly the shards that RAN (the
+  // stats.shards high-water mark), not the configured thread count.
+  EXPECT_EQ(r.stats.shard.size(), r.stats.shards);
   std::size_t claimed = 0;
   for (const sweep::ShardStats& s : r.stats.shard) claimed += s.chunks;
   EXPECT_GT(claimed, 0u);
   // Every proved pair was published to the board exactly once.
   EXPECT_EQ(r.stats.board_merges, r.stats.pairs_proved);
+}
+
+TEST(ParallelSweep, ShardStatsSizedByActualShardsNotThreads) {
+  // Regression (shard-stats over-reporting): the per-shard vector was
+  // resized to num_threads up front, although only
+  // min(num_threads, num_chunks) shards ever run. A run whose pair list
+  // fits one chunk then reported three phantom all-zero shards — and the
+  // portfolio's publisher emitted sat_sweeper.shard.s1..s3 rows for
+  // shards that never existed.
+  const Aig m = hard_miter(4242, /*equivalent=*/true);
+  sweep::SweeperParams p;
+  p.num_threads = 4;
+  p.pairs_per_chunk = 100000;  // everything fits one chunk -> one shard
+  const sweep::SweepResult r = sweep::ParallelSatSweeper(p).check_miter(m);
+  EXPECT_EQ(r.verdict, Verdict::kEquivalent);
+  EXPECT_EQ(r.stats.shards, 1u);
+  EXPECT_EQ(r.stats.shard.size(), 1u);  // pre-fix: 4, three of them zero
+  EXPECT_GT(r.stats.shard[0].chunks, 0u);
+}
+
+TEST(ParallelSweep, EmptyPairListReportsZeroShards) {
+  // num_chunks == 0 edge of the same fix: a miter with no candidate
+  // pairs never starts a shard, so the telemetry must show zero shards
+  // and an empty per-shard vector while the PO proving still decides.
+  Aig a(1);  // x
+  a.add_po(a.pi_lit(0));
+  Aig b(1);  // !x — the XOR strashes to constant true: zero AND nodes,
+             // zero internal candidate pairs, still a real disproof
+  b.add_po(aig::lit_not(b.pi_lit(0)));
+  const Aig m = aig::make_miter(a, b);
+  sweep::SweeperParams p;
+  p.num_threads = 3;
+  const sweep::SweepResult r = sweep::ParallelSatSweeper(p).check_miter(m);
+  EXPECT_EQ(r.verdict, Verdict::kNotEquivalent);
+  // A constant-true miter PO is disproved structurally; when a concrete
+  // pattern is materialized it must be a real witness.
+  if (r.cex) EXPECT_NE(a.evaluate(*r.cex), b.evaluate(*r.cex));
+  EXPECT_EQ(r.stats.shards, 0u);
+  EXPECT_TRUE(r.stats.shard.empty());
+}
+
+TEST(ParallelSweep, InjectedSharedPoolMatchesPrivatePool) {
+  // SweeperParams::pool lets the batch service run every job's sweep on
+  // ONE shared pool. Injection must be behaviorally invisible: in
+  // deterministic mode the core stats are bit-identical to the
+  // private-pool run.
+  const Aig m = hard_miter(909, /*equivalent=*/true);
+  sweep::SweeperParams p;
+  p.num_threads = 3;
+  p.pairs_per_chunk = 2;
+  const sweep::SweepResult r1 = sweep::ParallelSatSweeper(p).check_miter(m);
+  parallel::ThreadPool shared(2);
+  p.pool = &shared;
+  const sweep::SweepResult r2 = sweep::ParallelSatSweeper(p).check_miter(m);
+  EXPECT_EQ(r1.verdict, Verdict::kEquivalent);
+  EXPECT_EQ(core_stats(r1), core_stats(r2));
 }
 
 class ParallelSweepOracle : public ::testing::TestWithParam<std::uint64_t> {};

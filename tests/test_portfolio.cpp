@@ -186,6 +186,33 @@ TEST(Combined, SweeperGetsRemainingBudgetNotFullBudget) {
   EXPECT_DOUBLE_EQ(ru.sweeper_time_limit, 0.0);
 }
 
+TEST(Combined, ExhaustedBudgetShortCircuitsAttempts) {
+  // Regression (expired-budget dribble): remaining() used to floor the
+  // remainder at 0.05 s, so a spent budget still granted every
+  // interleaved-rewriting round and the SAT fallback a 50 ms slice each —
+  // up to max_rewrite_rounds+1 extra attempts past the deadline. With the
+  // fix, a budget exhausted by the first engine attempt stops the flow
+  // cold: exactly ONE engine attempt, no rewrite rounds, no sweeper.
+  const Aig a = testutil::random_aig(12, 260, 6, 300);
+  const Aig b = opt::resyn_light(a);
+  if (aig::miter_proved(aig::make_miter(a, b)))
+    GTEST_SKIP() << "strash solved it";
+  CombinedParams p = small_combined();
+  p.engine.enable_po_phase = false;
+  p.engine.enable_global_phase = false;
+  p.engine.max_local_phases = 0;
+  p.engine.escalate_global = false;
+  p.engine.time_limit = 1e-6;  // gone before the first attempt returns
+  p.interleave_rewriting = true;
+  p.max_rewrite_rounds = 5;  // pre-fix: 5 bonus rounds + the sweeper
+  const CombinedResult r = combined_check(a, b, p);
+  EXPECT_EQ(r.verdict, Verdict::kUndecided);
+  EXPECT_EQ(r.report.count(obs::metric::kEngineAttempts), 1u);
+  EXPECT_FALSE(r.used_sat);
+  EXPECT_DOUBLE_EQ(r.sat_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(r.sweeper_time_limit, 0.0);
+}
+
 TEST(Combined, ResumedRunChargesElapsedAgainstDeadline) {
   // Regression (deadline plumbing x checkpoint/resume, DESIGN.md §2.8):
   // a resumed run restores the snapshot's wall-clock and charges it

@@ -8,18 +8,23 @@
 /// counters, that the v2 robustness sections (`faults`, `degrade`,
 /// DESIGN.md §2.4) are present with their expected leaves, and that the
 /// v3 checkpoint-durability sections (`ckpt`, `supervisor`, DESIGN.md
-/// §2.8) are present. Exit code 0 on success, 1 on any failure.
+/// §2.8) are present. A second (sharded-sweep) and third (batch-service,
+/// DESIGN.md §2.9) flow validate the sat_sweeper shard gauges and the
+/// per-job/aggregate service reports. Exit code 0 on success, 1 on any
+/// failure.
 ///
 /// Usage: ./check_report <report-path>
 
 #include <cstdio>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "gen/arith.hpp"
 #include "gen/suite.hpp"
 #include "obs/report.hpp"
 #include "portfolio/portfolio.hpp"
+#include "service/cec_service.hpp"
 
 namespace {
 
@@ -30,7 +35,8 @@ namespace {
 /// added in both places deliberately.
 constexpr const char* kSchemaFamilies[] = {
     "exhaustive", "cut",  "ec",     "partial_sim", "miter",       "engine",
-    "pool",       "faults", "degrade", "sat_sweeper", "ckpt", "supervisor"};
+    "pool",       "faults", "degrade", "sat_sweeper", "ckpt", "supervisor",
+    "service"};
 
 /// True iff `name` starts with `<family>.` for a known schema family.
 bool in_known_family(std::string_view name) {
@@ -182,5 +188,71 @@ int main(int argc, char** argv) {
   }
   std::printf("check_report: sharded-sweep report carries the "
               "sat_sweeper shard gauges\n");
+
+  // Third flow: the batch job service (DESIGN.md §2.9). Three jobs — the
+  // multiplier pair, the same pair again (must be a fingerprint cache
+  // hit), and an adder pair — through one CecService. Each job's
+  // per-job report must be a valid v3 report of its own, the duplicate's
+  // report must be byte-identical to the original's, and the service's
+  // aggregate snapshot must stay inside the `service` schema family.
+  {
+    service::ServiceParams svc_params;
+    svc_params.max_concurrent_jobs = 2;
+    service::CecService svc(svc_params);
+    std::vector<service::JobSpec> jobs(3);
+    jobs[0].id = "mult";
+    jobs[0].a = small_a;
+    jobs[0].b = small_b;
+    jobs[0].params = shard_params;
+    jobs[1] = jobs[0];
+    jobs[1].id = "mult-again";
+    jobs[2].id = "adder";
+    jobs[2].a = gen::ripple_adder(8);
+    jobs[2].b = gen::kogge_stone_adder(8);
+    jobs[2].params = shard_params;
+    const std::vector<service::JobResult> results =
+        svc.run_batch(std::move(jobs));
+    for (const service::JobResult& r : results) {
+      if (r.verdict != Verdict::kEquivalent || !r.error.empty()) {
+        std::fprintf(stderr, "check_report: batch job %s failed: %s\n",
+                     r.id.c_str(), r.error.c_str());
+        return 1;
+      }
+      if (!check_families(r.report, r.id.c_str())) return 1;
+    }
+    const std::string job_json = obs::to_json(results[0].report);
+    if (!obs::validate_report_json(job_json, &error)) {
+      std::fprintf(stderr, "check_report: invalid per-job report: %s\n",
+                   error.c_str());
+      return 1;
+    }
+    if (!results[1].cache_hit ||
+        obs::to_json(results[1].report) != job_json) {
+      std::fprintf(stderr,
+                   "check_report: resubmitted job is not a cache hit with "
+                   "an identical report\n");
+      return 1;
+    }
+    const obs::Snapshot agg = svc.metrics();
+    if (!check_families(agg, "service")) return 1;
+    const std::string svc_json = obs::to_json(agg);
+    for (const char* leaf :
+         {"\"jobs_submitted\"", "\"jobs_completed\"", "\"cache_hits\"",
+          "\"cache_misses\"", "\"jobs_rejected\""}) {
+      if (svc_json.find(leaf) == std::string::npos) {
+        std::fprintf(stderr,
+                     "check_report: service snapshot lacks expected key %s\n",
+                     leaf);
+        return 1;
+      }
+    }
+    if (svc_json.find("\"cache_hits\": 1") == std::string::npos) {
+      std::fprintf(stderr,
+                   "check_report: batch flow did not record the cache hit\n");
+      return 1;
+    }
+    std::printf("check_report: batch-service flow emits valid per-job "
+                "reports and service counters\n");
+  }
   return 0;
 }
